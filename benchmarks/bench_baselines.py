@@ -1,0 +1,79 @@
+"""Baselines — what call-graph profiling and per-lock analysis miss (§1).
+
+1. A gprof-style CPU profile reports device drivers as a small CPU
+   consumer (the paper's IA_run ≈ 1.6%), saying nothing about the 36%+
+   wait impact the impact analysis exposes.
+2. A per-lock contention analysis sees each lock's direct wait total, but
+   the motivating case's UI delay exceeds what any single lock explains —
+   the chain across locks plus hardware is only visible to the Wait
+   Graph / causality pipeline.
+"""
+
+from benchmarks.conftest import print_banner
+from repro.baselines import analyze_lock_contention, profile_corpus
+from repro.impact import ImpactAnalysis
+from repro.report.tables import Table, fmt_pct, fmt_us
+from repro.sim.casestudy import run_case_study
+from repro.trace.signatures import ALL_DRIVERS
+
+
+def test_bench_callgraph_blindspot(benchmark, bench_corpus):
+    profile = benchmark.pedantic(
+        lambda: profile_corpus(bench_corpus), rounds=1, iterations=1
+    )
+    impact = ImpactAnalysis(["*.sys"]).analyze_corpus(bench_corpus)
+    cpu_share = profile.component_cpu_share(ALL_DRIVERS)
+
+    print_banner("Baseline 1 - Call-graph CPU profile vs impact analysis")
+    table = Table(["View", "Driver impact it reports"])
+    table.add_row("gprof-style CPU profile", fmt_pct(cpu_share))
+    table.add_row("impact analysis IA_run", fmt_pct(impact.ia_run))
+    table.add_row("impact analysis IA_wait", fmt_pct(impact.ia_wait))
+    print(table.render())
+    print("\nTop driver functions by CPU (all the profiler can say):")
+    shown = 0
+    for entry in profile.top_exclusive(40):
+        if ALL_DRIVERS.matches_signature(entry.signature):
+            print(f"  {fmt_us(entry.exclusive):>10}  {entry.signature}")
+            shown += 1
+            if shown == 5:
+                break
+
+    # The blind spot: CPU-only attribution misses the wait impact by a
+    # large factor.
+    assert cpu_share < impact.ia_wait / 3
+
+
+def test_bench_single_lock_blindspot(benchmark):
+    result = run_case_study()
+    analysis = benchmark(
+        lambda: analyze_lock_contention([result.stream])
+    )
+
+    print_banner("Baseline 2 - Per-lock contention vs the propagation chain")
+    table = Table(["Lock", "Total wait", "Waits", "Max wait"])
+    for profile in analysis.top_locks(5):
+        table.add_row(
+            profile.resource,
+            fmt_us(profile.total_wait),
+            profile.waits,
+            fmt_us(profile.max_wait),
+        )
+    print(table.render())
+
+    ui_delay = result.slow_instance.duration
+    combined, biggest_single = analysis.isolated_view_of(
+        ["lock:fv.sys/FileTable0", "lock:fs.sys/MDU0"]
+    )
+    print(
+        f"\nUI-perceived delay: {fmt_us(ui_delay)}; "
+        f"largest single-lock total: {fmt_us(biggest_single)}; "
+        f"cross-lock combined: {fmt_us(combined)}"
+    )
+    # No single lock's own direct waiting explains the combined chain the
+    # causality analysis surfaces: both contention regions contribute.
+    fv = analysis.lock("lock:fv.sys/FileTable0")
+    mdu = analysis.lock("lock:fs.sys/MDU0")
+    assert fv is not None and mdu is not None, "both regions must exist"
+    assert fv.total_wait > 0 and mdu.total_wait > 0
+    assert biggest_single < combined

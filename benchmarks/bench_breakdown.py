@@ -1,0 +1,47 @@
+"""Per-module impact breakdown — the analyst's scoping step (§2.3).
+
+"The analyst may conduct impact analysis on different scopes to realize
+performance impacts of different components": this bench ranks every
+driver module by wait impact in one pass and checks the expected
+hierarchy — the storage stack (fs/se/stor) and network carry the bulk of
+driver wait time, while peripherals (mouse, acpi) are negligible.
+"""
+
+from benchmarks.conftest import print_banner
+from repro.impact.breakdown import breakdown_by_module
+from repro.report.tables import Table, fmt_pct, fmt_ratio, fmt_us
+
+
+def test_bench_module_breakdown(benchmark, bench_corpus):
+    breakdown = benchmark.pedantic(
+        lambda: breakdown_by_module(bench_corpus), rounds=1, iterations=1
+    )
+
+    print_banner("Per-module impact breakdown (one pass, all drivers)")
+    table = Table([
+        "Module", "wait", "distinct wait", "multiplicity", "run",
+        "scenarios",
+    ])
+    for entry in breakdown.ranked()[:12]:
+        table.add_row(
+            entry.module,
+            fmt_us(entry.wait_time),
+            fmt_us(entry.distinct_wait_time),
+            fmt_ratio(entry.wait_multiplicity),
+            fmt_us(entry.run_time),
+            len(entry.scenarios),
+        )
+    print(table.render())
+
+    ranked = breakdown.ranked()
+    by_name = {entry.module: entry for entry in ranked}
+    top3 = {entry.module for entry in ranked[:3]}
+    # The storage stack and/or network dominate driver wait time.
+    assert top3 & {"fs.sys", "se.sys", "stor.sys", "net.sys"}
+    # Peripherals are negligible next to the leader.
+    leader = ranked[0]
+    for peripheral in ("mouse.sys", "acpi.sys"):
+        if peripheral in by_name:
+            assert by_name[peripheral].wait_time < leader.wait_time / 10
+    # Wait multiplicity above 1 for the shared-service-driven modules.
+    assert any(entry.wait_multiplicity > 1.2 for entry in ranked[:5])

@@ -1,0 +1,60 @@
+"""§5.2.4 — The hard-fault case: graphics.sys frozen on a page read.
+
+A system graphics routine holding the GPU context hard-faults; the pager
+reads the page back through fs.sys and se.sys for seconds (the paper's
+incident took ≈ 4.7 s), and the UI thread waiting on the GPU context goes
+non-responsive.  The discovered pattern joins graphics.sys with the
+storage drivers it "should not" interact with.
+"""
+
+from benchmarks.conftest import print_banner
+from repro.causality import CausalityAnalysis
+from repro.report.figures import render_wait_graph
+from repro.sim.casestudy import (
+    HARDFAULT_SCENARIO,
+    HARDFAULT_T_FAST,
+    HARDFAULT_T_SLOW,
+    run_hardfault_case,
+)
+from repro.trace.signatures import module_of
+from repro.units import SECONDS
+from repro.waitgraph.builder import build_wait_graph
+
+
+def test_bench_hardfault_case(benchmark):
+    result = benchmark.pedantic(run_hardfault_case, rounds=1, iterations=1)
+
+    print_banner("Section 5.2.4 - Hard fault in graphics.sys")
+    print(
+        f"AppNonResponsive instances: {len(result.instances)}; hang took "
+        f"{result.slow_instance.duration / 1e6:.2f} s (paper: ~4.7 s)"
+    )
+    graph = build_wait_graph(result.slow_instance)
+    print(render_wait_graph(graph, max_depth=7))
+
+    # The hang is in the multi-second range.
+    assert result.slow_instance.duration > 2 * SECONDS
+    assert len(result.fast_instances) >= 4
+
+    report = CausalityAnalysis(["*.sys"]).analyze(
+        result.instances,
+        HARDFAULT_T_FAST,
+        HARDFAULT_T_SLOW,
+        scenario=HARDFAULT_SCENARIO,
+    )
+    assert report.patterns
+    print_banner("Discovered pattern: graphics.sys with the storage stack")
+    top = report.patterns[0]
+    print(top.sst.render())
+
+    modules = {module_of(s) for s in top.sst.all_signatures}
+    assert "graphics.sys" in modules, "the faulting driver must appear"
+    storage_union = set()
+    for pattern in report.patterns:
+        storage_union |= {
+            module_of(s) for s in pattern.sst.all_signatures
+        }
+    assert {"se.sys", "fs.sys"} & storage_union, (
+        "storage drivers must co-occur with graphics.sys"
+    )
+    assert top.is_high_impact(HARDFAULT_T_SLOW)

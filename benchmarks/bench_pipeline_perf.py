@@ -1,0 +1,75 @@
+"""Pipeline micro-benchmarks: throughput of each analysis stage.
+
+Not a paper table — these quantify the cost of trace generation, Wait
+Graph construction, aggregation and mining so corpus sizes can be chosen
+for a time budget (the paper processed 19,500 traces / 339 hours).
+"""
+
+from benchmarks.conftest import print_banner
+from repro.causality.mining import enumerate_meta_patterns
+from repro.sim.corpus import CorpusConfig, generate_stream
+from repro.trace.serialization import dumps_stream, loads_stream
+from repro.trace.signatures import ALL_DRIVERS
+from repro.waitgraph.aggregate import aggregate_wait_graphs
+from repro.waitgraph.builder import build_wait_graph
+
+
+def test_bench_trace_generation(benchmark):
+    config = CorpusConfig(streams=1, seed=99)
+    stream = benchmark.pedantic(
+        lambda: generate_stream(0, config), rounds=3, iterations=1
+    )
+    print_banner("Perf - one trace stream")
+    print(f"events={len(stream.events)} instances={len(stream.instances)}")
+    assert len(stream.events) > 100
+
+
+def test_bench_serialization_roundtrip(benchmark, bench_corpus):
+    stream = bench_corpus[0]
+
+    def roundtrip():
+        return loads_stream(dumps_stream(stream))
+
+    restored = benchmark(roundtrip)
+    assert restored.events == stream.events
+
+
+def test_bench_wait_graph_construction(benchmark, bench_corpus):
+    stream = max(bench_corpus, key=lambda s: len(s.instances))
+
+    def build_all():
+        return [build_wait_graph(i) for i in stream.instances]
+
+    graphs = benchmark(build_all)
+    assert len(graphs) == len(stream.instances)
+
+
+def test_bench_awg_aggregation(benchmark, bench_corpus):
+    instances = [
+        instance
+        for stream in bench_corpus[:8]
+        for instance in stream.instances
+    ]
+    graphs = [build_wait_graph(instance) for instance in instances]
+
+    def aggregate():
+        return aggregate_wait_graphs(graphs, ALL_DRIVERS)
+
+    awg = benchmark(aggregate)
+    assert awg.source_graphs == len(graphs)
+
+
+def test_bench_meta_pattern_enumeration(benchmark, bench_corpus):
+    instances = [
+        instance
+        for stream in bench_corpus[:8]
+        for instance in stream.instances
+    ]
+    graphs = [build_wait_graph(instance) for instance in instances]
+    awg = aggregate_wait_graphs(graphs, ALL_DRIVERS)
+
+    def mine():
+        return enumerate_meta_patterns(awg, k=5)
+
+    patterns = benchmark(mine)
+    assert patterns

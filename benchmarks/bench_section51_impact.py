@@ -1,0 +1,54 @@
+"""§5.1 — Impact analysis of device drivers over the whole corpus.
+
+Paper numbers: IA_wait ≈ 36.4%, IA_run ≈ 1.6%, IA_opt ≈ 26%,
+D_wait / D_waitdist ≈ 3.5.  On the synthetic corpus the *shape* must
+hold: drivers dominate wait time rather than CPU time; a substantial
+share of driver wait time is introduced by cost propagation; each
+distinct driver wait affects more than one scenario instance on average.
+"""
+
+from benchmarks.conftest import print_banner
+from repro.impact import ImpactAnalysis
+from repro.report.tables import Table, fmt_pct, fmt_ratio
+
+PAPER = {
+    "IA_wait": 0.364,
+    "IA_run": 0.016,
+    "IA_opt": 0.26,
+    "wait multiplicity": 3.5,
+}
+
+
+def test_bench_impact_analysis(benchmark, bench_corpus):
+    analysis = ImpactAnalysis(["*.sys"])
+
+    def run():
+        # Fresh analysis per round so the graph cache does not turn later
+        # rounds into lookups.
+        return ImpactAnalysis(["*.sys"]).analyze_corpus(bench_corpus)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_banner("Section 5.1 - Impact analysis on device drivers (*.sys)")
+    table = Table(["Metric", "Paper", "Measured"])
+    measured = {
+        "IA_wait": result.ia_wait,
+        "IA_run": result.ia_run,
+        "IA_opt": result.ia_opt,
+        "wait multiplicity": result.wait_multiplicity,
+    }
+    for metric, paper_value in PAPER.items():
+        if metric == "wait multiplicity":
+            table.add_row(metric, fmt_ratio(paper_value), fmt_ratio(measured[metric]))
+        else:
+            table.add_row(metric, fmt_pct(paper_value), fmt_pct(measured[metric]))
+    table.add_row("instances analyzed", "505,500", f"{result.graphs:,}")
+    print(table.render())
+
+    # Shape assertions (who wins, by roughly what factor).
+    assert result.ia_wait > 0.2, "drivers must dominate wait time"
+    assert result.ia_run < result.ia_wait / 3, "drivers must not dominate CPU"
+    assert result.ia_opt > 0.0, "cost propagation must be visible"
+    assert result.wait_multiplicity > 1.1, (
+        "distinct driver waits must affect more than one instance"
+    )

@@ -1,0 +1,73 @@
+"""Table 1 — Selected scenarios and their contrast classes.
+
+Regenerates the per-scenario instance counts and the fast/slow split
+under the vendor thresholds.  The paper's shape: every selected scenario
+has well-populated fast AND slow classes (slow-heavy for TabClose-like
+scenarios, fast-heavy for WebPageNavigation).
+"""
+
+from benchmarks.conftest import print_banner
+from repro.causality.classes import classify_instances
+from repro.evaluation.study import group_by_scenario
+from repro.report.tables import Table
+from repro.sim.workloads.registry import scenario_spec
+
+PAPER_ROWS = {
+    "AppAccessControl": (1547, 598, 772),
+    "AppNonResponsive": (631, 164, 392),
+    "BrowserFrameCreate": (1304, 437, 707),
+    "BrowserTabClose": (989, 134, 678),
+    "BrowserTabCreate": (2491, 597, 1601),
+    "BrowserTabSwitch": (2182, 1122, 914),
+    "MenuDisplay": (743, 171, 499),
+    "WebPageNavigation": (7725, 4203, 1175),
+}
+
+
+def test_bench_table1_classification(benchmark, bench_corpus):
+    grouped = group_by_scenario(bench_corpus)
+
+    def classify_all():
+        return {
+            name: classify_instances(
+                instances,
+                scenario_spec(name).t_fast,
+                scenario_spec(name).t_slow,
+                scenario=name,
+            )
+            for name, instances in grouped.items()
+        }
+
+    classes = benchmark(classify_all)
+
+    print_banner("Table 1 - Selected scenarios (paper counts in brackets)")
+    table = Table(
+        ["Scenario", "#Instances", "in {I}fast", "in {I}slow"]
+    )
+    totals = [0, 0, 0]
+    for name in sorted(classes):
+        split = classes[name]
+        paper = PAPER_ROWS.get(name, ("?", "?", "?"))
+        table.add_row(
+            name,
+            f"{split.total} [{paper[0]}]",
+            f"{len(split.fast)} [{paper[1]}]",
+            f"{len(split.slow)} [{paper[2]}]",
+        )
+        totals[0] += split.total
+        totals[1] += len(split.fast)
+        totals[2] += len(split.slow)
+    table.add_separator()
+    table.add_row("Total", *totals)
+    print(table.render())
+
+    # Shape: all eight scenarios present, each with both classes populated.
+    assert len(classes) == 8
+    for name, split in classes.items():
+        assert split.fast, f"{name} has no fast instances"
+        assert split.slow, f"{name} has no slow instances"
+    # WebPageNavigation is the most frequent scenario, as in the paper.
+    counts = {name: split.total for name, split in classes.items()}
+    assert max(counts, key=counts.get) in (
+        "WebPageNavigation", "BrowserFrameCreate",
+    )

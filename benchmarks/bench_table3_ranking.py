@@ -1,0 +1,62 @@
+"""Table 3 — Execution-time coverage of top-ranked patterns.
+
+Patterns are ranked by impact (average cost); the paper reports the
+coverage of the top 10/20/30%.  Shape: the ranking is steeply
+front-loaded — a small top fraction of patterns covers a large share of
+the pattern-attributed time (paper averages: 47.9%, 80.1%, 95.9%).
+"""
+
+from benchmarks.conftest import print_banner
+from repro.causality.ranking import coverage_curve, rank_patterns
+from repro.report.tables import Table, fmt_pct
+
+PAPER_ROWS = {
+    "AppAccessControl": (4875, 0.553, 0.911, 0.983),
+    "AppNonResponsive": (1158, 0.296, 0.392, 0.951),
+    "BrowserFrameCreate": (1933, 0.516, 0.920, 0.968),
+    "BrowserTabClose": (1075, 0.551, 0.900, 0.935),
+    "BrowserTabCreate": (5045, 0.490, 0.875, 0.970),
+    "BrowserTabSwitch": (1514, 0.423, 0.649, 0.980),
+    "MenuDisplay": (1855, 0.645, 0.865, 0.919),
+    "WebPageNavigation": (5122, 0.356, 0.893, 0.965),
+}
+
+
+def test_bench_table3_ranking(benchmark, bench_study):
+    # Benchmark the ranking + coverage computation itself.
+    all_patterns = [
+        pattern
+        for study in bench_study.scenarios.values()
+        for pattern in study.report.patterns
+    ]
+
+    def rank_and_cover():
+        ranked = rank_patterns(all_patterns)
+        return coverage_curve(ranked)
+
+    benchmark(rank_and_cover)
+
+    print_banner("Table 3 - Coverage by ranking (paper values in brackets)")
+    table = Table(["Scenario", "#Patterns", "top 10%", "top 20%", "top 30%"])
+    front_loaded = []
+    for name, study in sorted(bench_study.scenarios.items()):
+        count = study.report.pattern_count
+        top10, top20, top30 = study.ranking_coverage
+        paper = PAPER_ROWS.get(name, (0, 0, 0, 0))
+        table.add_row(
+            name,
+            f"{count} [{paper[0]}]",
+            f"{fmt_pct(top10)} [{fmt_pct(paper[1])}]",
+            f"{fmt_pct(top20)} [{fmt_pct(paper[2])}]",
+            f"{fmt_pct(top30)} [{fmt_pct(paper[3])}]",
+        )
+        if count >= 10:
+            front_loaded.append((top10, top30))
+    print(table.render())
+
+    # Shape: front-loaded ranking wherever there are enough patterns.
+    assert front_loaded, "no scenario produced enough patterns to rank"
+    average_top10 = sum(pair[0] for pair in front_loaded) / len(front_loaded)
+    average_top30 = sum(pair[1] for pair in front_loaded) / len(front_loaded)
+    assert average_top10 > 0.15, "top 10% must cover far more than 10%"
+    assert average_top30 > 0.45, "top 30% must cover far more than 30%"

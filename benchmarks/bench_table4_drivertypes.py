@@ -1,0 +1,109 @@
+"""Table 4 — Driver types involved in the top-10 patterns per scenario.
+
+Shape assertions follow the paper's three observations (§5.2.4):
+
+1. file-system and filter drivers dominate most scenarios, especially
+   AppAccessControl;
+2. MenuDisplay is dominated by network drivers;
+3. graphics patterns in AppNonResponsive co-occur with storage drivers
+   (the hard-fault signature).
+"""
+
+from benchmarks.conftest import print_banner
+from repro.evaluation.drivertypes import DRIVER_TYPE_ORDER
+from repro.report.tables import Table
+
+PAPER_ROWS = {
+    "AppAccessControl": {"FileSystem/GeneralStorage": 9, "FileSystemFilter": 9, "IOCache": 1},
+    "AppNonResponsive": {"FileSystem/GeneralStorage": 6, "FileSystemFilter": 2,
+                          "Network": 1, "StorageEncryption": 2,
+                          "DiskProtection": 1, "Graphics": 1, "ACPI": 1},
+    "BrowserFrameCreate": {"FileSystem/GeneralStorage": 7, "FileSystemFilter": 4,
+                            "Network": 2, "DiskProtection": 1},
+    "BrowserTabClose": {"FileSystem/GeneralStorage": 5, "FileSystemFilter": 6,
+                         "StorageEncryption": 2, "StorageBackup": 2},
+    "BrowserTabCreate": {"FileSystem/GeneralStorage": 5, "FileSystemFilter": 6,
+                          "Network": 3, "StorageEncryption": 2,
+                          "Graphics": 1, "Mouse": 1},
+    "BrowserTabSwitch": {"FileSystem/GeneralStorage": 6, "FileSystemFilter": 5,
+                          "Network": 3, "StorageEncryption": 1},
+    "MenuDisplay": {"FileSystem/GeneralStorage": 2, "FileSystemFilter": 3,
+                     "Network": 7, "DiskProtection": 2},
+    "WebPageNavigation": {"FileSystem/GeneralStorage": 7, "FileSystemFilter": 3,
+                           "Network": 3, "StorageEncryption": 1,
+                           "DiskProtection": 1},
+}
+
+_SHORT = {
+    "FileSystem/GeneralStorage": "FS/Stor",
+    "FileSystemFilter": "Filter",
+    "Network": "Net",
+    "StorageEncryption": "Encr",
+    "DiskProtection": "DiskProt",
+    "Graphics": "Gfx",
+    "StorageBackup": "Bkup",
+    "IOCache": "IOCache",
+    "Mouse": "Mouse",
+    "ACPI": "ACPI",
+}
+
+
+def test_bench_table4_driver_types(benchmark, bench_study):
+    from repro.evaluation.drivertypes import categorize_top_patterns
+
+    all_reports = list(bench_study.scenarios.values())
+
+    def categorize_all():
+        return [
+            categorize_top_patterns(study.report.patterns, top_n=10)
+            for study in all_reports
+        ]
+
+    benchmark(categorize_all)
+
+    print_banner(
+        "Table 4 - Driver types in top-10 patterns (paper values in brackets)"
+    )
+    headers = ["Scenario"] + [_SHORT[t] for t in DRIVER_TYPE_ORDER]
+    table = Table(headers)
+    rows = bench_study.table4_rows()
+    for name in sorted(rows):
+        counts = rows[name]
+        paper = PAPER_ROWS.get(name, {})
+        cells = [name]
+        for driver_type in DRIVER_TYPE_ORDER:
+            measured = counts.get(driver_type, 0)
+            expected = paper.get(driver_type, 0)
+            cells.append(f"{measured} [{expected}]" if expected else str(measured))
+        table.add_row(*cells)
+    print(table.render())
+
+    # Observation 1: storage + filter drivers dominate AppAccessControl.
+    access = rows.get("AppAccessControl", {})
+    storage_and_filter = (
+        access.get("FileSystem/GeneralStorage", 0)
+        + access.get("FileSystemFilter", 0)
+    )
+    other = sum(
+        count
+        for driver_type, count in access.items()
+        if driver_type not in ("FileSystem/GeneralStorage", "FileSystemFilter")
+    )
+    assert storage_and_filter >= other
+
+    # Observation 2: MenuDisplay is the most network-heavy scenario.
+    menu_net = rows.get("MenuDisplay", {}).get("Network", 0)
+    assert menu_net >= 1
+    for name, counts in rows.items():
+        if name not in ("MenuDisplay", "WebPageNavigation",
+                        "BrowserFrameCreate"):
+            assert counts.get("Network", 0) <= max(menu_net, 3)
+
+    # Observation 3: when graphics appears in AppNonResponsive patterns,
+    # storage drivers appear alongside (the hard-fault chain).
+    nonresp = rows.get("AppNonResponsive", {})
+    if nonresp.get("Graphics", 0):
+        assert (
+            nonresp.get("FileSystem/GeneralStorage", 0)
+            + nonresp.get("StorageEncryption", 0)
+        ) > 0

@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+The benches regenerate every table and figure of the paper's evaluation
+(§5) on a synthetic corpus.  Corpus size is controlled by the
+``REPRO_BENCH_STREAMS`` environment variable (default 32 streams; the
+paper used ≈19,500 — scale up when you have the time budget).
+
+The corpus and the full study result are session-scoped: the expensive
+end-to-end evaluation runs once, and each bench times one representative
+unit of its pipeline stage while printing its table from the shared
+result.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.evaluation.study import run_study
+from repro.sim.corpus import CorpusConfig, generate_corpus
+
+BENCH_STREAMS = int(os.environ.get("REPRO_BENCH_STREAMS", "32"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "20140301"))
+
+
+@pytest.fixture(scope="session")
+def bench_corpus():
+    return generate_corpus(
+        CorpusConfig(streams=BENCH_STREAMS, seed=BENCH_SEED)
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_study(bench_corpus):
+    return run_study(bench_corpus)
+
+
+def print_banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

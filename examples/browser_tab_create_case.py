@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""The paper's motivating example (§2.2): a slow BrowserTabCreate.
+
+Reconstructs Figure 1 — three drivers (fv.sys → fs.sys → se.sys), two
+lock-contention regions chained by hierarchical dependencies, six
+threads — then shows how the analysis pipeline explains it:
+
+* the thread-level Wait Graph snapshot of the slow instance (Figure 1),
+* the Aggregated Wait Graph over the slow class (Figure 2),
+* the discovered Signature Set Tuple pattern (§2.3).
+
+Run:  python examples/browser_tab_create_case.py
+"""
+
+from repro.causality import CausalityAnalysis
+from repro.report.figures import render_awg, render_wait_graph
+from repro.waitgraph.paths import critical_path
+from repro.sim.casestudy import SCENARIO, T_FAST, T_SLOW, run_case_study
+from repro.trace.signatures import ALL_DRIVERS
+from repro.waitgraph.aggregate import aggregate_wait_graphs
+from repro.waitgraph.builder import build_wait_graph
+
+
+def main() -> None:
+    print("Simulating the incident machine (encrypted storage, slow disk,")
+    print("single File Table lock, single MDU lock) ...\n")
+    result = run_case_study()
+
+    durations = ", ".join(
+        f"{instance.duration / 1000:.0f}" for instance in result.instances
+    )
+    print(f"BrowserTabCreate durations (ms): {durations}")
+    print(f"The user perceived a {result.slow_instance.duration / 1000:.0f} ms "
+          "delay on one tab creation.\n")
+
+    print("=" * 70)
+    print("Figure 1 view: the slow instance's Wait Graph")
+    print("=" * 70)
+    graph = build_wait_graph(result.slow_instance)
+    print(render_wait_graph(graph, max_depth=6))
+    print()
+
+    print("=" * 70)
+    print("The propagation chain (the paper's numbered arrows)")
+    print("=" * 70)
+    path = critical_path(graph, ALL_DRIVERS)
+    print(path.describe())
+    print()
+
+    print("=" * 70)
+    print("Figure 2 view: the Aggregated Wait Graph of the slow class")
+    print("=" * 70)
+    slow_graphs = [
+        build_wait_graph(instance)
+        for instance in result.instances
+        if instance.duration > T_SLOW
+    ]
+    awg = aggregate_wait_graphs(slow_graphs, ALL_DRIVERS)
+    print(render_awg(awg))
+    print()
+
+    print("=" * 70)
+    print("Section 2.3: the discovered contrast pattern")
+    print("=" * 70)
+    report = CausalityAnalysis(["*.sys"]).analyze(
+        result.instances, T_FAST, T_SLOW, scenario=SCENARIO
+    )
+    top = report.patterns[0]
+    print(top.sst.render())
+    print(f"\nimpact = {top.impact / 1000:.1f} ms per occurrence "
+          f"(N={top.count}); worst execution "
+          f"{top.max_single / 1000:.0f} ms > T_slow — high impact.")
+    print("\nReading the pattern: the cost of the running signatures "
+          "(storage service and decryption)\npropagates through the unwait "
+          "signatures to the wait signatures — the File Table\nand MDU "
+          "contention regions the browser threads are stuck in.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Investigating a UI hang: the paper's §5.2.4 hard-fault case.
+
+An AppNonResponsive burst freezes for seconds.  A CPU profiler sees
+almost nothing (the UI thread is *waiting*, not running); a per-lock view
+shows the GPU context lock but cannot say why its holder stalled.  The
+Wait Graph pipeline walks the chain: the UI waits on graphics.sys's GPU
+context, held by a system routine that hard-faulted, whose page-in went
+through fs.sys and se.sys to a slow disk.
+
+Run:  python examples/hard_fault_investigation.py
+"""
+
+from repro.baselines import analyze_lock_contention, profile_corpus
+from repro.causality import CausalityAnalysis
+from repro.report.figures import render_wait_graph
+from repro.report.tables import Table, fmt_pct, fmt_us
+from repro.sim.casestudy import (
+    HARDFAULT_SCENARIO,
+    HARDFAULT_T_FAST,
+    HARDFAULT_T_SLOW,
+    run_hardfault_case,
+)
+from repro.trace.signatures import ALL_DRIVERS
+from repro.waitgraph.builder import build_wait_graph
+
+
+def main() -> None:
+    print("Simulating the incident (encrypted storage, slow disk, large")
+    print("pageable graphics structure) ...\n")
+    result = run_hardfault_case()
+    hang = result.slow_instance
+    print(f"{len(result.instances)} AppNonResponsive bursts; one hung for "
+          f"{hang.duration / 1e6:.2f} s (paper's case: about 4.7 s).\n")
+
+    # ------------------------------------------------------------------
+    # What the baselines can tell us
+    # ------------------------------------------------------------------
+    profile = profile_corpus([result.stream])
+    locks = analyze_lock_contention([result.stream])
+    table = Table(["Tool", "What it reports"], title="Baseline views")
+    table.add_row(
+        "CPU profiler",
+        f"drivers use {fmt_pct(profile.component_cpu_share(ALL_DRIVERS))} "
+        "of CPU - nothing looks wrong",
+    )
+    top_lock = locks.top_locks(1)
+    if top_lock:
+        table.add_row(
+            "Lock profiler",
+            f"{top_lock[0].resource} waited "
+            f"{fmt_us(top_lock[0].total_wait)} - but why?",
+        )
+    print(table.render())
+    print()
+
+    # ------------------------------------------------------------------
+    # What the Wait Graph shows
+    # ------------------------------------------------------------------
+    print("The hanging instance's Wait Graph (who waited on whom):")
+    print(render_wait_graph(build_wait_graph(hang), max_depth=7))
+    print()
+
+    # ------------------------------------------------------------------
+    # What causality analysis distills
+    # ------------------------------------------------------------------
+    report = CausalityAnalysis(["*.sys"]).analyze(
+        result.instances,
+        HARDFAULT_T_FAST,
+        HARDFAULT_T_SLOW,
+        scenario=HARDFAULT_SCENARIO,
+    )
+    print("Top discovered contrast pattern:")
+    print(report.patterns[0].sst.render(indent="  "))
+    print("\ngraphics.sys appearing with the storage stack is the paper's")
+    print("hard-fault signature: the driver paged, and solving the fault")
+    print("cost seconds of disk and decryption time. The fix the paper")
+    print("suggests: drivers should minimize pageable memory.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Regression watch: compare two builds' traces for emerging problems.
+
+A production workflow built from the library's extension tooling:
+
+1. simulate a *baseline* build and a *candidate* build whose file-system
+   update accidentally coarsened the MDU locks (fewer locks, more
+   contention);
+2. derive performance thresholds from the baseline when no specification
+   exists (``suggest_thresholds``);
+3. run causality analysis on both and diff the discovered patterns
+   (``compare_patterns``) — emerged or regressed patterns are the release
+   blockers;
+4. dump the slow class's Aggregated Wait Graph to SVG for the bug report.
+
+Run:  python examples/regression_watch.py
+"""
+
+from dataclasses import replace
+
+from repro.causality import CausalityAnalysis
+from repro.causality.thresholds import suggest_for_instances
+from repro.evaluation.compare import compare_impact, compare_patterns
+from repro.impact import ImpactAnalysis
+from repro.report.svg import save_awg_svg
+from repro.report.tables import Table, fmt_pct
+from repro.sim.corpus import CorpusConfig, draw_machine_config, generate_corpus
+from repro.sim import corpus as corpus_module
+
+
+def build_corpus(streams, seed, mdu_locks=None):
+    """Generate a corpus; optionally force MDU lock granularity."""
+    if mdu_locks is None:
+        return generate_corpus(CorpusConfig(streams=streams, seed=seed))
+    original = corpus_module.draw_machine_config
+
+    def patched(rng):
+        return replace(original(rng), mdu_lock_count=mdu_locks)
+
+    corpus_module.draw_machine_config = patched
+    try:
+        return generate_corpus(CorpusConfig(streams=streams, seed=seed))
+    finally:
+        corpus_module.draw_machine_config = original
+
+
+def main() -> None:
+    scenario = "BrowserTabCreate"
+    print("Simulating the baseline build (8 streams) ...")
+    baseline_corpus = build_corpus(8, seed=99)
+    print("Simulating the candidate build (MDU locks coarsened to 1) ...\n")
+    candidate_corpus = build_corpus(8, seed=99, mdu_locks=1)
+
+    def instances_of(corpus):
+        return [
+            instance
+            for stream in corpus
+            for instance in stream.instances
+            if instance.scenario == scenario
+        ]
+
+    baseline_instances = instances_of(baseline_corpus)
+    candidate_instances = instances_of(candidate_corpus)
+
+    # No vendor spec? Derive thresholds from the baseline distribution.
+    suggestion = suggest_for_instances(baseline_instances)
+    print(f"Derived thresholds for {scenario}: "
+          f"T_fast={suggestion.t_fast // 1000} ms, "
+          f"T_slow={suggestion.t_slow // 1000} ms "
+          f"(from {suggestion.sample_size} baseline instances)\n")
+
+    analysis = CausalityAnalysis(["*.sys"])
+    baseline_report = analysis.analyze(
+        baseline_instances, suggestion.t_fast, suggestion.t_slow, scenario
+    )
+    candidate_report = analysis.analyze(
+        candidate_instances, suggestion.t_fast, suggestion.t_slow, scenario
+    )
+
+    # Impact movement.
+    baseline_impact = ImpactAnalysis(["*.sys"]).analyze_instances(
+        baseline_instances
+    )
+    candidate_impact = ImpactAnalysis(["*.sys"]).analyze_instances(
+        candidate_instances
+    )
+    delta = compare_impact(baseline_impact, candidate_impact)
+    table = Table(["Metric", "Baseline", "Candidate"],
+                  title="Impact movement")
+    table.add_row("IA_wait", fmt_pct(baseline_impact.ia_wait),
+                  fmt_pct(candidate_impact.ia_wait))
+    table.add_row("IA_opt", fmt_pct(baseline_impact.ia_opt),
+                  fmt_pct(candidate_impact.ia_opt))
+    print(table.render())
+    print(f"Delta: {delta.summary()}\n")
+
+    # Pattern diff.
+    comparison = compare_patterns(
+        baseline_report.patterns, candidate_report.patterns
+    )
+    print(f"Pattern diff: {comparison.summary()}")
+    for pattern in comparison.emerged[:2]:
+        print("\nEMERGED (release blocker candidate):")
+        print(pattern.sst.render(indent="  "))
+    for movement in comparison.regressed[:2]:
+        print(f"\nREGRESSED x{movement.ratio:.1f}:")
+        print(movement.sst.render(indent="  "))
+
+    if comparison.has_regressions:
+        save_awg_svg(
+            candidate_report.slow_awg,
+            "candidate_slow_awg.svg",
+            title=f"{scenario} slow class - candidate build",
+        )
+        print("\nWrote candidate_slow_awg.svg for the bug report.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""repro — trace-based performance comprehension for complex systems.
+
+A full reproduction of *"Comprehending Performance from Real-World
+Execution Traces: A Device-Driver Case"* (ASPLOS 2014): the two-step
+impact/causality analysis pipeline over ETW-shaped execution traces, a
+synthetic kernel/driver simulator standing in for the paper's proprietary
+trace corpus, baseline analyzers, and the full evaluation harness.
+
+Quickstart::
+
+    from repro import CorpusConfig, generate_corpus, ImpactAnalysis
+
+    corpus = generate_corpus(CorpusConfig(streams=10, seed=7))
+    result = ImpactAnalysis(["*.sys"]).analyze_corpus(corpus)
+    print(result.summary())
+
+See ``examples/`` for end-to-end walkthroughs and ``benchmarks/`` for the
+reproduction of every table and figure in the paper's evaluation.
+"""
+
+from repro.causality import (
+    CausalityAnalysis,
+    CausalityReport,
+    ContrastPattern,
+    SignatureSetTuple,
+    classify_instances,
+)
+from repro.errors import (
+    AnalysisError,
+    ConfigError,
+    DeadlockError,
+    ReproError,
+    SerializationError,
+    SimulationError,
+    TraceError,
+    TraceValidationError,
+    WaitGraphError,
+)
+from repro.evaluation import (
+    StudyResult,
+    compare_patterns,
+    run_study,
+    summarize_corpus,
+)
+from repro.impact import (
+    ImpactAnalysis,
+    ImpactBreakdown,
+    ImpactResult,
+    breakdown_by_module,
+)
+from repro.sim import CorpusConfig, Machine, MachineConfig, generate_corpus
+from repro.trace import (
+    ALL_DRIVERS,
+    ComponentFilter,
+    Event,
+    EventKind,
+    ScenarioInstance,
+    ThreadInfo,
+    TraceStream,
+    dump_stream,
+    load_stream,
+    validate_stream,
+)
+from repro.waitgraph import (
+    AggregatedWaitGraph,
+    WaitGraph,
+    aggregate_wait_graphs,
+    build_wait_graph,
+    critical_path,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_DRIVERS",
+    "AggregatedWaitGraph",
+    "AnalysisError",
+    "CausalityAnalysis",
+    "CausalityReport",
+    "ComponentFilter",
+    "ConfigError",
+    "ContrastPattern",
+    "CorpusConfig",
+    "DeadlockError",
+    "Event",
+    "EventKind",
+    "ImpactAnalysis",
+    "ImpactBreakdown",
+    "ImpactResult",
+    "Machine",
+    "MachineConfig",
+    "ReproError",
+    "ScenarioInstance",
+    "SerializationError",
+    "SignatureSetTuple",
+    "SimulationError",
+    "StudyResult",
+    "ThreadInfo",
+    "TraceError",
+    "TraceStream",
+    "TraceValidationError",
+    "WaitGraph",
+    "WaitGraphError",
+    "aggregate_wait_graphs",
+    "build_wait_graph",
+    "breakdown_by_module",
+    "classify_instances",
+    "compare_patterns",
+    "critical_path",
+    "dump_stream",
+    "generate_corpus",
+    "load_stream",
+    "run_study",
+    "summarize_corpus",
+    "validate_stream",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Baseline analyzers the paper contrasts against (§1, §6)."""
+
+from repro.baselines.callgraph import (
+    CallGraphProfile,
+    FunctionProfile,
+    profile_corpus,
+)
+from repro.baselines.lockcontention import (
+    LockContentionAnalysis,
+    LockProfile,
+    analyze_lock_contention,
+)
+from repro.baselines.stackmine import (
+    StackMineAnalysis,
+    StackPattern,
+    mine_stack_patterns,
+)
+
+__all__ = [
+    "CallGraphProfile",
+    "FunctionProfile",
+    "LockContentionAnalysis",
+    "LockProfile",
+    "StackMineAnalysis",
+    "StackPattern",
+    "mine_stack_patterns",
+    "analyze_lock_contention",
+    "profile_corpus",
+]

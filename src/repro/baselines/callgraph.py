@@ -1,0 +1,100 @@
+"""Call-graph profiling baseline (gprof-style, paper [14]).
+
+A classic sampling profiler sees only CPU time: it attributes each
+running sample to every frame on its callstack (inclusive time) and to
+the leaf frame (exclusive time).  The paper's §1 names this the first
+limitation of existing techniques — it covers only the call-dependency
+aspect, so wait time (96+% of the device-driver impact) is invisible.
+
+This baseline exists to reproduce that contrast: on the same corpus the
+call-graph profile reports drivers as a tiny CPU consumer while impact
+analysis shows them dominating wait time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.trace.events import EventKind
+from repro.trace.signatures import ComponentFilter
+from repro.trace.stream import TraceStream
+
+
+@dataclass
+class FunctionProfile:
+    """Per-signature CPU profile entry."""
+
+    signature: str
+    inclusive: int = 0
+    exclusive: int = 0
+    samples: int = 0
+
+
+class CallGraphProfile:
+    """A flat+inclusive CPU profile built from running events only."""
+
+    def __init__(self) -> None:
+        self._functions: Dict[str, FunctionProfile] = {}
+        self.total_cpu = 0
+
+    def add_stream(self, stream: TraceStream) -> None:
+        """Accumulate every running sample of a trace stream."""
+        for event in stream.events:
+            if event.kind is not EventKind.RUNNING:
+                continue
+            self.total_cpu += event.cost
+            seen_on_stack = set()
+            for frame in event.stack:
+                # A recursive frame contributes inclusive time once.
+                if frame not in seen_on_stack:
+                    seen_on_stack.add(frame)
+                    entry = self._entry(frame)
+                    entry.inclusive += event.cost
+            leaf = self._entry(event.leaf)
+            leaf.exclusive += event.cost
+            leaf.samples += 1
+
+    def _entry(self, signature: str) -> FunctionProfile:
+        entry = self._functions.get(signature)
+        if entry is None:
+            entry = FunctionProfile(signature)
+            self._functions[signature] = entry
+        return entry
+
+    def top_inclusive(self, count: int = 20) -> List[FunctionProfile]:
+        """Hottest functions by inclusive CPU time."""
+        return sorted(
+            self._functions.values(),
+            key=lambda entry: (-entry.inclusive, entry.signature),
+        )[:count]
+
+    def top_exclusive(self, count: int = 20) -> List[FunctionProfile]:
+        """Hottest functions by exclusive CPU time."""
+        return sorted(
+            self._functions.values(),
+            key=lambda entry: (-entry.exclusive, entry.signature),
+        )[:count]
+
+    def component_cpu_share(self, component_filter: ComponentFilter) -> float:
+        """CPU share of a component set (exclusive time of matching leaves).
+
+        This is the only impact number a CPU profiler can report for
+        device drivers — the quantity the paper measures as IA_run.
+        """
+        if not self.total_cpu:
+            return 0.0
+        matched = sum(
+            entry.exclusive
+            for entry in self._functions.values()
+            if component_filter.matches_signature(entry.signature)
+        )
+        return matched / self.total_cpu
+
+
+def profile_corpus(streams: Iterable[TraceStream]) -> CallGraphProfile:
+    """Profile every stream of a corpus."""
+    profile = CallGraphProfile()
+    for stream in streams:
+        profile.add_stream(stream)
+    return profile

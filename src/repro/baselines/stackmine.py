@@ -1,0 +1,117 @@
+"""StackMine-style costly-pattern mining baseline (paper [16], §6).
+
+StackMine — the authors' prior work this paper complements — mines costly
+*callstack patterns* from wait events: recurring within-thread stack
+shapes that account for much execution time.  It captures *within-thread*
+behaviour; the paper's contribution adds *cross-thread* contrast patterns
+(who unwaited whom, what ran meanwhile).
+
+This simplified implementation clusters the slow class's wait events by
+the component-frame suffix of their callstacks and ranks clusters by
+total cost.  Comparing its output with the causality analysis on the same
+instances shows exactly what the cross-thread view adds: StackMine sees
+``fv.sys!QueryFileTable`` waits are expensive, but only the Signature Set
+Tuple links them to the MDU region and the storage stack below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.trace.events import EventKind
+from repro.trace.signatures import ComponentFilter
+from repro.trace.stream import ScenarioInstance
+
+
+@dataclass
+class StackPattern:
+    """A recurring costly callstack shape among wait events."""
+
+    suffix: Tuple[str, ...]  # component-relevant stack suffix
+    total_cost: int = 0
+    occurrences: int = 0
+    max_cost: int = 0
+
+    @property
+    def mean_cost(self) -> float:
+        return self.total_cost / self.occurrences if self.occurrences else 0.0
+
+    @property
+    def label(self) -> str:
+        return " / ".join(self.suffix)
+
+
+def _component_suffix(
+    stack: Sequence[str], component_filter: ComponentFilter
+) -> Tuple[str, ...]:
+    """The stack suffix starting at the outermost component frame.
+
+    ``(Browser!TabCreate, kernel!OpenFile, fv.sys!Q, kernel!AcquireLock)``
+    with filter ``*.sys`` yields ``(fv.sys!Q, kernel!AcquireLock)``.
+    """
+    for index, frame in enumerate(stack):
+        if component_filter.matches_signature(frame):
+            return tuple(stack[index:])
+    return ()
+
+
+class StackMineAnalysis:
+    """Within-thread costly-pattern mining over wait events."""
+
+    def __init__(self, component_patterns: Sequence[str] = ("*.sys",)):
+        self.component_filter = ComponentFilter(component_patterns)
+        self._patterns: Dict[Tuple[str, ...], StackPattern] = {}
+        self.total_wait_cost = 0
+
+    def add_instances(self, instances: Iterable[ScenarioInstance]) -> None:
+        """Mine the wait events inside the given instances' windows."""
+        for instance in instances:
+            stream = instance.stream
+            for event in stream.events_of_thread(
+                instance.tid, instance.t0, instance.t1
+            ):
+                self._add_event(event)
+
+    def add_events(self, events: Iterable) -> None:
+        for event in events:
+            self._add_event(event)
+
+    def _add_event(self, event) -> None:
+        if event.kind is not EventKind.WAIT:
+            return
+        suffix = _component_suffix(event.stack, self.component_filter)
+        if not suffix:
+            return
+        pattern = self._patterns.get(suffix)
+        if pattern is None:
+            pattern = StackPattern(suffix)
+            self._patterns[suffix] = pattern
+        pattern.total_cost += event.cost
+        pattern.occurrences += 1
+        pattern.max_cost = max(pattern.max_cost, event.cost)
+        self.total_wait_cost += event.cost
+
+    def top_patterns(self, count: int = 10) -> List[StackPattern]:
+        """Costliest stack patterns, highest total cost first."""
+        return sorted(
+            self._patterns.values(),
+            key=lambda pattern: (-pattern.total_cost, pattern.suffix),
+        )[:count]
+
+    def coverage_of_top(self, count: int = 10) -> float:
+        """Share of total mined wait cost the top patterns explain."""
+        if not self.total_wait_cost:
+            return 0.0
+        covered = sum(p.total_cost for p in self.top_patterns(count))
+        return covered / self.total_wait_cost
+
+
+def mine_stack_patterns(
+    instances: Iterable[ScenarioInstance],
+    component_patterns: Sequence[str] = ("*.sys",),
+) -> StackMineAnalysis:
+    """Run the StackMine-style baseline over scenario instances."""
+    analysis = StackMineAnalysis(component_patterns)
+    analysis.add_instances(instances)
+    return analysis

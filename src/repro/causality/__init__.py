@@ -1,0 +1,51 @@
+"""Causality analysis: contrast data mining over Aggregated Wait Graphs (§4)."""
+
+from repro.causality.analyzer import CausalityAnalysis, CausalityReport
+from repro.causality.classes import ContrastClasses, classify_instances
+from repro.causality.filtering import (
+    ByDesignKnowledge,
+    FilteredPatterns,
+    filter_by_design,
+)
+from repro.causality.mining import (
+    ContrastCriteria,
+    ContrastPattern,
+    DEFAULT_SEGMENT_BOUND,
+    PatternStats,
+    discover_contrast_meta_patterns,
+    enumerate_meta_patterns,
+    extract_contrast_patterns,
+)
+from repro.causality.ranking import coverage_curve, coverage_of_top, rank_patterns
+from repro.causality.sst import SignatureSetTuple
+from repro.causality.thresholds import (
+    ThresholdSuggestion,
+    suggest_for_corpus,
+    suggest_for_instances,
+    suggest_thresholds,
+)
+
+__all__ = [
+    "ByDesignKnowledge",
+    "CausalityAnalysis",
+    "CausalityReport",
+    "ContrastClasses",
+    "ContrastCriteria",
+    "ContrastPattern",
+    "DEFAULT_SEGMENT_BOUND",
+    "FilteredPatterns",
+    "filter_by_design",
+    "PatternStats",
+    "SignatureSetTuple",
+    "ThresholdSuggestion",
+    "suggest_for_corpus",
+    "suggest_for_instances",
+    "suggest_thresholds",
+    "classify_instances",
+    "coverage_curve",
+    "coverage_of_top",
+    "discover_contrast_meta_patterns",
+    "enumerate_meta_patterns",
+    "extract_contrast_patterns",
+    "rank_patterns",
+]

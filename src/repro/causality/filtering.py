@@ -1,0 +1,108 @@
+"""By-design behaviour filtering (paper §5.2.5).
+
+The paper observes false positives: some drivers are *designed* to block
+(the Disk Protection driver halts all disk IO when the machine is in
+motion), so their appearance in contrast patterns is expected behaviour,
+not a problem.  It suggests "incorporat[ing] such knowledge to filter
+out some known and exceptional cases" — this module is that knowledge
+base: analysts register by-design signatures or whole driver modules,
+and discovered patterns are annotated or filtered accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.causality.mining import ContrastPattern
+from repro.trace.signatures import module_of
+
+#: Driver modules the paper's study identified as by-design blockers.
+DEFAULT_BY_DESIGN_MODULES: Tuple[str, ...] = ("dp.sys",)
+
+
+@dataclass
+class ByDesignKnowledge:
+    """Analyst knowledge of expected (non-problematic) driver behaviour.
+
+    ``modules`` marks entire drivers as by-design blockers; ``signatures``
+    marks individual functions (e.g. a legitimate flush barrier inside an
+    otherwise interesting driver).
+    """
+
+    modules: Set[str] = field(default_factory=set)
+    signatures: Set[str] = field(default_factory=set)
+
+    @classmethod
+    def default(cls) -> "ByDesignKnowledge":
+        """The knowledge base seeded with the paper's known case."""
+        return cls(modules=set(DEFAULT_BY_DESIGN_MODULES))
+
+    def add_module(self, module: str) -> None:
+        self.modules.add(module.lower())
+
+    def add_signature(self, signature: str) -> None:
+        self.signatures.add(signature)
+
+    def explains(self, pattern: ContrastPattern) -> bool:
+        """True when every *wait* signature of the pattern is by-design.
+
+        A pattern is only excused when all of its blocking behaviour is
+        expected; a by-design driver appearing alongside an unexplained
+        contention region still deserves inspection.
+        """
+        waits = pattern.sst.wait_signatures
+        if not waits:
+            return False
+        for signature in waits:
+            if signature in self.signatures:
+                continue
+            if module_of(signature).lower() in self.modules:
+                continue
+            return False
+        return True
+
+    def touches(self, pattern: ContrastPattern) -> bool:
+        """True when any signature of the pattern is by-design."""
+        for signature in pattern.sst.all_signatures:
+            if signature in self.signatures:
+                return True
+            if module_of(signature).lower() in self.modules:
+                return True
+        return False
+
+
+@dataclass(frozen=True)
+class FilteredPatterns:
+    """Partition of discovered patterns by the knowledge base."""
+
+    actionable: List[ContrastPattern]
+    by_design: List[ContrastPattern]
+    flagged: List[ContrastPattern]  # actionable but touching by-design code
+
+    @property
+    def suppressed_count(self) -> int:
+        return len(self.by_design)
+
+
+def filter_by_design(
+    patterns: Sequence[ContrastPattern],
+    knowledge: ByDesignKnowledge,
+) -> FilteredPatterns:
+    """Split patterns into actionable / by-design / flagged groups.
+
+    Ordering within each group follows the input (keep them ranked).
+    """
+    actionable: List[ContrastPattern] = []
+    by_design: List[ContrastPattern] = []
+    flagged: List[ContrastPattern] = []
+    for pattern in patterns:
+        if knowledge.explains(pattern):
+            by_design.append(pattern)
+            continue
+        actionable.append(pattern)
+        if knowledge.touches(pattern):
+            flagged.append(pattern)
+    return FilteredPatterns(
+        actionable=actionable, by_design=by_design, flagged=flagged
+    )

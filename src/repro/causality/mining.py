@@ -1,0 +1,225 @@
+"""Contrast-pattern mining over Aggregated Wait Graphs (paper §4.2.3).
+
+Three steps:
+
+1. **Meta-pattern enumeration** — enumerate every path segment of length
+   1..k in each class's AWG (k bounds the cost; the paper uses 5) and
+   collect Signature Set Tuples, aggregating ``P.C`` and ``P.N`` over
+   segments sharing an SST.
+2. **Meta-pattern contrast discovery** — a meta-pattern is a contrast if
+   it appears only in the slow class, or if it is common but its average
+   cost ratio exceeds ``T_slow / T_fast``.
+3. **Contrast-pattern extraction** — compute the SST of every full
+   root-to-leaf path of the slow AWG; select paths containing any
+   contrast meta-pattern; merge identical SSTs (different propagation
+   orders of the same problem) and rank by average cost ``P.C / P.N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.causality.sst import SignatureSetTuple
+from repro.errors import AnalysisError
+from repro.waitgraph.aggregate import AggregatedWaitGraph, AwgNode
+
+DEFAULT_SEGMENT_BOUND = 5
+
+
+@dataclass
+class PatternStats:
+    """Aggregated cost/occurrence statistics for one SST."""
+
+    cost: int = 0
+    count: int = 0
+    max_single: int = 0
+
+    def add(self, cost: int, count: int, max_single: int) -> None:
+        self.cost += cost
+        self.count += count
+        if max_single > self.max_single:
+            self.max_single = max_single
+
+    @property
+    def mean_cost(self) -> float:
+        """``P.C / P.N`` — the paper's pattern impact measure."""
+        return self.cost / self.count if self.count else 0.0
+
+
+MetaPatterns = Dict[SignatureSetTuple, PatternStats]
+
+
+def _ancestor_chain(node: AwgNode, length: int) -> List[AwgNode]:
+    """The path segment of ``length`` nodes ending at ``node`` (or fewer
+    when the trie is shallower)."""
+    chain: List[AwgNode] = []
+    current: AwgNode = node
+    while current is not None and len(chain) < length:
+        chain.append(current)
+        current = current.parent
+    chain.reverse()
+    return chain
+
+
+def enumerate_meta_patterns(
+    awg: AggregatedWaitGraph, k: int = DEFAULT_SEGMENT_BOUND
+) -> MetaPatterns:
+    """Collect meta-patterns from all path segments of length 1..k.
+
+    A segment's metric is its end node's (Definition 4), so for each node
+    we enumerate the k segments ending there — one per length — and add
+    the node's ``C``/``N`` under each resulting SST.
+    """
+    if k < 1:
+        raise AnalysisError("segment length bound k must be >= 1")
+    patterns: MetaPatterns = {}
+    for node in awg.nodes():
+        chain = _ancestor_chain(node, k)
+        # Segments ending at `node`, shortest first: chain[-1:], chain[-2:], ...
+        for length in range(1, len(chain) + 1):
+            segment = chain[len(chain) - length :]
+            sst = SignatureSetTuple.from_segment(segment)
+            stats = patterns.get(sst)
+            if stats is None:
+                stats = PatternStats()
+                patterns[sst] = stats
+            stats.add(node.cost, node.count, node.max_single)
+    return patterns
+
+
+@dataclass(frozen=True)
+class ContrastCriteria:
+    """Why a meta-pattern was selected as a contrast."""
+
+    slow_only: bool
+    cost_ratio: float
+
+
+def discover_contrast_meta_patterns(
+    slow_patterns: MetaPatterns,
+    fast_patterns: MetaPatterns,
+    t_fast: int,
+    t_slow: int,
+) -> Dict[SignatureSetTuple, ContrastCriteria]:
+    """Select contrast meta-patterns by the paper's two criteria.
+
+    1. the pattern appears in the slow class but not in the fast class;
+    2. it appears in both, but its average cost in the slow class exceeds
+       the fast class's by more than ``T_slow / T_fast``.
+    """
+    threshold_ratio = t_slow / t_fast
+    contrasts: Dict[SignatureSetTuple, ContrastCriteria] = {}
+    for sst, slow_stats in slow_patterns.items():
+        fast_stats = fast_patterns.get(sst)
+        if fast_stats is None or fast_stats.count == 0:
+            contrasts[sst] = ContrastCriteria(
+                slow_only=True, cost_ratio=float("inf")
+            )
+            continue
+        fast_mean = fast_stats.mean_cost
+        if fast_mean <= 0:
+            continue
+        ratio = slow_stats.mean_cost / fast_mean
+        if ratio > threshold_ratio:
+            contrasts[sst] = ContrastCriteria(slow_only=False, cost_ratio=ratio)
+    return contrasts
+
+
+@dataclass
+class ContrastPattern:
+    """A discovered contrast pattern: a full-path SST with its metrics."""
+
+    sst: SignatureSetTuple
+    cost: int
+    count: int
+    max_single: int
+    matched_meta_patterns: int
+
+    @property
+    def impact(self) -> float:
+        """Average execution cost ``P.C / P.N`` (the ranking key)."""
+        return self.cost / self.count if self.count else 0.0
+
+    def is_high_impact(self, t_slow: int) -> bool:
+        """The §5.2.1 automated rule: some single execution exceeded T_slow."""
+        return self.max_single > t_slow
+
+
+class _MetaIndex:
+    """Inverted index over contrast meta-patterns for fast containment.
+
+    A full-path SST can only contain a meta-pattern whose signatures all
+    appear in the path's signature union; indexing each meta-pattern by
+    one of its signatures shrinks the candidate set from thousands to the
+    handful sharing a signature with the path.
+    """
+
+    def __init__(self, metas: Iterable[SignatureSetTuple]):
+        self._by_signature: Dict[str, List[SignatureSetTuple]] = {}
+        self._empty: List[SignatureSetTuple] = []
+        for meta in metas:
+            union = meta.all_signatures
+            if not union:
+                self._empty.append(meta)
+                continue
+            anchor = min(union)  # deterministic representative
+            self._by_signature.setdefault(anchor, []).append(meta)
+
+    def candidates(
+        self, path_sst: SignatureSetTuple
+    ) -> Iterable[SignatureSetTuple]:
+        seen: Set[int] = set()
+        for signature in path_sst.all_signatures:
+            for meta in self._by_signature.get(signature, ()):
+                if id(meta) not in seen:
+                    seen.add(id(meta))
+                    yield meta
+        yield from self._empty
+
+
+def extract_contrast_patterns(
+    slow_awg: AggregatedWaitGraph,
+    contrast_metas: Dict[SignatureSetTuple, ContrastCriteria],
+) -> List[ContrastPattern]:
+    """Lift contrast meta-patterns to full-path contrast patterns.
+
+    Every root-to-leaf path of the slow AWG is one trie leaf; identical
+    SSTs from different leaves merge their ``P.C``/``P.N`` — multiple
+    cost-propagation orders of the same underlying problem collapse into
+    one pattern (Definition 5 rationale).
+    """
+    index = _MetaIndex(contrast_metas.keys())
+    merged: Dict[SignatureSetTuple, ContrastPattern] = {}
+    for leaf in slow_awg.leaves():
+        chain = _ancestor_chain(leaf, 1 << 30)  # full path to the root
+        path_sst = SignatureSetTuple.from_segment(chain)
+        matches = sum(
+            1
+            for meta in index.candidates(path_sst)
+            if path_sst.contains(meta)
+        )
+        if not matches:
+            continue
+        # A single "execution" of the pattern is one occurrence of the
+        # path; its observed delay is the root node's cost (wait costs
+        # nest their children), which is what the §5.2.1 high-impact
+        # rule compares against T_slow.
+        root_max_single = chain[0].max_single
+        existing = merged.get(path_sst)
+        if existing is None:
+            merged[path_sst] = ContrastPattern(
+                sst=path_sst,
+                cost=leaf.cost,
+                count=leaf.count,
+                max_single=root_max_single,
+                matched_meta_patterns=matches,
+            )
+        else:
+            existing.cost += leaf.cost
+            existing.count += leaf.count
+            existing.max_single = max(existing.max_single, root_max_single)
+            existing.matched_meta_patterns = max(
+                existing.matched_meta_patterns, matches
+            )
+    return list(merged.values())

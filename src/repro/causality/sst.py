@@ -1,0 +1,93 @@
+"""Signature Set Tuples (paper Definition 5).
+
+A Signature Set Tuple (SST) generalizes the runtime interactions along a
+path segment of an Aggregated Wait Graph into three signature sets:
+
+* the **wait** set — signatures that caused threads to suspend;
+* the **unwait** set — signatures that signalled suspended threads;
+* the **running** set — signatures of the running (or hardware-service)
+  operations whose cost propagated through the unwait→wait direction.
+
+Sets (rather than sequences) deliberately merge execution-order variants
+of the same propagation structure: two drivers contending a resource held
+by a third produce the same SST regardless of who acquired it first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Sequence, Tuple
+
+from repro.waitgraph.aggregate import HARDWARE, RUNNING, WAITING, AwgNode
+
+
+@dataclass(frozen=True)
+class SignatureSetTuple:
+    """The three-set pattern representation of causality analysis."""
+
+    wait_signatures: FrozenSet[str]
+    unwait_signatures: FrozenSet[str]
+    running_signatures: FrozenSet[str]
+
+    @classmethod
+    def from_segment(cls, segment: Sequence[AwgNode]) -> "SignatureSetTuple":
+        """Build the SST of a path segment: ``⟨⋃v.w, ⋃v.u, ⋃v.r⟩``."""
+        waits = set()
+        unwaits = set()
+        runnings = set()
+        for node in segment:
+            if node.status == WAITING:
+                if node.wait_sig:
+                    waits.add(node.wait_sig)
+                if node.unwait_sig:
+                    unwaits.add(node.unwait_sig)
+            elif node.status in (RUNNING, HARDWARE):
+                if node.run_sig:
+                    runnings.add(node.run_sig)
+        return cls(frozenset(waits), frozenset(unwaits), frozenset(runnings))
+
+    def contains(self, other: "SignatureSetTuple") -> bool:
+        """Component-wise superset test (used to match meta-patterns)."""
+        return (
+            other.wait_signatures <= self.wait_signatures
+            and other.unwait_signatures <= self.unwait_signatures
+            and other.running_signatures <= self.running_signatures
+        )
+
+    @property
+    def all_signatures(self) -> FrozenSet[str]:
+        """Union of the three sets (used for driver-type categorization)."""
+        return (
+            self.wait_signatures
+            | self.unwait_signatures
+            | self.running_signatures
+        )
+
+    @property
+    def size(self) -> int:
+        """Total number of signatures across the three sets."""
+        return (
+            len(self.wait_signatures)
+            + len(self.unwait_signatures)
+            + len(self.running_signatures)
+        )
+
+    def render(self, indent: str = "") -> str:
+        """Multi-line rendering in the paper's §2.3 presentation style."""
+
+        def fmt(signatures: Iterable[str]) -> str:
+            return "{" + ", ".join(sorted(signatures)) + "}"
+
+        return (
+            f"{indent}wait signatures    : {fmt(self.wait_signatures)}\n"
+            f"{indent}unwait signatures  : {fmt(self.unwait_signatures)}\n"
+            f"{indent}running signatures : {fmt(self.running_signatures)}"
+        )
+
+    def sort_key(self) -> Tuple:
+        """Deterministic ordering key (for stable reports and tests)."""
+        return (
+            tuple(sorted(self.wait_signatures)),
+            tuple(sorted(self.unwait_signatures)),
+            tuple(sorted(self.running_signatures)),
+        )

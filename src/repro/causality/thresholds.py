@@ -1,0 +1,134 @@
+"""Threshold suggestion for contrast classification.
+
+The paper requires developers to specify ``T_fast`` and ``T_slow`` per
+scenario as part of the performance specification.  When no specification
+exists yet (a new scenario, an unfamiliar codebase), analysts need a
+starting point; this module derives candidate thresholds from the
+observed duration distribution while preserving the paper's requirements:
+``T_fast < T_slow`` with a wide gap (``T_slow - T_fast >> 0``) so the
+contrast classes stay unambiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.errors import AnalysisError
+from repro.trace.stream import ScenarioInstance
+
+
+@dataclass(frozen=True)
+class ThresholdSuggestion:
+    """Suggested performance thresholds with their provenance."""
+
+    scenario: str
+    t_fast: int
+    t_slow: int
+    sample_size: int
+    fast_fraction: float   # instances below t_fast in the sample
+    slow_fraction: float   # instances above t_slow in the sample
+
+    @property
+    def gap(self) -> int:
+        return self.t_slow - self.t_fast
+
+
+def _percentile(ordered: Sequence[int], fraction: float) -> int:
+    index = min(len(ordered) - 1, int(len(ordered) * fraction))
+    return ordered[index]
+
+
+def suggest_thresholds(
+    durations: Iterable[int],
+    scenario: str = "",
+    fast_quantile: float = 0.40,
+    slow_quantile: float = 0.70,
+    min_gap_ratio: float = 1.5,
+) -> ThresholdSuggestion:
+    """Suggest ``(T_fast, T_slow)`` from observed durations.
+
+    ``T_fast`` lands at the ``fast_quantile`` of the distribution (the
+    bulk of normal executions fall below it) and ``T_slow`` at the
+    ``slow_quantile``, then is pushed up until ``T_slow >= min_gap_ratio
+    * T_fast`` so the classes cannot blur together on a tight
+    distribution.
+    """
+    ordered = sorted(durations)
+    if len(ordered) < 10:
+        raise AnalysisError(
+            f"threshold suggestion needs at least 10 durations, got "
+            f"{len(ordered)}"
+        )
+    if not 0.0 < fast_quantile < slow_quantile < 1.0:
+        raise AnalysisError(
+            "quantiles must satisfy 0 < fast < slow < 1, got "
+            f"{fast_quantile}/{slow_quantile}"
+        )
+    t_fast = max(1, _percentile(ordered, fast_quantile))
+    t_slow = max(
+        _percentile(ordered, slow_quantile),
+        round(t_fast * min_gap_ratio),
+    )
+    if t_slow <= t_fast:  # defensive: degenerate distributions
+        t_slow = t_fast + max(1, t_fast // 2)
+    fast_count = sum(1 for value in ordered if value < t_fast)
+    slow_count = sum(1 for value in ordered if value > t_slow)
+    return ThresholdSuggestion(
+        scenario=scenario,
+        t_fast=t_fast,
+        t_slow=t_slow,
+        sample_size=len(ordered),
+        fast_fraction=fast_count / len(ordered),
+        slow_fraction=slow_count / len(ordered),
+    )
+
+
+def suggest_for_instances(
+    instances: Sequence[ScenarioInstance],
+    fast_quantile: float = 0.40,
+    slow_quantile: float = 0.70,
+) -> ThresholdSuggestion:
+    """Suggest thresholds for one scenario's instances."""
+    if not instances:
+        raise AnalysisError("no instances to derive thresholds from")
+    scenarios = {instance.scenario for instance in instances}
+    if len(scenarios) != 1:
+        raise AnalysisError(
+            f"instances span multiple scenarios: {sorted(scenarios)}"
+        )
+    return suggest_thresholds(
+        (instance.duration for instance in instances),
+        scenario=instances[0].scenario,
+        fast_quantile=fast_quantile,
+        slow_quantile=slow_quantile,
+    )
+
+
+def suggest_for_corpus(
+    streams,
+    fast_quantile: float = 0.40,
+    slow_quantile: float = 0.70,
+    min_samples: int = 10,
+) -> List[ThresholdSuggestion]:
+    """Suggest thresholds for every sufficiently-sampled scenario."""
+    durations = {}
+    for stream in streams:
+        for instance in stream.instances:
+            durations.setdefault(instance.scenario, []).append(
+                instance.duration
+            )
+    suggestions = []
+    for scenario in sorted(durations):
+        values = durations[scenario]
+        if len(values) < min_samples:
+            continue
+        suggestions.append(
+            suggest_thresholds(
+                values,
+                scenario=scenario,
+                fast_quantile=fast_quantile,
+                slow_quantile=slow_quantile,
+            )
+        )
+    return suggestions

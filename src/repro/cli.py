@@ -1,0 +1,389 @@
+"""Command-line interface.
+
+Subcommands cover the full workflow a performance analyst would run:
+
+* ``repro generate`` — synthesize a trace corpus to JSONL;
+* ``repro validate`` — check trace files against the schema invariants;
+* ``repro impact``   — impact analysis over a corpus (§3);
+* ``repro causality``— causality analysis of one scenario (§4);
+* ``repro study``    — the full evaluation: Tables 1–4 (§5);
+* ``repro thresholds`` — suggest T_fast/T_slow from observed durations;
+* ``repro compare``  — diff two corpora's patterns (regression check);
+* ``repro case``     — replay a paper case study (figure1 / hardfault).
+
+Traces are directories of ``*.jsonl`` streams as written by
+``repro generate`` (or any producer of the documented schema).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.causality import CausalityAnalysis
+from repro.causality.filtering import ByDesignKnowledge, filter_by_design
+from repro.causality.thresholds import suggest_for_corpus
+from repro.errors import ReproError
+from repro.evaluation.drivertypes import DRIVER_TYPE_ORDER
+from repro.evaluation.study import group_by_scenario, run_study
+from repro.impact import ImpactAnalysis
+from repro.report.tables import Table, fmt_pct, fmt_ratio
+from repro.sim.corpus import CorpusConfig, generate_corpus
+from repro.sim.workloads.registry import SCENARIO_NAMES, scenario_spec
+from repro.trace import dump_corpus, load_corpus, load_stream, validate_stream
+from repro.units import MILLISECONDS
+
+
+def _load_traces(path: str) -> List:
+    import os
+
+    if os.path.isdir(path):
+        streams = list(load_corpus(path))
+    else:
+        streams = [load_stream(path)]
+    if not streams:
+        raise ReproError(f"no trace streams found at {path!r}")
+    return streams
+
+
+# ---------------------------------------------------------------------------
+# Subcommand handlers
+# ---------------------------------------------------------------------------
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    config = CorpusConfig(streams=args.streams, seed=args.seed)
+    print(f"Generating {args.streams} streams (seed {args.seed}) ...")
+    corpus = generate_corpus(config)
+    paths = dump_corpus(corpus, args.out)
+    events = sum(len(stream.events) for stream in corpus)
+    instances = sum(len(stream.instances) for stream in corpus)
+    print(
+        f"Wrote {len(paths)} streams ({events} events, "
+        f"{instances} scenario instances) to {args.out}"
+    )
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    streams = _load_traces(args.traces)
+    failures = 0
+    for stream in streams:
+        try:
+            validate_stream(stream)
+            print(f"ok      {stream.stream_id} ({len(stream.events)} events)")
+        except ReproError as error:
+            failures += 1
+            print(f"INVALID {stream.stream_id}: {error}")
+    return 1 if failures else 0
+
+
+def cmd_impact(args: argparse.Namespace) -> int:
+    streams = _load_traces(args.traces)
+    scenarios = args.scenario if args.scenario else None
+    result = ImpactAnalysis(args.components).analyze_corpus(
+        streams, scenarios=scenarios
+    )
+    table = Table(
+        ["Metric", "Value"],
+        title=f"Impact of {', '.join(args.components)}",
+    )
+    table.add_row("instances", result.graphs)
+    table.add_row("IA_wait", fmt_pct(result.ia_wait))
+    table.add_row("IA_run", fmt_pct(result.ia_run))
+    table.add_row("IA_opt", fmt_pct(result.ia_opt))
+    table.add_row("D_wait/D_waitdist", fmt_ratio(result.wait_multiplicity))
+    print(table.render())
+    return 0
+
+
+def cmd_causality(args: argparse.Namespace) -> int:
+    streams = _load_traces(args.traces)
+    instances = [
+        instance
+        for stream in streams
+        for instance in stream.instances
+        if instance.scenario == args.scenario
+    ]
+    if not instances:
+        known = sorted(
+            {i.scenario for s in streams for i in s.instances}
+        )
+        print(
+            f"no instances of {args.scenario!r}; scenarios present: "
+            + ", ".join(known),
+            file=sys.stderr,
+        )
+        return 1
+
+    if args.t_fast and args.t_slow:
+        t_fast = args.t_fast * MILLISECONDS
+        t_slow = args.t_slow * MILLISECONDS
+    elif args.scenario in SCENARIO_NAMES:
+        spec = scenario_spec(args.scenario)
+        t_fast, t_slow = spec.t_fast, spec.t_slow
+    else:
+        print(
+            "unknown scenario: pass --t-fast and --t-slow (milliseconds)",
+            file=sys.stderr,
+        )
+        return 1
+
+    analysis = CausalityAnalysis(args.components, segment_bound=args.k)
+    report = analysis.analyze(
+        instances, t_fast, t_slow, scenario=args.scenario
+    )
+    print(report.summary())
+    patterns = report.patterns
+    if args.filter_by_design:
+        filtered = filter_by_design(patterns, ByDesignKnowledge.default())
+        print(
+            f"by-design filtering suppressed {filtered.suppressed_count} "
+            f"patterns, flagged {len(filtered.flagged)}"
+        )
+        patterns = filtered.actionable
+    print()
+    for rank, pattern in enumerate(patterns[: args.top], start=1):
+        marker = "HIGH" if pattern.is_high_impact(t_slow) else "    "
+        print(
+            f"#{rank} {marker} impact={pattern.impact / 1000:.1f}ms "
+            f"N={pattern.count} worst={pattern.max_single / 1000:.0f}ms"
+        )
+        print(pattern.sst.render(indent="      "))
+        print()
+    return 0
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    streams = _load_traces(args.traces)
+    study = run_study(streams)
+    if args.markdown:
+        from repro.report.markdown import save_study_markdown
+
+        save_study_markdown(study, args.markdown)
+        print(f"wrote markdown report to {args.markdown}")
+    impact = study.impact
+
+    table = Table(["Metric", "Value"], title="Impact analysis (section 5.1)")
+    table.add_row("IA_wait", fmt_pct(impact.ia_wait))
+    table.add_row("IA_run", fmt_pct(impact.ia_run))
+    table.add_row("IA_opt", fmt_pct(impact.ia_opt))
+    table.add_row("D_wait/D_waitdist", fmt_ratio(impact.wait_multiplicity))
+    print(table.render())
+    print()
+
+    table = Table(["Scenario", "#Inst", "fast", "slow", "Driver", "ITC",
+                   "TTC", "#Pat", "top10%", "top30%"],
+                  title="Tables 1-3 combined")
+    for name, study_item in sorted(study.scenarios.items()):
+        classes = study_item.report.classes
+        coverage = study_item.coverage
+        top10, _, top30 = study_item.ranking_coverage
+        table.add_row(
+            name, classes.total, len(classes.fast), len(classes.slow),
+            fmt_pct(coverage.driver_cost_share), fmt_pct(coverage.itc),
+            fmt_pct(coverage.ttc), study_item.report.pattern_count,
+            fmt_pct(top10), fmt_pct(top30),
+        )
+    print(table.render())
+    print()
+
+    headers = ["Scenario"] + [t.split("/")[0][:8] for t in DRIVER_TYPE_ORDER]
+    table = Table(headers, title="Table 4 - Driver types in top-10 patterns")
+    for name, counts in sorted(study.table4_rows().items()):
+        table.add_row(name, *(counts.get(t, 0) for t in DRIVER_TYPE_ORDER))
+    print(table.render())
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.evaluation.compare import compare_impact, compare_patterns
+
+    baseline_streams = _load_traces(args.baseline)
+    current_streams = _load_traces(args.current)
+
+    def analyze(streams):
+        instances = [
+            instance
+            for stream in streams
+            for instance in stream.instances
+            if instance.scenario == args.scenario
+        ]
+        if not instances:
+            raise ReproError(
+                f"no instances of {args.scenario!r} in one of the corpora"
+            )
+        spec = scenario_spec(args.scenario)
+        report = CausalityAnalysis(args.components).analyze(
+            instances, spec.t_fast, spec.t_slow, scenario=args.scenario
+        )
+        impact = ImpactAnalysis(args.components).analyze_instances(instances)
+        return report, impact
+
+    baseline_report, baseline_impact = analyze(baseline_streams)
+    current_report, current_impact = analyze(current_streams)
+
+    delta = compare_impact(baseline_impact, current_impact)
+    print(f"Impact movement: {delta.summary()}")
+    comparison = compare_patterns(
+        baseline_report.patterns,
+        current_report.patterns,
+        regression_factor=args.factor,
+    )
+    print(f"Pattern diff: {comparison.summary()}")
+    for pattern in comparison.emerged[: args.top]:
+        print("\nEMERGED:")
+        print(pattern.sst.render(indent="  "))
+    for movement in comparison.regressed[: args.top]:
+        print(f"\nREGRESSED x{movement.ratio:.1f}:")
+        print(movement.sst.render(indent="  "))
+    return 1 if comparison.has_regressions else 0
+
+
+def cmd_thresholds(args: argparse.Namespace) -> int:
+    streams = _load_traces(args.traces)
+    suggestions = suggest_for_corpus(
+        streams,
+        fast_quantile=args.fast_quantile,
+        slow_quantile=args.slow_quantile,
+        min_samples=args.min_samples,
+    )
+    if not suggestions:
+        print("no scenario has enough instances for a suggestion",
+              file=sys.stderr)
+        return 1
+    table = Table(
+        ["Scenario", "T_fast (ms)", "T_slow (ms)", "samples",
+         "fast frac", "slow frac"],
+        title="Suggested performance thresholds",
+    )
+    for suggestion in suggestions:
+        table.add_row(
+            suggestion.scenario,
+            round(suggestion.t_fast / MILLISECONDS, 1),
+            round(suggestion.t_slow / MILLISECONDS, 1),
+            suggestion.sample_size,
+            f"{suggestion.fast_fraction:.0%}",
+            f"{suggestion.slow_fraction:.0%}",
+        )
+    print(table.render())
+    return 0
+
+
+def cmd_case(args: argparse.Namespace) -> int:
+    from repro.report.figures import render_wait_graph
+    from repro.sim import casestudy
+    from repro.waitgraph.builder import build_wait_graph
+
+    if args.name == "figure1":
+        result = casestudy.run_case_study()
+        t_fast, t_slow = casestudy.T_FAST, casestudy.T_SLOW
+        scenario = casestudy.SCENARIO
+    else:
+        result = casestudy.run_hardfault_case()
+        t_fast, t_slow = casestudy.HARDFAULT_T_FAST, casestudy.HARDFAULT_T_SLOW
+        scenario = casestudy.HARDFAULT_SCENARIO
+
+    print(
+        f"{scenario}: slow instance took "
+        f"{result.slow_instance.duration / 1000:.0f} ms\n"
+    )
+    print(render_wait_graph(build_wait_graph(result.slow_instance),
+                            max_depth=7))
+    report = CausalityAnalysis(["*.sys"]).analyze(
+        result.instances, t_fast, t_slow, scenario=scenario
+    )
+    if report.patterns:
+        print("\nTop discovered pattern:")
+        print(report.patterns[0].sst.render())
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Trace-based performance comprehension (ASPLOS'14 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="synthesize a corpus")
+    generate.add_argument("--streams", type=int, default=16)
+    generate.add_argument("--seed", type=int, default=20140301)
+    generate.add_argument("--out", required=True, metavar="DIR")
+    generate.set_defaults(handler=cmd_generate)
+
+    validate = subparsers.add_parser("validate", help="validate trace files")
+    validate.add_argument("traces", metavar="DIR_OR_FILE")
+    validate.set_defaults(handler=cmd_validate)
+
+    impact = subparsers.add_parser("impact", help="impact analysis")
+    impact.add_argument("traces", metavar="DIR_OR_FILE")
+    impact.add_argument("--components", nargs="+", default=["*.sys"])
+    impact.add_argument("--scenario", nargs="+", default=None)
+    impact.set_defaults(handler=cmd_impact)
+
+    causality = subparsers.add_parser("causality", help="causality analysis")
+    causality.add_argument("traces", metavar="DIR_OR_FILE")
+    causality.add_argument("--scenario", required=True)
+    causality.add_argument("--components", nargs="+", default=["*.sys"])
+    causality.add_argument("--t-fast", type=int, default=0,
+                           help="fast threshold in ms")
+    causality.add_argument("--t-slow", type=int, default=0,
+                           help="slow threshold in ms")
+    causality.add_argument("--k", type=int, default=5,
+                           help="segment length bound")
+    causality.add_argument("--top", type=int, default=5)
+    causality.add_argument("--filter-by-design", action="store_true")
+    causality.set_defaults(handler=cmd_causality)
+
+    study = subparsers.add_parser("study", help="full evaluation tables")
+    study.add_argument("traces", metavar="DIR_OR_FILE")
+    study.add_argument("--markdown", metavar="FILE",
+                       help="also write a markdown report")
+    study.set_defaults(handler=cmd_study)
+
+    compare = subparsers.add_parser(
+        "compare", help="diff two corpora's patterns (regression check)"
+    )
+    compare.add_argument("baseline", metavar="BASELINE_DIR")
+    compare.add_argument("current", metavar="CURRENT_DIR")
+    compare.add_argument("--scenario", required=True)
+    compare.add_argument("--components", nargs="+", default=["*.sys"])
+    compare.add_argument("--factor", type=float, default=2.0)
+    compare.add_argument("--top", type=int, default=3)
+    compare.set_defaults(handler=cmd_compare)
+
+    thresholds = subparsers.add_parser(
+        "thresholds", help="suggest T_fast/T_slow from observed durations"
+    )
+    thresholds.add_argument("traces", metavar="DIR_OR_FILE")
+    thresholds.add_argument("--fast-quantile", type=float, default=0.40)
+    thresholds.add_argument("--slow-quantile", type=float, default=0.70)
+    thresholds.add_argument("--min-samples", type=int, default=10)
+    thresholds.set_defaults(handler=cmd_thresholds)
+
+    case = subparsers.add_parser("case", help="replay a paper case study")
+    case.add_argument("name", choices=["figure1", "hardfault"])
+    case.set_defaults(handler=cmd_case)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

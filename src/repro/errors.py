@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming from this package with a single ``except`` clause
+while still distinguishing the failing subsystem by subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` library."""
+
+
+class TraceError(ReproError):
+    """A trace stream is malformed or an event violates the schema."""
+
+
+class TraceValidationError(TraceError):
+    """Raised by :mod:`repro.trace.validate` when invariants are violated."""
+
+
+class SerializationError(TraceError):
+    """A trace file could not be parsed or written."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """No runnable process remains but blocked processes still exist."""
+
+
+class WaitGraphError(ReproError):
+    """Wait Graph construction or aggregation failed."""
+
+
+class AnalysisError(ReproError):
+    """Impact or causality analysis received invalid inputs."""
+
+
+class ConfigError(ReproError):
+    """A configuration object holds contradictory or out-of-range values."""

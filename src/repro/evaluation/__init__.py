@@ -1,0 +1,54 @@
+"""Evaluation metrics and the full study driver (paper §5)."""
+
+from repro.evaluation.compare import (
+    ImpactDelta,
+    PatternComparison,
+    PatternDelta,
+    compare_impact,
+    compare_patterns,
+)
+from repro.evaluation.coverage import CoverageResult, evaluate_coverage
+from repro.evaluation.drivertypes import (
+    DRIVER_TYPES,
+    DRIVER_TYPE_ORDER,
+    categorize_top_patterns,
+    driver_modules,
+    driver_type_of,
+    types_in_sst,
+)
+from repro.evaluation.statistics import (
+    CorpusStatistics,
+    ScenarioDurationStats,
+    summarize_corpus,
+)
+from repro.evaluation.study import (
+    RANKING_FRACTIONS,
+    ScenarioStudy,
+    StudyResult,
+    group_by_scenario,
+    run_study,
+)
+
+__all__ = [
+    "CorpusStatistics",
+    "CoverageResult",
+    "ImpactDelta",
+    "PatternComparison",
+    "PatternDelta",
+    "compare_impact",
+    "compare_patterns",
+    "DRIVER_TYPES",
+    "DRIVER_TYPE_ORDER",
+    "RANKING_FRACTIONS",
+    "ScenarioStudy",
+    "StudyResult",
+    "categorize_top_patterns",
+    "driver_modules",
+    "driver_type_of",
+    "evaluate_coverage",
+    "group_by_scenario",
+    "run_study",
+    "summarize_corpus",
+    "ScenarioDurationStats",
+    "types_in_sst",
+]

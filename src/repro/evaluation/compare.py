@@ -1,0 +1,146 @@
+"""Comparing analyses across corpora (regression detection).
+
+A production use of the pipeline the paper motivates but does not
+automate: after a driver update or configuration change, compare the
+discovered patterns and impact metrics of the *new* corpus against a
+*baseline* corpus.  Patterns are matched by their Signature Set Tuple, so
+the comparison survives cosmetic changes in where delays surface:
+
+* **emerged** — patterns present only in the new corpus (a regression
+  candidate, exactly criterion 1 of the paper's contrast mining, applied
+  across corpora instead of across speed classes);
+* **resolved** — patterns that disappeared;
+* **regressed / improved** — common patterns whose impact (``P.C/P.N``)
+  moved by more than a configurable factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.causality.mining import ContrastPattern
+from repro.causality.sst import SignatureSetTuple
+from repro.errors import AnalysisError
+from repro.impact.metrics import ImpactResult
+
+
+@dataclass(frozen=True)
+class PatternDelta:
+    """One common pattern's impact movement between corpora."""
+
+    sst: SignatureSetTuple
+    baseline_impact: float
+    current_impact: float
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline_impact <= 0:
+            return float("inf")
+        return self.current_impact / self.baseline_impact
+
+
+@dataclass
+class PatternComparison:
+    """The pattern-level diff between two analyses."""
+
+    emerged: List[ContrastPattern] = field(default_factory=list)
+    resolved: List[ContrastPattern] = field(default_factory=list)
+    regressed: List[PatternDelta] = field(default_factory=list)
+    improved: List[PatternDelta] = field(default_factory=list)
+    stable: int = 0
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.emerged or self.regressed)
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.emerged)} emerged, {len(self.resolved)} resolved, "
+            f"{len(self.regressed)} regressed, {len(self.improved)} "
+            f"improved, {self.stable} stable"
+        )
+
+
+def compare_patterns(
+    baseline: Sequence[ContrastPattern],
+    current: Sequence[ContrastPattern],
+    regression_factor: float = 2.0,
+) -> PatternComparison:
+    """Diff two ranked pattern lists by SST identity and impact.
+
+    ``regression_factor`` is the impact ratio beyond which a common
+    pattern counts as regressed (current/baseline) or improved
+    (baseline/current).
+    """
+    if regression_factor <= 1.0:
+        raise AnalysisError("regression_factor must exceed 1.0")
+    baseline_by_sst: Dict[SignatureSetTuple, ContrastPattern] = {
+        pattern.sst: pattern for pattern in baseline
+    }
+    current_by_sst: Dict[SignatureSetTuple, ContrastPattern] = {
+        pattern.sst: pattern for pattern in current
+    }
+    comparison = PatternComparison()
+    for sst, pattern in current_by_sst.items():
+        old = baseline_by_sst.get(sst)
+        if old is None:
+            comparison.emerged.append(pattern)
+            continue
+        delta = PatternDelta(
+            sst=sst,
+            baseline_impact=old.impact,
+            current_impact=pattern.impact,
+        )
+        if delta.ratio > regression_factor:
+            comparison.regressed.append(delta)
+        elif delta.ratio < 1.0 / regression_factor:
+            comparison.improved.append(delta)
+        else:
+            comparison.stable += 1
+    for sst, pattern in baseline_by_sst.items():
+        if sst not in current_by_sst:
+            comparison.resolved.append(pattern)
+    # Deterministic ordering: worst movements first.
+    comparison.emerged.sort(key=lambda p: (-p.impact, p.sst.sort_key()))
+    comparison.resolved.sort(key=lambda p: (-p.impact, p.sst.sort_key()))
+    comparison.regressed.sort(key=lambda d: (-d.ratio, d.sst.sort_key()))
+    comparison.improved.sort(key=lambda d: (d.ratio, d.sst.sort_key()))
+    return comparison
+
+
+@dataclass(frozen=True)
+class ImpactDelta:
+    """Impact-metric movement between two corpora."""
+
+    baseline: ImpactResult
+    current: ImpactResult
+
+    @property
+    def ia_wait_delta(self) -> float:
+        return self.current.ia_wait - self.baseline.ia_wait
+
+    @property
+    def ia_run_delta(self) -> float:
+        return self.current.ia_run - self.baseline.ia_run
+
+    @property
+    def ia_opt_delta(self) -> float:
+        return self.current.ia_opt - self.baseline.ia_opt
+
+    def summary(self) -> str:
+        def arrow(delta: float) -> str:
+            return f"{delta:+.1%}"
+
+        return (
+            f"IA_wait {arrow(self.ia_wait_delta)}, "
+            f"IA_run {arrow(self.ia_run_delta)}, "
+            f"IA_opt {arrow(self.ia_opt_delta)}"
+        )
+
+
+def compare_impact(
+    baseline: ImpactResult, current: ImpactResult
+) -> ImpactDelta:
+    """Pair two impact results for delta reporting."""
+    return ImpactDelta(baseline=baseline, current=current)

@@ -1,0 +1,87 @@
+"""Driver-type taxonomy (paper Table 4).
+
+Maps driver modules to the categories of the paper's Table 4 and
+categorizes discovered contrast patterns by the driver types their
+signatures touch.  The paper anonymizes driver names; our simulator uses
+stable synthetic names, so the mapping is exact.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.causality.mining import ContrastPattern
+from repro.causality.sst import SignatureSetTuple
+from repro.trace.signatures import module_of
+
+#: Table 4 column order.
+DRIVER_TYPE_ORDER: List[str] = [
+    "FileSystem/GeneralStorage",
+    "FileSystemFilter",
+    "Network",
+    "StorageEncryption",
+    "DiskProtection",
+    "Graphics",
+    "StorageBackup",
+    "IOCache",
+    "Mouse",
+    "ACPI",
+]
+
+#: Module → Table 4 driver type.
+DRIVER_TYPES: Dict[str, str] = {
+    "fs.sys": "FileSystem/GeneralStorage",
+    "stor.sys": "FileSystem/GeneralStorage",
+    "fv.sys": "FileSystemFilter",
+    "av.sys": "FileSystemFilter",
+    "net.sys": "Network",
+    "tcpip.sys": "Network",
+    "se.sys": "StorageEncryption",
+    "dp.sys": "DiskProtection",
+    "graphics.sys": "Graphics",
+    "bkup.sys": "StorageBackup",
+    "iocache.sys": "IOCache",
+    "mouse.sys": "Mouse",
+    "acpi.sys": "ACPI",
+}
+
+
+def driver_type_of(module: str) -> str:
+    """The Table 4 type of a driver module ('' when not a known driver)."""
+    return DRIVER_TYPES.get(module.lower(), "")
+
+
+def types_in_sst(sst: SignatureSetTuple) -> Set[str]:
+    """The set of driver types appearing anywhere in an SST."""
+    types: Set[str] = set()
+    for signature in sst.all_signatures:
+        driver_type = driver_type_of(module_of(signature))
+        if driver_type:
+            types.add(driver_type)
+    return types
+
+
+def categorize_top_patterns(
+    patterns: Sequence[ContrastPattern], top_n: int = 10
+) -> Counter:
+    """Count how many of the top-``top_n`` patterns touch each type.
+
+    This is one row of Table 4: each cell is the number of top patterns
+    containing the corresponding type of drivers (a pattern can touch
+    several types, so the row may sum to more than ``top_n``).
+    """
+    counts: Counter = Counter()
+    for pattern in patterns[:top_n]:
+        for driver_type in types_in_sst(pattern.sst):
+            counts[driver_type] += 1
+    return counts
+
+
+def driver_modules(signatures: Iterable[str]) -> Set[str]:
+    """The driver modules (known types only) among a set of signatures."""
+    return {
+        module_of(signature)
+        for signature in signatures
+        if driver_type_of(module_of(signature))
+    }

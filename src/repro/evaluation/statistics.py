@@ -1,0 +1,94 @@
+"""Corpus summary statistics.
+
+Descriptive statistics performance analysts want before diving into the
+two-step analysis: per-scenario duration percentiles, event-kind mix,
+thread/process inventory, and per-stream instance density.  These back
+the corpus sections of EXPERIMENTS.md and the examples.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.trace.events import EventKind
+from repro.trace.stream import TraceStream
+
+
+def percentile(sorted_values: Sequence[int], fraction: float) -> int:
+    """The value at a fraction of a pre-sorted sequence (0 when empty)."""
+    if not sorted_values:
+        return 0
+    index = min(len(sorted_values) - 1, int(len(sorted_values) * fraction))
+    return sorted_values[index]
+
+
+@dataclass
+class ScenarioDurationStats:
+    """Duration distribution of one scenario's instances (microseconds)."""
+
+    scenario: str
+    count: int
+    p10: int
+    p50: int
+    p90: int
+    maximum: int
+
+    @classmethod
+    def from_durations(
+        cls, scenario: str, durations: Sequence[int]
+    ) -> "ScenarioDurationStats":
+        ordered = sorted(durations)
+        return cls(
+            scenario=scenario,
+            count=len(ordered),
+            p10=percentile(ordered, 0.10),
+            p50=percentile(ordered, 0.50),
+            p90=percentile(ordered, 0.90),
+            maximum=ordered[-1] if ordered else 0,
+        )
+
+
+@dataclass
+class CorpusStatistics:
+    """Aggregate description of a trace corpus."""
+
+    streams: int = 0
+    events: int = 0
+    instances: int = 0
+    total_span_us: int = 0
+    event_kinds: Counter = field(default_factory=Counter)
+    processes: Counter = field(default_factory=Counter)
+    scenario_durations: Dict[str, ScenarioDurationStats] = field(
+        default_factory=dict
+    )
+
+    @property
+    def instances_per_stream(self) -> float:
+        return self.instances / self.streams if self.streams else 0.0
+
+
+def summarize_corpus(streams: Iterable[TraceStream]) -> CorpusStatistics:
+    """Compute summary statistics over a corpus."""
+    stats = CorpusStatistics()
+    durations: Dict[str, List[int]] = {}
+    for stream in streams:
+        stats.streams += 1
+        stats.events += len(stream.events)
+        start, end = stream.span
+        stats.total_span_us += end - start
+        for event in stream.events:
+            stats.event_kinds[event.kind.value] += 1
+        for info in stream.threads.values():
+            stats.processes[info.process] += 1
+        for instance in stream.instances:
+            stats.instances += 1
+            durations.setdefault(instance.scenario, []).append(
+                instance.duration
+            )
+    for scenario, values in sorted(durations.items()):
+        stats.scenario_durations[scenario] = (
+            ScenarioDurationStats.from_durations(scenario, values)
+        )
+    return stats

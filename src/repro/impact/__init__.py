@@ -1,0 +1,19 @@
+"""Impact analysis: scope and measure component performance impact (§3)."""
+
+from repro.impact.analyzer import ImpactAnalysis, collect_instances
+from repro.impact.breakdown import (
+    ImpactBreakdown,
+    ModuleImpact,
+    breakdown_by_module,
+)
+from repro.impact.metrics import ImpactAccumulator, ImpactResult
+
+__all__ = [
+    "ImpactAccumulator",
+    "ImpactAnalysis",
+    "ImpactBreakdown",
+    "ImpactResult",
+    "ModuleImpact",
+    "breakdown_by_module",
+    "collect_instances",
+]

@@ -1,0 +1,157 @@
+"""Per-module impact breakdown (impact analysis "on different scopes").
+
+The paper's analyst workflow (§2.3) starts by running impact analysis on
+different scopes to find the high-impact components.  Re-running the full
+analysis once per driver module is wasteful — this module computes the
+whole per-module breakdown in a single pass over the Wait Graphs: for
+every driver module, its top-level wait time (no double counting within a
+module), distinct wait time, running time and the scenarios it affects.
+
+The per-module "top-level wait" rule mirrors §3.2 per module: a wait
+event counts for module M when M appears on its stack and no ancestor
+wait already counted for M.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.trace.events import Event, EventKind
+from repro.trace.signatures import ComponentFilter, module_of
+from repro.trace.stream import TraceStream
+from repro.waitgraph.builder import build_wait_graph
+from repro.waitgraph.graph import WaitGraph
+
+
+@dataclass
+class ModuleImpact:
+    """One driver module's accumulated impact."""
+
+    module: str
+    wait_time: int = 0
+    distinct_wait_time: int = 0
+    run_time: int = 0
+    wait_events: int = 0
+    scenarios: Set[str] = field(default_factory=set)
+    _seen_waits: Set[Tuple[str, int]] = field(default_factory=set)
+
+    @property
+    def wait_multiplicity(self) -> float:
+        if not self.distinct_wait_time:
+            return 0.0
+        return self.wait_time / self.distinct_wait_time
+
+
+def _modules_on_stack(
+    event: Event, component_filter: ComponentFilter
+) -> FrozenSet[str]:
+    return frozenset(
+        module_of(frame).lower()
+        for frame in event.stack
+        if component_filter.matches_signature(frame)
+    )
+
+
+class ImpactBreakdown:
+    """Single-pass per-module impact accounting over Wait Graphs."""
+
+    def __init__(self, component_filter: Optional[ComponentFilter] = None):
+        self.component_filter = component_filter or ComponentFilter(["*.sys"])
+        self.modules: Dict[str, ModuleImpact] = {}
+        self.total_scenario_time = 0
+        self.graphs = 0
+
+    def _module(self, name: str) -> ModuleImpact:
+        entry = self.modules.get(name)
+        if entry is None:
+            entry = ModuleImpact(name)
+            self.modules[name] = entry
+        return entry
+
+    def add_graph(self, graph: WaitGraph) -> None:
+        """Accumulate one instance's graph for every module at once.
+
+        The DFS carries the set of modules already counted on the current
+        path, so each module's nested waits are skipped exactly as the
+        single-scope analysis skips descendants of its counted waits.
+        """
+        self.graphs += 1
+        self.total_scenario_time += graph.top_level_duration
+        scenario = graph.instance.scenario
+        stream_id = graph.stream_id
+
+        stack: List[Tuple[Event, FrozenSet[str]]] = [
+            (event, frozenset()) for event in reversed(graph.roots)
+        ]
+        visited: Set[Tuple[int, FrozenSet[str]]] = set()
+        counted_runs: Set[int] = set()
+        counted_in_graph: Set[Tuple[int, str]] = set()
+        while stack:
+            event, counted_above = stack.pop()
+            state = (event.seq, counted_above)
+            if state in visited:
+                continue
+            visited.add(state)
+            modules_here = _modules_on_stack(event, self.component_filter)
+            if event.kind is EventKind.RUNNING:
+                if event.seq not in counted_runs:
+                    counted_runs.add(event.seq)
+                    for name in modules_here:
+                        entry = self._module(name)
+                        entry.run_time += event.cost
+                        entry.scenarios.add(scenario)
+                continue
+            if event.kind is not EventKind.WAIT:
+                continue
+            newly_counted = modules_here - counted_above
+            for name in newly_counted:
+                # An event counts once per (graph, module) even when the
+                # DAG reaches it along several paths — matching the
+                # single-scope analysis exactly.
+                graph_key = (event.seq, name)
+                if graph_key in counted_in_graph:
+                    continue
+                counted_in_graph.add(graph_key)
+                entry = self._module(name)
+                entry.wait_time += event.cost
+                entry.wait_events += 1
+                entry.scenarios.add(scenario)
+                key = (stream_id, event.seq)
+                if key not in entry._seen_waits:
+                    entry._seen_waits.add(key)
+                    entry.distinct_wait_time += event.cost
+            child_counted = counted_above | newly_counted
+            for child in reversed(graph.children(event)):
+                stack.append((child, child_counted))
+
+    def add_streams(self, streams: Iterable[TraceStream]) -> None:
+        """Accumulate every scenario instance of a corpus."""
+        for stream in streams:
+            for instance in stream.instances:
+                self.add_graph(build_wait_graph(instance))
+
+    def ranked(self) -> List[ModuleImpact]:
+        """Modules by wait impact, heaviest first."""
+        return sorted(
+            self.modules.values(),
+            key=lambda entry: (-entry.wait_time, entry.module),
+        )
+
+    def wait_share_of(self, module: str) -> float:
+        """One module's wait time over total scenario time."""
+        entry = self.modules.get(module.lower())
+        if entry is None or not self.total_scenario_time:
+            return 0.0
+        return entry.wait_time / self.total_scenario_time
+
+
+def breakdown_by_module(
+    streams: Sequence[TraceStream],
+    component_patterns: Sequence[str] = ("*.sys",),
+) -> ImpactBreakdown:
+    """Compute the per-module impact breakdown of a corpus."""
+    breakdown = ImpactBreakdown(ComponentFilter(component_patterns))
+    breakdown.add_streams(streams)
+    return breakdown

@@ -1,0 +1,153 @@
+"""Impact-analysis metrics (paper §3.2).
+
+The basic metrics are accumulated over every scenario instance's Wait
+Graph:
+
+* ``D_scn`` — total duration: summed time periods of top-level events;
+* ``D_wait`` — summed duration of *top-level wait events of the chosen
+  components* (a matching wait's descendants are not counted again);
+* ``D_run`` — summed duration of matching running events anywhere in the
+  graphs (overlaps with ``D_wait`` by construction);
+* ``D_waitdist`` — like ``D_wait`` but counting each distinct trace event
+  once across all graphs, deduplicated by ``(stream_id, seq)``.
+
+Derived outputs: ``IA_run = D_run / D_scn``, ``IA_wait = D_wait / D_scn``,
+``IA_opt = (D_wait - D_waitdist) / D_scn`` — the extra share introduced by
+cost propagation and an upper bound on its optimization potential.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set, Tuple
+
+from repro.trace.events import Event, EventKind
+from repro.trace.signatures import ComponentFilter
+from repro.waitgraph.graph import WaitGraph
+
+
+@dataclass
+class ImpactAccumulator:
+    """Mutable accumulator over many Wait Graphs."""
+
+    component_filter: ComponentFilter
+    d_scn: int = 0
+    d_wait: int = 0
+    d_run: int = 0
+    graphs: int = 0
+    counted_waits: int = 0
+    _distinct: Dict[Tuple[str, int], int] = field(default_factory=dict)
+    _distinct_run: Dict[Tuple[str, int], int] = field(default_factory=dict)
+
+    def add_graph(self, graph: WaitGraph) -> None:
+        """Accumulate one scenario instance's Wait Graph."""
+        self.graphs += 1
+        self.d_scn += graph.top_level_duration
+        component = self.component_filter
+        stream_id = graph.stream_id
+
+        # Iterative DFS carrying whether we are under an already-counted
+        # component wait (whose duration must not be double counted).
+        stack = [(event, False) for event in reversed(graph.roots)]
+        visited_under: Set[Tuple[int, bool]] = set()
+        counted_runs: Set[int] = set()
+        while stack:
+            event, under_counted = stack.pop()
+            state = (event.seq, under_counted)
+            if state in visited_under:
+                continue
+            visited_under.add(state)
+            matches = component.matches_stack(event.stack)
+            if event.kind is EventKind.RUNNING:
+                # Once per graph, even when the DAG reaches the sample
+                # both under and not under a counted wait.
+                if matches and event.seq not in counted_runs:
+                    counted_runs.add(event.seq)
+                    self.d_run += event.cost
+                    self._distinct_run[(stream_id, event.seq)] = event.cost
+                continue
+            if event.kind is not EventKind.WAIT:
+                continue
+            child_under = under_counted
+            if matches and not under_counted:
+                self.d_wait += event.cost
+                self.counted_waits += 1
+                self._distinct[(stream_id, event.seq)] = event.cost
+                child_under = True
+            for child in reversed(graph.children(event)):
+                stack.append((child, child_under))
+
+    @property
+    def d_waitdist(self) -> int:
+        """Total distinct-wait duration across all accumulated graphs."""
+        return sum(self._distinct.values())
+
+    @property
+    def d_rundist(self) -> int:
+        """Total distinct running duration (each sample counted once)."""
+        return sum(self._distinct_run.values())
+
+    @property
+    def distinct_waits(self) -> int:
+        """Number of distinct counted wait events."""
+        return len(self._distinct)
+
+    def result(self) -> "ImpactResult":
+        """Freeze the accumulated metrics into an :class:`ImpactResult`."""
+        return ImpactResult(
+            d_scn=self.d_scn,
+            d_wait=self.d_wait,
+            d_run=self.d_run,
+            d_waitdist=self.d_waitdist,
+            d_rundist=self.d_rundist,
+            graphs=self.graphs,
+            counted_waits=self.counted_waits,
+            distinct_waits=self.distinct_waits,
+            patterns=tuple(self.component_filter.patterns),
+        )
+
+
+@dataclass(frozen=True)
+class ImpactResult:
+    """The three output metrics of impact analysis plus their inputs."""
+
+    d_scn: int
+    d_wait: int
+    d_run: int
+    d_waitdist: int
+    d_rundist: int
+    graphs: int
+    counted_waits: int
+    distinct_waits: int
+    patterns: Tuple[str, ...]
+
+    @property
+    def ia_wait(self) -> float:
+        """Wait percentage: how much the components block executions."""
+        return self.d_wait / self.d_scn if self.d_scn else 0.0
+
+    @property
+    def ia_run(self) -> float:
+        """Running percentage: CPU-time share of the components."""
+        return self.d_run / self.d_scn if self.d_scn else 0.0
+
+    @property
+    def ia_opt(self) -> float:
+        """Extra wait share introduced by cost propagation (upper bound)."""
+        if not self.d_scn:
+            return 0.0
+        return (self.d_wait - self.d_waitdist) / self.d_scn
+
+    @property
+    def wait_multiplicity(self) -> float:
+        """``D_wait / D_waitdist``: average scenario instances sharing a wait."""
+        return self.d_wait / self.d_waitdist if self.d_waitdist else 0.0
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary (§5.1 style)."""
+        return (
+            f"components {', '.join(self.patterns)} over {self.graphs} "
+            f"instances: IA_wait={self.ia_wait:.1%}, IA_run={self.ia_run:.1%}, "
+            f"IA_opt={self.ia_opt:.1%}, "
+            f"D_wait/D_waitdist={self.wait_multiplicity:.2f}"
+        )

@@ -1,0 +1,34 @@
+"""Report rendering: ASCII tables and Wait Graph / AWG figures."""
+
+from repro.report.figures import (
+    awg_to_dot,
+    render_awg,
+    render_wait_graph,
+    wait_graph_to_dot,
+)
+from repro.report.graphs import (
+    awg_to_networkx,
+    propagation_hubs,
+    wait_graph_to_networkx,
+)
+from repro.report.markdown import save_study_markdown, study_to_markdown
+from repro.report.svg import awg_to_svg, save_awg_svg
+from repro.report.tables import Table, fmt_pct, fmt_ratio, fmt_us
+
+__all__ = [
+    "Table",
+    "awg_to_dot",
+    "awg_to_networkx",
+    "awg_to_svg",
+    "fmt_pct",
+    "fmt_ratio",
+    "fmt_us",
+    "render_awg",
+    "save_awg_svg",
+    "save_study_markdown",
+    "propagation_hubs",
+    "render_wait_graph",
+    "study_to_markdown",
+    "wait_graph_to_networkx",
+    "wait_graph_to_dot",
+]

@@ -1,0 +1,163 @@
+"""Rendering of Wait Graphs and Aggregated Wait Graphs.
+
+``render_wait_graph`` produces the thread-level snapshot style of the
+paper's Figure 1 (who waited on whom, with callstacks); ``render_awg``
+produces the aggregated-path view of Figure 2.  Both also export Graphviz
+``dot`` text for external rendering.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.trace.events import Event, EventKind
+from repro.units import format_duration
+from repro.waitgraph.aggregate import AggregatedWaitGraph, AwgNode
+from repro.waitgraph.graph import WaitGraph
+
+_KIND_MARK = {
+    EventKind.RUNNING: "run ",
+    EventKind.WAIT: "wait",
+    EventKind.UNWAIT: "unwt",
+    EventKind.HW_SERVICE: "hw  ",
+}
+
+
+def _event_line(graph: WaitGraph, event: Event, depth: int) -> str:
+    stream = graph.instance.stream
+    info = stream.thread_info(event.tid)
+    frame = event.stack[-1] if event.stack else "<hardware>"
+    indent = "  " * depth
+    return (
+        f"{indent}{_KIND_MARK[event.kind]} {format_duration(event.cost):>8} "
+        f"[{info.label}] {frame}"
+    )
+
+
+def render_wait_graph(
+    graph: WaitGraph,
+    max_depth: int = 8,
+    max_children: int = 12,
+    max_lines: int = 400,
+) -> str:
+    """Render a Wait Graph as an indented tree (Figure 1 style)."""
+    lines: List[str] = [
+        f"WaitGraph: {graph.instance.scenario} "
+        f"({format_duration(graph.instance.duration)}) "
+        f"initiated by tid {graph.instance.tid}"
+    ]
+    expanded: Set[int] = set()
+
+    def walk(event: Event, depth: int) -> None:
+        if len(lines) >= max_lines:
+            return
+        lines.append(_event_line(graph, event, depth))
+        if event.seq in expanded:
+            if graph.children(event):
+                lines.append("  " * (depth + 1) + "(shared subtree above)")
+            return
+        expanded.add(event.seq)
+        if depth >= max_depth:
+            if graph.children(event):
+                lines.append("  " * (depth + 1) + "...")
+            return
+        children = graph.children(event)
+        for child in children[:max_children]:
+            walk(child, depth + 1)
+        if len(children) > max_children:
+            lines.append(
+                "  " * (depth + 1)
+                + f"... and {len(children) - max_children} more"
+            )
+
+    for root in graph.roots:
+        walk(root, 0)
+        if len(lines) >= max_lines:
+            lines.append("... (truncated)")
+            break
+    return "\n".join(lines)
+
+
+def render_awg(
+    awg: AggregatedWaitGraph,
+    max_depth: int = 10,
+    min_cost: int = 0,
+) -> str:
+    """Render an Aggregated Wait Graph as an indented tree (Figure 2 style).
+
+    Nodes cheaper than ``min_cost`` are elided to keep big graphs legible.
+    """
+    lines: List[str] = [
+        f"AggregatedWaitGraph: {awg.source_graphs} source graphs, "
+        f"{awg.node_count()} nodes, reduced hw cost "
+        f"{format_duration(awg.reduced_hw_cost)}"
+    ]
+
+    def walk(node: AwgNode, depth: int) -> None:
+        if node.cost < min_cost or depth > max_depth:
+            return
+        indent = "  " * depth
+        lines.append(
+            f"{indent}{node.label}  "
+            f"C={format_duration(node.cost)} N={node.count} "
+            f"avg={format_duration(round(node.mean_cost))}"
+        )
+        for child in sorted(
+            node.children.values(), key=lambda n: -n.cost
+        ):
+            walk(child, depth + 1)
+
+    for root in sorted(awg.roots.values(), key=lambda n: -n.cost):
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def wait_graph_to_dot(graph: WaitGraph, max_nodes: int = 200) -> str:
+    """Export a Wait Graph as Graphviz dot text."""
+    lines = ["digraph waitgraph {", '  rankdir="TB";', "  node [shape=box];"]
+    emitted: Set[int] = set()
+
+    def node_id(event: Event) -> str:
+        return f"e{event.seq}"
+
+    def emit(event: Event) -> None:
+        if event.seq in emitted or len(emitted) >= max_nodes:
+            return
+        emitted.add(event.seq)
+        frame = event.stack[-1] if event.stack else "<hardware>"
+        label = f"{event.kind.value}\\n{frame}\\n{format_duration(event.cost)}"
+        lines.append(f'  {node_id(event)} [label="{label}"];')
+        for child in graph.children(event):
+            emit(child)
+            if child.seq in emitted:
+                lines.append(f"  {node_id(event)} -> {node_id(child)};")
+
+    for root in graph.roots:
+        emit(root)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def awg_to_dot(awg: AggregatedWaitGraph, min_cost: int = 0) -> str:
+    """Export an Aggregated Wait Graph as Graphviz dot text."""
+    lines = ["digraph awg {", '  rankdir="TB";', "  node [shape=box];"]
+    counter = [0]
+
+    def walk(node: AwgNode, parent_id: Optional[str]) -> None:
+        if node.cost < min_cost:
+            return
+        counter[0] += 1
+        this_id = f"n{counter[0]}"
+        label = (
+            f"{node.label}\\nC={format_duration(node.cost)} N={node.count}"
+        )
+        lines.append(f'  {this_id} [label="{label}"];')
+        if parent_id is not None:
+            lines.append(f"  {parent_id} -> {this_id};")
+        for child in node.children.values():
+            walk(child, this_id)
+
+    for root in awg.roots.values():
+        walk(root, None)
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""networkx export of Wait Graphs and Aggregated Wait Graphs.
+
+For downstream analysis (centrality of propagation hubs, path queries,
+visualization with external tooling), both graph structures convert to
+:class:`networkx.DiGraph` with informative node/edge attributes.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.waitgraph.aggregate import AggregatedWaitGraph
+from repro.waitgraph.graph import WaitGraph
+
+
+def wait_graph_to_networkx(graph: WaitGraph) -> "nx.DiGraph":
+    """Convert a Wait Graph to a networkx DiGraph.
+
+    Nodes are event ``seq`` numbers with ``kind``, ``cost``, ``tid``,
+    ``frame`` attributes; edges point from each wait event to the events
+    performed within its wait interval.
+    """
+    out = nx.DiGraph(
+        scenario=graph.instance.scenario,
+        stream=graph.stream_id,
+        t0=graph.instance.t0,
+        t1=graph.instance.t1,
+    )
+    for event in graph.events():
+        out.add_node(
+            event.seq,
+            kind=event.kind.value,
+            cost=event.cost,
+            timestamp=event.timestamp,
+            tid=event.tid,
+            frame=event.leaf,
+        )
+        for child in graph.children(event):
+            out.add_edge(event.seq, child.seq)
+    out.graph["roots"] = [event.seq for event in graph.roots]
+    return out
+
+
+def awg_to_networkx(awg: AggregatedWaitGraph) -> "nx.DiGraph":
+    """Convert an Aggregated Wait Graph to a networkx DiGraph.
+
+    Node ids are the trie paths (tuples of node keys), so aggregated
+    nodes that share a signature but sit under different prefixes remain
+    distinct, exactly as in the AWG.
+    """
+    out = nx.DiGraph(
+        source_graphs=awg.source_graphs,
+        reduced_hw_cost=awg.reduced_hw_cost,
+    )
+
+    def walk(node, path):
+        node_id = path + (node.key,)
+        out.add_node(
+            node_id,
+            status=node.status,
+            label=node.label,
+            cost=node.cost,
+            count=node.count,
+            max_single=node.max_single,
+        )
+        if path:
+            out.add_edge(path, node_id)
+        for child in node.children.values():
+            walk(child, node_id)
+
+    for root in awg.roots.values():
+        walk(root, ())
+    return out
+
+
+def propagation_hubs(graph: WaitGraph, top: int = 5):
+    """The events most paths flow through (betweenness on the DAG).
+
+    A quick triage helper: high-betweenness wait events are the
+    chokepoints a propagation chain funnels through.
+    """
+    dag = wait_graph_to_networkx(graph)
+    if not dag:
+        return []
+    centrality = nx.betweenness_centrality(dag)
+    ranked = sorted(centrality.items(), key=lambda kv: -kv[1])[:top]
+    by_seq = {event.seq: event for event in graph.events()}
+    return [
+        (by_seq[seq], score) for seq, score in ranked if seq in by_seq
+    ]

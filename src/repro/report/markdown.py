@@ -1,0 +1,130 @@
+"""Markdown report generation for a full study.
+
+Turns a :class:`~repro.evaluation.study.StudyResult` into a shareable
+markdown document: the §5.1 impact metrics, Tables 1–4, and the top
+patterns per scenario rendered as Signature Set Tuples — the artifact an
+analyst attaches to a bug or posts to a dashboard.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.evaluation.drivertypes import DRIVER_TYPE_ORDER
+from repro.evaluation.study import StudyResult
+from repro.report.tables import fmt_pct, fmt_ratio
+from repro.units import format_duration
+
+
+def _md_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    lines = [
+        "| " + " | ".join(str(cell) for cell in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def study_to_markdown(
+    study: StudyResult,
+    title: str = "Performance comprehension report",
+    top_patterns: int = 3,
+) -> str:
+    """Render a study result as a markdown document."""
+    sections: List[str] = [f"# {title}", ""]
+
+    impact = study.impact
+    sections.append("## Impact analysis (all device drivers)")
+    sections.append("")
+    sections.append(_md_table(
+        ["Metric", "Value"],
+        [
+            ["Scenario instances analyzed", f"{impact.graphs:,}"],
+            ["IA_wait", fmt_pct(impact.ia_wait)],
+            ["IA_run", fmt_pct(impact.ia_run)],
+            ["IA_opt (cost propagation)", fmt_pct(impact.ia_opt)],
+            ["D_wait / D_waitdist", fmt_ratio(impact.wait_multiplicity)],
+        ],
+    ))
+    sections.append("")
+
+    sections.append("## Scenarios and contrast classes")
+    sections.append("")
+    rows = []
+    for name, total, fast, slow in sorted(study.table1_rows()):
+        rows.append([name, total, fast, slow])
+    sections.append(_md_table(
+        ["Scenario", "#Instances", "fast", "slow"], rows
+    ))
+    sections.append("")
+
+    sections.append("## Coverages and ranking")
+    sections.append("")
+    rows = []
+    for name in sorted(study.scenarios):
+        scenario_study = study.scenarios[name]
+        coverage = scenario_study.coverage
+        top10, top20, top30 = scenario_study.ranking_coverage
+        rows.append([
+            name,
+            fmt_pct(coverage.driver_cost_share),
+            fmt_pct(coverage.itc),
+            fmt_pct(coverage.ttc),
+            scenario_study.report.pattern_count,
+            fmt_pct(top10),
+            fmt_pct(top30),
+        ])
+    sections.append(_md_table(
+        ["Scenario", "Driver cost", "ITC", "TTC", "#Patterns",
+         "top 10%", "top 30%"],
+        rows,
+    ))
+    sections.append("")
+
+    sections.append("## Driver types in top-10 patterns")
+    sections.append("")
+    rows = []
+    table4 = study.table4_rows()
+    for name in sorted(table4):
+        counts = table4[name]
+        rows.append(
+            [name] + [counts.get(t, 0) for t in DRIVER_TYPE_ORDER]
+        )
+    sections.append(_md_table(["Scenario"] + list(DRIVER_TYPE_ORDER), rows))
+    sections.append("")
+
+    sections.append("## Top contrast patterns per scenario")
+    sections.append("")
+    for name in sorted(study.scenarios):
+        report = study.scenarios[name].report
+        if not report.patterns:
+            continue
+        sections.append(f"### {name}")
+        sections.append("")
+        for rank, pattern in enumerate(report.top(top_patterns), start=1):
+            high = (
+                " **HIGH IMPACT**"
+                if pattern.is_high_impact(report.t_slow)
+                else ""
+            )
+            sections.append(
+                f"{rank}. impact {format_duration(round(pattern.impact))} "
+                f"per occurrence, N={pattern.count}, worst single execution "
+                f"{format_duration(pattern.max_single)}{high}"
+            )
+            sections.append("")
+            sections.append("   ```")
+            for line in pattern.sst.render().splitlines():
+                sections.append(f"   {line}")
+            sections.append("   ```")
+            sections.append("")
+    return "\n".join(sections)
+
+
+def save_study_markdown(
+    study: StudyResult, path: str, title: str = "Performance comprehension report"
+) -> None:
+    """Write the markdown report to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(study_to_markdown(study, title=title))

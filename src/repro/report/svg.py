@@ -1,0 +1,199 @@
+"""Self-contained SVG rendering of Aggregated Wait Graphs.
+
+Produces a Figure 2-style picture — boxes for aggregated waiting /
+running / hardware nodes, arrows for wait-for links, cost/occurrence
+annotations — with no dependency beyond the standard library.  Useful for
+embedding in reports or viewing in a browser.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.units import format_duration
+from repro.waitgraph.aggregate import (
+    AggregatedWaitGraph,
+    AwgNode,
+    HARDWARE,
+    RUNNING,
+    WAITING,
+)
+
+_BOX_WIDTH = 260
+_BOX_HEIGHT = 46
+_H_GAP = 28
+_V_GAP = 34
+_MARGIN = 20
+
+_FILL = {
+    WAITING: "#fde9d9",   # waiting: warm
+    RUNNING: "#dbe9f6",   # running: cool
+    HARDWARE: "#e2efda",  # hardware: green
+}
+_STROKE = {
+    WAITING: "#c55a11",
+    RUNNING: "#2e75b6",
+    HARDWARE: "#538135",
+}
+
+
+@dataclass
+class _Layout:
+    """Positions of every rendered node."""
+
+    positions: Dict[int, Tuple[float, int]]  # id(node) -> (x_center, depth)
+    width: float
+    depth: int
+
+
+def _layout(roots: List[AwgNode], min_cost: int) -> _Layout:
+    """Tidy-tree layout: leaves get slots, parents center over children."""
+    positions: Dict[int, Tuple[float, int]] = {}
+    next_slot = [0]
+    max_depth = [0]
+
+    def place(node: AwgNode, depth: int) -> Optional[float]:
+        if node.cost < min_cost:
+            return None
+        max_depth[0] = max(max_depth[0], depth)
+        child_centers = [
+            center
+            for center in (
+                place(child, depth + 1)
+                for child in sorted(
+                    node.children.values(), key=lambda n: -n.cost
+                )
+            )
+            if center is not None
+        ]
+        if child_centers:
+            center = sum(child_centers) / len(child_centers)
+        else:
+            center = next_slot[0] + 0.5
+            next_slot[0] += 1
+        positions[id(node)] = (center, depth)
+        return center
+
+    for root in sorted(roots, key=lambda n: -n.cost):
+        place(root, 0)
+    return _Layout(
+        positions=positions,
+        width=max(next_slot[0], 1),
+        depth=max_depth[0],
+    )
+
+
+def _node_svg(node: AwgNode, x: float, y: float) -> List[str]:
+    fill = _FILL[node.status]
+    stroke = _STROKE[node.status]
+    title = html.escape(node.label)
+    metrics = (
+        f"C={format_duration(node.cost)}  N={node.count}  "
+        f"avg={format_duration(round(node.mean_cost))}"
+    )
+    return [
+        f'<rect x="{x:.1f}" y="{y:.1f}" width="{_BOX_WIDTH}" '
+        f'height="{_BOX_HEIGHT}" rx="6" fill="{fill}" stroke="{stroke}" '
+        'stroke-width="1.5"/>',
+        f'<text x="{x + _BOX_WIDTH / 2:.1f}" y="{y + 18:.1f}" '
+        'text-anchor="middle" font-size="11" font-family="monospace">'
+        f"{title}</text>",
+        f'<text x="{x + _BOX_WIDTH / 2:.1f}" y="{y + 35:.1f}" '
+        'text-anchor="middle" font-size="10" font-family="monospace" '
+        f'fill="#555">{html.escape(metrics)}</text>',
+    ]
+
+
+def awg_to_svg(
+    awg: AggregatedWaitGraph,
+    min_cost: int = 0,
+    title: str = "",
+) -> str:
+    """Render an Aggregated Wait Graph as an SVG document string.
+
+    ``min_cost`` elides nodes cheaper than the bound, keeping big graphs
+    legible (pass e.g. 1% of the root cost).
+    """
+    roots = list(awg.roots.values())
+    layout = _layout(roots, min_cost)
+
+    def pixel_position(node: AwgNode) -> Optional[Tuple[float, float]]:
+        entry = layout.positions.get(id(node))
+        if entry is None:
+            return None
+        center, depth = entry
+        x = _MARGIN + center * (_BOX_WIDTH + _H_GAP) - _BOX_WIDTH / 2
+        y = _MARGIN + 30 + depth * (_BOX_HEIGHT + _V_GAP)
+        return (x, y)
+
+    width = _MARGIN * 2 + layout.width * (_BOX_WIDTH + _H_GAP)
+    height = (
+        _MARGIN * 2 + 30
+        + (layout.depth + 1) * (_BOX_HEIGHT + _V_GAP)
+    )
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height}" viewBox="0 0 {width:.0f} {height}">',
+        '<defs><marker id="arrow" viewBox="0 0 10 10" refX="9" refY="5" '
+        'markerWidth="7" markerHeight="7" orient="auto-start-reverse">'
+        '<path d="M 0 0 L 10 5 L 0 10 z" fill="#888"/></marker></defs>',
+        f'<rect width="100%" height="100%" fill="white"/>',
+    ]
+    heading = title or (
+        f"Aggregated Wait Graph — {awg.source_graphs} source graphs, "
+        f"reduced hw {format_duration(awg.reduced_hw_cost)}"
+    )
+    parts.append(
+        f'<text x="{_MARGIN}" y="{_MARGIN + 4}" font-size="13" '
+        f'font-family="sans-serif">{html.escape(heading)}</text>'
+    )
+
+    # Edges first (under the boxes).
+    def draw_edges(node: AwgNode) -> None:
+        parent_pixel = pixel_position(node)
+        if parent_pixel is None:
+            return
+        for child in node.children.values():
+            child_pixel = pixel_position(child)
+            if child_pixel is None:
+                continue
+            x1 = parent_pixel[0] + _BOX_WIDTH / 2
+            y1 = parent_pixel[1] + _BOX_HEIGHT
+            x2 = child_pixel[0] + _BOX_WIDTH / 2
+            y2 = child_pixel[1]
+            parts.append(
+                f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" '
+                f'y2="{y2:.1f}" stroke="#888" stroke-width="1.2" '
+                'marker-end="url(#arrow)"/>'
+            )
+            draw_edges(child)
+
+    for root in roots:
+        draw_edges(root)
+
+    def draw_nodes(node: AwgNode) -> None:
+        pixel = pixel_position(node)
+        if pixel is None:
+            return
+        parts.extend(_node_svg(node, pixel[0], pixel[1]))
+        for child in node.children.values():
+            draw_nodes(child)
+
+    for root in roots:
+        draw_nodes(root)
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_awg_svg(
+    awg: AggregatedWaitGraph,
+    path: str,
+    min_cost: int = 0,
+    title: str = "",
+) -> None:
+    """Write the SVG rendering to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(awg_to_svg(awg, min_cost=min_cost, title=title))

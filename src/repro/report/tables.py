@@ -1,0 +1,73 @@
+"""ASCII table rendering for analysis reports and benchmark output.
+
+The benchmark harness regenerates every table of the paper; this module
+renders them readably in a terminal, with the same kind of column layout
+the paper uses (scenario rows, percentage cells).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+from repro.units import format_duration
+
+
+def fmt_pct(value: float, digits: int = 1) -> str:
+    """Format a ratio as a percentage string (``0.364 -> '36.4%'``)."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def fmt_us(value: int) -> str:
+    """Format a microsecond duration human-readably."""
+    return format_duration(value)
+
+
+def fmt_ratio(value: float, digits: int = 2) -> str:
+    """Format a plain ratio (``3.5 -> '3.50'``)."""
+    return f"{value:.{digits}f}"
+
+
+class Table:
+    """A minimal aligned ASCII table."""
+
+    def __init__(self, headers: Sequence[str], title: str = ""):
+        self.title = title
+        self.headers = [str(header) for header in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} "
+                "columns"
+            )
+        self.rows.append([str(cell) for cell in cells])
+
+    def add_separator(self) -> None:
+        self.rows.append(["---"] * len(self.headers))
+
+    def render(self) -> str:
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def render_line(cells: Iterable[str]) -> str:
+            return "  ".join(
+                cell.ljust(width) for cell, width in zip(cells, widths)
+            ).rstrip()
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(render_line(self.headers))
+        lines.append(render_line("-" * width for width in widths))
+        for row in self.rows:
+            if row[0] == "---":
+                lines.append(render_line("-" * width for width in widths))
+            else:
+                lines.append(render_line(row))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,72 @@
+"""Synthetic kernel/driver simulator emitting ETW-shaped trace streams.
+
+This package is the substitution for the paper's proprietary trace corpus:
+a discrete-event simulation of a Windows-like machine — threads, CPU
+cores, FIFO kernel locks, a hierarchical driver stack, hardware devices
+and pageable memory — traced by an ETW-like observer into
+:class:`~repro.trace.stream.TraceStream` objects.
+"""
+
+from repro.sim.casestudy import (
+    CaseStudyResult,
+    build_case_machine,
+    build_hardfault_machine,
+    run_case_study,
+    run_hardfault_case,
+)
+from repro.sim.corpus import (
+    CorpusConfig,
+    DEFAULT_SCENARIO_WEIGHTS,
+    draw_machine_config,
+    generate_corpus,
+    generate_stream,
+)
+from repro.sim.devices import QueuedDevice
+from repro.sim.engine import (
+    Acquire,
+    Compute,
+    Delay,
+    Engine,
+    Fire,
+    HardwareIO,
+    Release,
+    SimThread,
+    Spawn,
+    ThreadContext,
+    WaitFor,
+)
+from repro.sim.locks import Lock, SimEvent
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.memory import PagedMemory
+from repro.sim.tracer import Tracer
+
+__all__ = [
+    "Acquire",
+    "CaseStudyResult",
+    "Compute",
+    "CorpusConfig",
+    "DEFAULT_SCENARIO_WEIGHTS",
+    "Delay",
+    "Engine",
+    "Fire",
+    "HardwareIO",
+    "Lock",
+    "Machine",
+    "MachineConfig",
+    "PagedMemory",
+    "QueuedDevice",
+    "Release",
+    "SimEvent",
+    "SimThread",
+    "Spawn",
+    "ThreadContext",
+    "Tracer",
+    "WaitFor",
+    "build_case_machine",
+    "build_hardfault_machine",
+    "draw_machine_config",
+    "generate_corpus",
+    "generate_stream",
+    "run_case_study",
+    "run_hardfault_case",
+]

@@ -1,0 +1,256 @@
+"""The motivating example of the paper's §2.2, as a deterministic scenario.
+
+Reconstructs Figure 1: three device drivers (fv.sys file-virtualization
+filter, fs.sys file system, se.sys storage encryption) form a hierarchy;
+two lock-contention regions (File Table entries, Meta Data Units) chained
+by hierarchical dependencies propagate a storage delay through six
+threads to the browser UI thread, making one ``BrowserTabCreate`` take
+well over 800 ms while uncontended ones finish in tens of milliseconds.
+
+Thread cast (paper notation → here):
+
+* ``T_{B,UI}``  — Browser/UI, the initiating thread
+* ``T_{B,W0}``  — Browser/W0, worker contending the File Table lock
+* ``T_{B,W1}``  — Browser/W1, worker holding the File Table lock while
+  blocked on the MDU lock
+* ``T_{A,W0}``  — AntiVirus/W0, queued on the MDU lock
+* ``T_{C,W0}``  — ConfigMgr/W0, holding the MDU lock across the read
+* ``T_{S,W0}``  — the storage service: the disk pseudo-thread plus the
+  se.sys decrypt running on the reader (our storage model performs the
+  read on the caller; the hardware pseudo-thread plays the system
+  worker's role in the Wait Graph)
+
+``run_case_study`` runs several quiet (fast) tab creations around one
+contended (slow) one, so the causality analysis has both contrast classes
+and discovers the §2.3 Signature Set Tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List
+
+from repro.sim.machine import Machine, MachineConfig
+from repro.trace.stream import ScenarioInstance, TraceStream
+from repro.units import MILLISECONDS as MS
+
+SCENARIO = "BrowserTabCreate"
+T_FAST = 300 * MS
+T_SLOW = 500 * MS
+
+#: The shared "virtual" file every thread touches during the incident —
+#: all requests land on the same File Table entry and the same MDU.
+HOT_FILE = 0
+
+#: When the contended iteration starts (quiet iterations surround it).
+_INCIDENT_ITERATION = 5
+_ITERATION_GAP = 1_200 * MS
+
+
+def build_case_machine(seed: int = 2014) -> Machine:
+    """A machine configured like the incident site: encrypted, slow disk,
+    coarse locks (single File Table lock, single MDU lock)."""
+    return Machine(
+        "figure1",
+        MachineConfig(
+            seed=seed,
+            cores=8,
+            encryption_enabled=True,
+            disk_protection_enabled=False,
+            disk_read_median_us=90 * MS,
+            decrypt_median_us=15 * MS,
+            mdu_lock_count=1,
+            file_table_lock_count=1,
+            hard_fault_rate=0.0,
+            network_congestion_rate=0.0,
+        ),
+    )
+
+
+def _ui_program(machine: Machine, iterations: int) -> Generator:
+    def program(ctx):
+        with ctx.frame("Browser!Main"):
+            for iteration in range(iterations):
+                yield from ctx.delay(_ITERATION_GAP)
+                with ctx.scenario(SCENARIO):
+                    with ctx.frame("Browser!TabCreate"):
+                        yield from machine.mouse.process_input(ctx)
+                        with ctx.frame("kernel!OpenFile"):
+                            yield from machine.fv.query_file_table(
+                                ctx,
+                                HOT_FILE,
+                                resolve=(iteration == _INCIDENT_ITERATION),
+                                cached=(iteration != _INCIDENT_ITERATION),
+                            )
+                        yield from ctx.compute(8 * MS)
+                        yield from machine.graphics.render(ctx, 0.5)
+
+    return program
+
+
+def _browser_worker(machine: Machine, start: int, resolve: bool) -> Generator:
+    def program(ctx):
+        yield from ctx.delay(start)
+        with ctx.frame("Browser!Worker"):
+            with ctx.frame("kernel!CreateFile"):
+                yield from machine.fv.query_file_table(
+                    ctx, HOT_FILE, resolve=resolve, cached=False,
+                    size_factor=3.0,
+                )
+
+    return program
+
+
+def _mdu_client(machine: Machine, process: str, start: int) -> Generator:
+    def program(ctx):
+        yield from ctx.delay(start)
+        with ctx.frame(f"{process}!Worker"):
+            with ctx.frame("kernel!OpenFile"):
+                yield from machine.fs.read_file(
+                    ctx, HOT_FILE, size_factor=4.5, cached=False
+                )
+
+    return program
+
+
+@dataclass
+class CaseStudyResult:
+    """The reconstructed incident: trace, instances, the slow one."""
+
+    stream: TraceStream
+    instances: List[ScenarioInstance]
+    slow_instance: ScenarioInstance
+    fast_instances: List[ScenarioInstance]
+
+
+def run_case_study(iterations: int = 10, seed: int = 2014) -> CaseStudyResult:
+    """Simulate the Figure 1 incident and return the trace + instances."""
+    machine = build_case_machine(seed)
+    incident_start = _INCIDENT_ITERATION * _ITERATION_GAP
+
+    machine.spawn(_ui_program(machine, iterations), "Browser", "UI")
+    # The UI thread reaches the File Table on its incident iteration at
+    # roughly (incident + 1) gaps plus the earlier iterations' work; the
+    # cast is staggered shortly before that so the lock queues look
+    # exactly like Figure 1 when the UI thread arrives.
+    ui_arrival = incident_start + _ITERATION_GAP + 80 * MS
+    machine.spawn(
+        _mdu_client(machine, "ConfigMgr", ui_arrival - 300 * MS),
+        "ConfigMgr", "W0",
+    )
+    machine.spawn(
+        _mdu_client(machine, "AntiVirus", ui_arrival - 280 * MS),
+        "AntiVirus", "W0",
+    )
+    machine.spawn(
+        _browser_worker(machine, ui_arrival - 260 * MS, resolve=True),
+        "Browser", "W1",
+    )
+    machine.spawn(
+        _browser_worker(machine, ui_arrival - 240 * MS, resolve=False),
+        "Browser", "W0",
+    )
+
+    stream = machine.run_and_trace(until=(iterations + 4) * _ITERATION_GAP)
+    instances = [
+        instance
+        for instance in stream.instances
+        if instance.scenario == SCENARIO
+    ]
+    slow_instance = max(instances, key=lambda instance: instance.duration)
+    fast_instances = [
+        instance
+        for instance in instances
+        if instance.duration < T_FAST
+    ]
+    return CaseStudyResult(
+        stream=stream,
+        instances=instances,
+        slow_instance=slow_instance,
+        fast_instances=fast_instances,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The §5.2.4 hard-fault case: graphics.sys + fs.sys + se.sys, seconds-long
+# ---------------------------------------------------------------------------
+
+HARDFAULT_SCENARIO = "AppNonResponsive"
+HARDFAULT_T_FAST = 110 * MS
+HARDFAULT_T_SLOW = 160 * MS
+
+
+def build_hardfault_machine(seed: int = 424) -> Machine:
+    """An encrypted machine with a slow disk and a huge pageable section.
+
+    ``page_read_size`` is set so one page-in reads for multiple seconds
+    (the paper's incident took about 4.7 s to complete the page read).
+    """
+    machine = Machine(
+        "hardfault",
+        MachineConfig(
+            seed=seed,
+            encryption_enabled=True,
+            disk_read_median_us=100 * MS,
+            decrypt_median_us=25 * MS,
+            mdu_lock_count=1,
+            hard_fault_rate=0.0,  # faults are injected explicitly below
+            network_congestion_rate=0.0,
+        ),
+    )
+    machine.memory.page_read_size = 42.0
+    machine.memory.severe_fault_rate = 0.0
+    return machine
+
+
+def run_hardfault_case(iterations: int = 8, seed: int = 424) -> CaseStudyResult:
+    """Reproduce §5.2.4: a system graphics routine hard-faults while
+    holding the GPU context, freezing the UI for seconds.
+
+    Cast: ``T_{U,UI}`` (App/UI) pumps messages and renders;
+    ``T_{S,W0}`` (System/GfxWorker) runs a graphics system-event routine
+    that faults during surface initialization; ``T_{S,W1}`` (the pager)
+    performs the multi-second page read through fs.sys and se.sys.
+    """
+    machine = build_hardfault_machine(seed)
+    gap = 800 * MS
+    incident = 4
+
+    def ui_program(ctx):
+        with ctx.frame("App!Main"):
+            for _ in range(iterations):
+                yield from ctx.delay(gap)
+                with ctx.scenario(HARDFAULT_SCENARIO):
+                    with ctx.frame("App!MessagePump"):
+                        for _ in range(3):
+                            yield from machine.graphics.render(ctx, 0.6)
+                        yield from ctx.compute(40 * MS)
+
+    def system_worker(ctx):
+        # Arrive just before the incident iteration's renders.
+        yield from ctx.delay((incident + 1) * gap + 30 * MS)
+        with ctx.frame("System!Worker"):
+            machine.memory.fault_rate = 1.0
+            yield from machine.graphics.system_routine(ctx)
+            machine.memory.fault_rate = 0.0
+
+    machine.spawn(ui_program, "App", "UI")
+    machine.spawn(system_worker, "System", "GfxWorker")
+    stream = machine.run_and_trace(until=(iterations + 10) * gap)
+    instances = [
+        instance
+        for instance in stream.instances
+        if instance.scenario == HARDFAULT_SCENARIO
+    ]
+    slow_instance = max(instances, key=lambda instance: instance.duration)
+    fast_instances = [
+        instance
+        for instance in instances
+        if instance.duration < HARDFAULT_T_FAST
+    ]
+    return CaseStudyResult(
+        stream=stream,
+        instances=instances,
+        slow_instance=slow_instance,
+        fast_instances=fast_instances,
+    )

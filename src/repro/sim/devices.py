@@ -1,0 +1,72 @@
+"""Hardware device models.
+
+A device serves hardware requests with a queueing discipline and produces
+HW_SERVICE trace events attributed to a *pseudo-thread* (process
+``Hardware``).  When a request completes, the device pseudo-thread emits the
+unwait that resumes the blocked thread — exactly how ETW attributes IO
+completions to DPC activity, and what lets Wait Graph construction hang a
+hardware-service node under the waiting node (paper Figure 2).
+
+Two disciplines cover the paper's hardware:
+
+* :class:`QueuedDevice` — ``capacity`` parallel servers with FIFO overflow
+  (disk with one spindle, GPU with one engine, network with several flows).
+* Service time is supplied by the caller per request; device-level
+  variability (seek vs sequential, congested link) lives in the driver and
+  workload models that choose the durations.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.engine import DevicePort, Engine
+from repro.trace.signatures import make_signature
+from repro.trace.stream import ThreadInfo
+
+
+class QueuedDevice(DevicePort):
+    """A device with ``capacity`` parallel servers and FIFO queueing.
+
+    ``service_window(now, duration)`` picks the earliest server available
+    at or after ``now`` and books it for ``duration`` microseconds.
+    """
+
+    def __init__(self, engine: Engine, name: str, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"device {name!r} needs capacity >= 1")
+        self.name = name
+        self.capacity = capacity
+        self.pseudo_tid = engine.allocate_tid()
+        self.completion_stack: Tuple[str, ...] = (
+            make_signature("Hardware", f"{name}Service"),
+        )
+        # Min-heap of times at which each server becomes free.
+        self._server_free: List[int] = [0] * capacity
+        heapq.heapify(self._server_free)
+        self.total_service_time = 0
+        self.request_count = 0
+        engine.tracer.on_thread_created(
+            ThreadInfo(tid=self.pseudo_tid, process="Hardware", name=name)
+        )
+
+    def service_window(self, now: int, duration: int) -> Tuple[int, int]:
+        if duration < 0:
+            raise SimulationError(
+                f"negative service time {duration} on device {self.name!r}"
+            )
+        earliest_free = heapq.heappop(self._server_free)
+        start = max(now, earliest_free)
+        end = start + duration
+        heapq.heappush(self._server_free, end)
+        self.total_service_time += duration
+        self.request_count += 1
+        return (start, end)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueuedDevice({self.name!r}, capacity={self.capacity}, "
+            f"requests={self.request_count})"
+        )

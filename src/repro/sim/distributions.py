@@ -1,0 +1,67 @@
+"""Random-duration helpers for workload and device models.
+
+All helpers take an explicit ``random.Random`` so simulations stay
+deterministic per seed, and all return integer microseconds (>= 1) so the
+engine's exact-time arithmetic never sees floats.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+def lognormal_us(rng: random.Random, median_us: float, sigma: float = 0.5) -> int:
+    """A log-normal duration around ``median_us``.
+
+    Log-normal matches the heavy right tail of real IO and scheduling
+    delays: most samples land near the median, occasional ones are several
+    times larger — the raw material for a slow class.
+    """
+    value = median_us * math.exp(sigma * rng.gauss(0.0, 1.0))
+    return max(1, round(value))
+
+
+def uniform_us(rng: random.Random, low_us: float, high_us: float) -> int:
+    """A uniform duration in ``[low_us, high_us]``."""
+    return max(1, round(rng.uniform(low_us, high_us)))
+
+
+def exponential_us(rng: random.Random, mean_us: float) -> int:
+    """An exponential duration with the given mean (think times, arrivals)."""
+    return max(1, round(rng.expovariate(1.0 / mean_us)))
+
+
+def bernoulli(rng: random.Random, probability: float) -> bool:
+    """A biased coin flip."""
+    return rng.random() < probability
+
+
+def skewed_file_id(
+    rng: random.Random,
+    hot_prob: float = 0.65,
+    hot_set: int = 8,
+    cold_range: int = 1 << 12,
+) -> int:
+    """A file id drawn from a hot-set-skewed popularity distribution.
+
+    Real file access concentrates on a small working set (indexes, shared
+    DLLs, the browser profile), which is what makes distinct threads land
+    on the *same* MDU or File Table lock and contend.
+    """
+    if rng.random() < hot_prob:
+        return rng.randrange(hot_set)
+    return rng.randrange(cold_range)
+
+
+def pareto_us(
+    rng: random.Random, scale_us: float, alpha: float = 1.8, cap_us: float = 10_000_000
+) -> int:
+    """A Pareto duration: mostly ``scale_us``-ish with rare huge outliers.
+
+    Used for the pathological tail (multi-second page-ins, congested
+    links).  ``cap_us`` bounds the tail so a single sample cannot dominate
+    an entire corpus.
+    """
+    value = scale_us * rng.paretovariate(alpha)
+    return max(1, round(min(value, cap_us)))

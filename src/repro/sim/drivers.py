@@ -1,0 +1,605 @@
+"""Device-driver models.
+
+Each class models one driver module the paper's evaluation encounters
+(Table 4 taxonomy), with the two characteristics that cause cost
+propagation (§1): kernel locks synchronizing shared resources, and a
+hierarchical driver-stack architecture where drivers invoke each other
+through ``IoCallDriver``-style system services.
+
+The storage hierarchy mirrors the motivating example (§2.2)::
+
+    fv.sys (file virtualization filter, File Table locks)
+      └─> fs.sys (file system, Meta Data Unit locks)
+            └─> se.sys (storage encryption, decrypt CPU)  ──> disk
+                 or stor.sys (plain storage)              ──> disk
+
+Driver methods are generator functions taking a
+:class:`~repro.sim.engine.ThreadContext`; they push ``module!Function``
+frames so emitted callstacks look like real ETW stacks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, List, Optional
+
+from repro.sim.devices import QueuedDevice
+from repro.sim.distributions import bernoulli, lognormal_us, uniform_us
+from repro.sim.engine import ThreadContext
+from repro.sim.locks import Lock
+from repro.trace.signatures import make_signature
+
+IO_CALL_DRIVER = make_signature("kernel", "IoCallDriver")
+
+
+def io_call(ctx: ThreadContext, body: Generator) -> Generator:
+    """Invoke a lower driver through the kernel's IoCallDriver service."""
+    with ctx.frame(IO_CALL_DRIVER):
+        yield from body
+
+
+class Driver:
+    """Base class: a named kernel module with signature helpers."""
+
+    module = "driver.sys"
+
+    def sig(self, function: str) -> str:
+        """Signature of one of this driver's functions."""
+        return make_signature(self.module, function)
+
+
+# ---------------------------------------------------------------------------
+# Storage stack
+# ---------------------------------------------------------------------------
+
+
+class PlainStorageDriver(Driver):
+    """``stor.sys`` — pass-through storage: disk IO with no extra cost."""
+
+    module = "stor.sys"
+
+    def __init__(self, disk: QueuedDevice, rng: random.Random, read_median_us: int):
+        self.disk = disk
+        self.rng = rng
+        self.read_median_us = read_median_us
+
+    def read(self, ctx: ThreadContext, size_factor: float = 1.0) -> Generator:
+        with ctx.frame(self.sig("Read")):
+            duration = lognormal_us(self.rng, self.read_median_us * size_factor)
+            yield from ctx.hardware(self.disk, duration)
+
+    def write(self, ctx: ThreadContext, size_factor: float = 1.0) -> Generator:
+        with ctx.frame(self.sig("Write")):
+            duration = lognormal_us(
+                self.rng, self.read_median_us * size_factor * 1.2
+            )
+            yield from ctx.hardware(self.disk, duration)
+
+
+class StorageEncryptionDriver(Driver):
+    """``se.sys`` — storage encryption: disk IO plus decrypt/encrypt CPU.
+
+    The computation-intensive part is what the motivating example's
+    ``se.sys!ReadDecrypt`` running signature captures; it executes on a
+    worker while callers up the stack wait, so its cost propagates through
+    every lock held above it.
+    """
+
+    module = "se.sys"
+
+    def __init__(
+        self,
+        disk: QueuedDevice,
+        rng: random.Random,
+        read_median_us: int,
+        decrypt_median_us: int,
+    ):
+        self.disk = disk
+        self.rng = rng
+        self.read_median_us = read_median_us
+        self.decrypt_median_us = decrypt_median_us
+
+    def read(self, ctx: ThreadContext, size_factor: float = 1.0) -> Generator:
+        """Read and decrypt: the ``se.sys!ReadDecrypt`` path of Figure 1."""
+        with ctx.frame(self.sig("ReadDecrypt")):
+            with ctx.frame(self.sig("Worker")):
+                duration = lognormal_us(self.rng, self.read_median_us * size_factor)
+                yield from ctx.hardware(self.disk, duration)
+            with ctx.frame(self.sig("Decrypt")):
+                # Decrypt CPU scales with transfer size but is capped: big
+                # cluster reads stream through the cipher in bounded chunks.
+                yield from ctx.compute(
+                    lognormal_us(
+                        self.rng,
+                        self.decrypt_median_us * min(size_factor, 4.0),
+                    )
+                )
+
+    def write(self, ctx: ThreadContext, size_factor: float = 1.0) -> Generator:
+        """Encrypt and write (encryption CPU happens before the IO)."""
+        with ctx.frame(self.sig("WriteEncrypt")):
+            with ctx.frame(self.sig("Encrypt")):
+                yield from ctx.compute(
+                    lognormal_us(
+                        self.rng,
+                        self.decrypt_median_us * min(size_factor, 4.0),
+                    )
+                )
+            with ctx.frame(self.sig("Worker")):
+                duration = lognormal_us(
+                    self.rng, self.read_median_us * size_factor * 1.2
+                )
+                yield from ctx.hardware(self.disk, duration)
+
+
+class FileSystemDriver(Driver):
+    """``fs.sys`` — the file system with Meta Data Unit (MDU) locks.
+
+    Requests that read or write a file acquire the MDU lock covering the
+    file's metadata (paper §2.2) and *hold it across the storage IO*, which
+    is exactly the behaviour that lets a slow disk or decrypt propagate to
+    every other thread contending the same MDU.  ``mdu_lock_count``
+    controls lock granularity — fewer locks means coarser granularity and
+    more contention (the paper's closing advice is to reduce granularity).
+    """
+
+    module = "fs.sys"
+
+    def __init__(
+        self,
+        storage,
+        rng: random.Random,
+        mdu_lock_count: int = 4,
+        metadata_median_us: int = 200,
+        disk_protection: Optional["DiskProtectionDriver"] = None,
+    ):
+        if mdu_lock_count < 1:
+            raise ValueError("mdu_lock_count must be >= 1")
+        self.storage = storage
+        self.rng = rng
+        self.metadata_median_us = metadata_median_us
+        self.disk_protection = disk_protection
+        self.mdu_locks: List[Lock] = [
+            Lock(f"fs.sys/MDU{i}") for i in range(mdu_lock_count)
+        ]
+
+    def _mdu_for(self, file_id: int) -> Lock:
+        return self.mdu_locks[file_id % len(self.mdu_locks)]
+
+    def _guarded_storage(self, ctx: ThreadContext, body: Generator) -> Generator:
+        if self.disk_protection is not None:
+            yield from io_call(ctx, self.disk_protection.check(ctx))
+        yield from io_call(ctx, body)
+
+    def read_file(
+        self,
+        ctx: ThreadContext,
+        file_id: int,
+        size_factor: float = 1.0,
+        cached: bool = False,
+    ) -> Generator:
+        """Read a file: MDU lock, metadata work, storage IO unless cached."""
+        with ctx.frame(self.sig("Read")):
+            with ctx.frame(self.sig("AcquireMDU")):
+                yield from ctx.acquire(self._mdu_for(file_id))
+            try:
+                yield from ctx.compute(
+                    lognormal_us(self.rng, self.metadata_median_us)
+                )
+                if not cached:
+                    yield from self._guarded_storage(
+                        ctx, self.storage.read(ctx, size_factor)
+                    )
+            finally:
+                with ctx.frame(self.sig("AcquireMDU")):
+                    yield from ctx.release(self._mdu_for(file_id))
+
+    def write_file(
+        self, ctx: ThreadContext, file_id: int, size_factor: float = 1.0
+    ) -> Generator:
+        """Write a file through the MDU lock and the storage stack."""
+        with ctx.frame(self.sig("Write")):
+            with ctx.frame(self.sig("AcquireMDU")):
+                yield from ctx.acquire(self._mdu_for(file_id))
+            try:
+                yield from ctx.compute(
+                    lognormal_us(self.rng, self.metadata_median_us)
+                )
+                yield from self._guarded_storage(
+                    ctx, self.storage.write(ctx, size_factor)
+                )
+            finally:
+                with ctx.frame(self.sig("AcquireMDU")):
+                    yield from ctx.release(self._mdu_for(file_id))
+
+    def query_metadata(self, ctx: ThreadContext, file_id: int) -> Generator:
+        """Metadata-only query: MDU lock plus CPU, no storage IO."""
+        with ctx.frame(self.sig("QueryMetadata")):
+            with ctx.frame(self.sig("AcquireMDU")):
+                yield from ctx.acquire(self._mdu_for(file_id))
+            try:
+                yield from ctx.compute(
+                    lognormal_us(self.rng, self.metadata_median_us)
+                )
+            finally:
+                with ctx.frame(self.sig("AcquireMDU")):
+                    yield from ctx.release(self._mdu_for(file_id))
+
+    def paging_read(
+        self, ctx: ThreadContext, file_id: int, size_factor: float
+    ) -> Generator:
+        """Page-in path used by the memory manager to solve hard faults."""
+        with ctx.frame(self.sig("PagingRead")):
+            with ctx.frame(self.sig("AcquireMDU")):
+                yield from ctx.acquire(self._mdu_for(file_id))
+            try:
+                yield from self._guarded_storage(
+                    ctx, self.storage.read(ctx, size_factor)
+                )
+            finally:
+                with ctx.frame(self.sig("AcquireMDU")):
+                    yield from ctx.release(self._mdu_for(file_id))
+
+
+class FileVirtualizationDriver(Driver):
+    """``fv.sys`` — file-virtualization filter with File Table locks.
+
+    Maps "virtual" files to physical locations; queries synchronize on
+    File Table entries.  A miss resolves through ``fs.sys`` *while the
+    File Table lock is held* — the upper contention region of Figure 1.
+    """
+
+    module = "fv.sys"
+
+    def __init__(
+        self,
+        fs: FileSystemDriver,
+        rng: random.Random,
+        file_table_lock_count: int = 2,
+        lookup_median_us: int = 150,
+    ):
+        if file_table_lock_count < 1:
+            raise ValueError("file_table_lock_count must be >= 1")
+        self.fs = fs
+        self.rng = rng
+        self.lookup_median_us = lookup_median_us
+        self.file_table_locks: List[Lock] = [
+            Lock(f"fv.sys/FileTable{i}") for i in range(file_table_lock_count)
+        ]
+
+    def _table_lock_for(self, file_id: int) -> Lock:
+        return self.file_table_locks[file_id % len(self.file_table_locks)]
+
+    def query_file_table(
+        self,
+        ctx: ThreadContext,
+        file_id: int,
+        resolve: bool = True,
+        cached: bool = False,
+        size_factor: float = 1.0,
+    ) -> Generator:
+        """Query the File Table; resolve misses through the file system."""
+        with ctx.frame(self.sig("QueryFileTable")):
+            # Acquire/release happen directly under QueryFileTable so the
+            # wait and unwait signatures read exactly as in the paper's
+            # motivating example (fv.sys!QueryFileTable).
+            lock = self._table_lock_for(file_id)
+            yield from ctx.acquire(lock)
+            try:
+                yield from ctx.compute(
+                    lognormal_us(self.rng, self.lookup_median_us)
+                )
+                if resolve:
+                    yield from io_call(
+                        ctx,
+                        self.fs.read_file(
+                            ctx, file_id, size_factor=size_factor, cached=cached
+                        ),
+                    )
+            finally:
+                yield from ctx.release(lock)
+
+
+# ---------------------------------------------------------------------------
+# Filter / security drivers
+# ---------------------------------------------------------------------------
+
+
+class AntiVirusFilterDriver(Driver):
+    """``av.sys`` — a security-software filter driver.
+
+    Intercepts file requests system-wide but funnels inspection through a
+    single signature-database lock — the architecture §5.2.4's first
+    observation blames: "security software ... usually uses a single
+    process and database for security inspection".
+    """
+
+    module = "av.sys"
+
+    def __init__(
+        self,
+        fs: FileSystemDriver,
+        rng: random.Random,
+        scan_median_us: int = 2500,
+        database_miss_rate: float = 0.25,
+    ):
+        self.fs = fs
+        self.rng = rng
+        self.scan_median_us = scan_median_us
+        self.database_miss_rate = database_miss_rate
+        self.scan_lock = Lock("av.sys/SignatureDatabase")
+
+    def scan_file(self, ctx: ThreadContext, file_id: int) -> Generator:
+        """Inspect one file under the global signature-database lock."""
+        with ctx.frame(self.sig("ScanFile")):
+            with ctx.frame(self.sig("AcquireDatabase")):
+                yield from ctx.acquire(self.scan_lock)
+            try:
+                yield from ctx.compute(
+                    lognormal_us(self.rng, self.scan_median_us)
+                )
+                if bernoulli(self.rng, self.database_miss_rate):
+                    # Signature page not resident: read it through fs.sys
+                    # while holding the database lock.
+                    yield from io_call(
+                        ctx, self.fs.read_file(ctx, file_id * 7919, 0.5)
+                    )
+            finally:
+                with ctx.frame(self.sig("AcquireDatabase")):
+                    yield from ctx.release(self.scan_lock)
+
+
+class IOCacheDriver(Driver):
+    """``iocache.sys`` — an IO-cache filter with a shared cache-map lock."""
+
+    module = "iocache.sys"
+
+    def __init__(self, rng: random.Random, lookup_median_us: int = 60):
+        self.rng = rng
+        self.lookup_median_us = lookup_median_us
+        self.cache_lock = Lock("iocache.sys/CacheMap")
+
+    def lookup(self, ctx: ThreadContext) -> Generator:
+        with ctx.frame(self.sig("Lookup")):
+            with ctx.frame(self.sig("AcquireMap")):
+                yield from ctx.acquire(self.cache_lock)
+            try:
+                yield from ctx.compute(
+                    lognormal_us(self.rng, self.lookup_median_us)
+                )
+            finally:
+                with ctx.frame(self.sig("AcquireMap")):
+                    yield from ctx.release(self.cache_lock)
+
+
+class DiskProtectionDriver(Driver):
+    """``dp.sys`` — motion-triggered disk protection.
+
+    By design it halts all disk reads and writes while engaged; the paper
+    calls appearances of this driver in contrast patterns *false positives*
+    (by-design behaviour that still costs time).  ``engage`` is run by a
+    background monitor thread; every storage request ``check``s the gate.
+    """
+
+    module = "dp.sys"
+
+    def __init__(self, rng: random.Random, check_median_us: int = 40):
+        self.rng = rng
+        self.check_median_us = check_median_us
+        self.gate = Lock("dp.sys/MotionGate")
+
+    def check(self, ctx: ThreadContext) -> Generator:
+        with ctx.frame(self.sig("CheckMotion")):
+            with ctx.frame(self.sig("AcquireGate")):
+                yield from ctx.acquire(self.gate)
+            try:
+                yield from ctx.compute(
+                    lognormal_us(self.rng, self.check_median_us)
+                )
+            finally:
+                with ctx.frame(self.sig("AcquireGate")):
+                    yield from ctx.release(self.gate)
+
+    def engage(self, ctx: ThreadContext, halt_us: int) -> Generator:
+        """Hold the gate for ``halt_us`` while the drive heads are parked."""
+        with ctx.frame(self.sig("EngageProtection")):
+            with ctx.frame(self.sig("AcquireGate")):
+                yield from ctx.acquire(self.gate)
+            try:
+                yield from ctx.compute(halt_us)
+            finally:
+                with ctx.frame(self.sig("AcquireGate")):
+                    yield from ctx.release(self.gate)
+
+
+class StorageBackupDriver(Driver):
+    """``bkup.sys`` — continuous backup sweeping files through fs.sys."""
+
+    module = "bkup.sys"
+
+    def __init__(self, fs: FileSystemDriver, rng: random.Random):
+        self.fs = fs
+        self.rng = rng
+
+    def backup_pass(self, ctx: ThreadContext, file_ids) -> Generator:
+        """Read a batch of files for the backup set (holds MDUs in turn)."""
+        with ctx.frame(self.sig("BackupPass")):
+            for file_id in file_ids:
+                yield from io_call(
+                    ctx,
+                    self.fs.read_file(
+                        ctx, file_id, size_factor=uniform_us(self.rng, 1, 3)
+                    ),
+                )
+
+
+# ---------------------------------------------------------------------------
+# Network / graphics / input / platform drivers
+# ---------------------------------------------------------------------------
+
+
+class NetworkDriver(Driver):
+    """``net.sys`` — the network stack: transfers over an unstable link.
+
+    A transfer blocks the caller inside ``net.sys!Receive`` while a
+    protocol DPC thread handles the NIC interrupt and runs receive
+    processing before readying the waiter — the attribution shape real
+    ETW shows for socket waits (the readying stack carries network-driver
+    frames, not bare hardware), which is what lets network delays appear
+    as *propagated*, optimizable driver behaviour in the analysis.
+    """
+
+    module = "net.sys"
+
+    def __init__(
+        self,
+        network: QueuedDevice,
+        rng: random.Random,
+        latency_median_us: int = 20_000,
+        congestion_rate: float = 0.15,
+        congestion_multiplier: float = 6.0,
+    ):
+        self.network = network
+        self.rng = rng
+        self.latency_median_us = latency_median_us
+        self.congestion_rate = congestion_rate
+        self.congestion_multiplier = congestion_multiplier
+        self._transfer_count = 0
+
+    def transfer(self, ctx: ThreadContext, size_factor: float = 1.0) -> Generator:
+        """One request/response round trip; occasionally hits congestion."""
+        from repro.sim.locks import SimEvent
+        from repro.trace.stream import ThreadInfo
+
+        with ctx.frame(self.sig("Transfer")):
+            median = self.latency_median_us * size_factor
+            if bernoulli(self.rng, self.congestion_rate):
+                median *= self.congestion_multiplier
+            yield from ctx.compute(uniform_us(self.rng, 30, 200))
+
+            self._transfer_count += 1
+            completed = SimEvent(f"net/xfer#{self._transfer_count}")
+            latency = lognormal_us(self.rng, median, sigma=0.6)
+            protocol_cpu = uniform_us(self.rng, 100, 600)
+            driver = self
+
+            def dpc_program(dpc_ctx: ThreadContext) -> Generator:
+                with dpc_ctx.frame(make_signature("kernel", "Dpc")):
+                    with dpc_ctx.frame(driver.sig("ProtocolReceive")):
+                        yield from dpc_ctx.hardware(driver.network, latency)
+                        yield from dpc_ctx.compute(protocol_cpu)
+                        yield from dpc_ctx.fire(completed)
+
+            info = ThreadInfo(
+                tid=-1, process="System",
+                name=f"NetDpc{self._transfer_count}",
+            )
+            with ctx.frame(self.sig("Receive")):
+                yield from ctx.spawn(info, dpc_program)
+                yield from ctx.wait_for(completed)
+
+
+class GraphicsDriver(Driver):
+    """``graphics.sys`` — GPU rendering plus a pageable internal structure.
+
+    ``render`` holds the GPU context lock across the hardware pass.
+    ``initialize_surface`` touches pageable memory and can hard-fault —
+    while holding the GPU lock if the caller took it — reproducing the
+    §5.2.4 case where a graphics routine's page-in through fs.sys/se.sys
+    froze the UI for seconds.
+    """
+
+    module = "graphics.sys"
+
+    def __init__(
+        self,
+        gpu: QueuedDevice,
+        memory,
+        rng: random.Random,
+        render_median_us: int = 3000,
+    ):
+        self.gpu = gpu
+        self.memory = memory
+        self.rng = rng
+        self.render_median_us = render_median_us
+        self.gpu_lock = Lock("graphics.sys/GpuContext")
+
+    def render(self, ctx: ThreadContext, complexity: float = 1.0) -> Generator:
+        """Render a frame batch while holding the GPU context."""
+        with ctx.frame(self.sig("Render")):
+            with ctx.frame(self.sig("AcquireGpu")):
+                yield from ctx.acquire(self.gpu_lock)
+            try:
+                yield from ctx.compute(uniform_us(self.rng, 100, 600))
+                yield from ctx.hardware(
+                    self.gpu,
+                    lognormal_us(self.rng, self.render_median_us * complexity),
+                )
+            finally:
+                with ctx.frame(self.sig("AcquireGpu")):
+                    yield from ctx.release(self.gpu_lock)
+
+    def initialize_surface(self, ctx: ThreadContext) -> Generator:
+        """Set up an internal pageable structure; may hard-fault (§5.2.4)."""
+        with ctx.frame(self.sig("InitializeSurface")):
+            yield from self.memory.touch(ctx)
+            yield from ctx.compute(uniform_us(self.rng, 50, 300))
+
+    def system_routine(self, ctx: ThreadContext) -> Generator:
+        """Periodic system-event handler: holds the GPU and may hard-fault."""
+        with ctx.frame(self.sig("SystemEventRoutine")):
+            with ctx.frame(self.sig("AcquireGpu")):
+                yield from ctx.acquire(self.gpu_lock)
+            try:
+                yield from ctx.compute(uniform_us(self.rng, 200, 1500))
+                yield from self.initialize_surface(ctx)
+            finally:
+                with ctx.frame(self.sig("AcquireGpu")):
+                    yield from ctx.release(self.gpu_lock)
+
+
+class MouseDriver(Driver):
+    """``mouse.sys`` — input delivery; cheap CPU on every click."""
+
+    module = "mouse.sys"
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+
+    def process_input(self, ctx: ThreadContext) -> Generator:
+        with ctx.frame(self.sig("ProcessInput")):
+            yield from ctx.compute(uniform_us(self.rng, 30, 150))
+
+
+class ACPIDriver(Driver):
+    """``acpi.sys`` — platform power management with a firmware lock."""
+
+    module = "acpi.sys"
+
+    def __init__(self, rng: random.Random, query_median_us: int = 120):
+        self.rng = rng
+        self.query_median_us = query_median_us
+        self.firmware_lock = Lock("acpi.sys/Firmware")
+
+    def query_power_state(self, ctx: ThreadContext) -> Generator:
+        with ctx.frame(self.sig("QueryPowerState")):
+            with ctx.frame(self.sig("AcquireFirmware")):
+                yield from ctx.acquire(self.firmware_lock)
+            try:
+                yield from ctx.compute(
+                    lognormal_us(self.rng, self.query_median_us)
+                )
+            finally:
+                with ctx.frame(self.sig("AcquireFirmware")):
+                    yield from ctx.release(self.firmware_lock)
+
+    def power_transition(self, ctx: ThreadContext, duration_us: int) -> Generator:
+        """A firmware-mediated transition holding the lock for a while."""
+        with ctx.frame(self.sig("PowerTransition")):
+            with ctx.frame(self.sig("AcquireFirmware")):
+                yield from ctx.acquire(self.firmware_lock)
+            try:
+                yield from ctx.compute(duration_us)
+            finally:
+                with ctx.frame(self.sig("AcquireFirmware")):
+                    yield from ctx.release(self.firmware_lock)

@@ -1,0 +1,652 @@
+"""Generator-coroutine discrete-event simulation engine.
+
+Simulated threads are Python generators that ``yield`` request objects
+(:class:`Compute`, :class:`Acquire`, :class:`Release`,
+:class:`HardwareIO`, :class:`Delay`, :class:`WaitFor`, :class:`Fire`,
+:class:`Spawn`); the :class:`Engine` advances virtual time (integer
+microseconds) with a heap-based event queue and dispatches each request.
+Every state transition that ETW would observe is reported to a tracer
+(:mod:`repro.sim.tracer`): CPU execution, blocking, waking, hardware
+service.
+
+The engine is deliberately kernel-agnostic: locks, devices and thread
+programs are supplied by :mod:`repro.sim.machine` and the workload modules.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.locks import Lock, Mailbox, SimEvent
+from repro.trace.signatures import make_signature
+from repro.trace.stream import ThreadInfo
+
+Program = Callable[["ThreadContext"], Generator]
+
+# ---------------------------------------------------------------------------
+# Requests a thread program may yield
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Compute:
+    """Occupy a CPU core for ``duration`` microseconds (non-preemptive)."""
+
+    duration: int
+
+
+@dataclass(frozen=True, slots=True)
+class Acquire:
+    """Acquire a kernel lock, blocking FIFO if it is held."""
+
+    lock: Lock
+
+
+@dataclass(frozen=True, slots=True)
+class Release:
+    """Release a held kernel lock, waking the next FIFO waiter if any."""
+
+    lock: Lock
+
+
+@dataclass(frozen=True, slots=True)
+class HardwareIO:
+    """Submit a hardware request and block until the device completes it."""
+
+    device: "DevicePort"
+    duration: int
+
+
+@dataclass(frozen=True, slots=True)
+class Delay:
+    """Leave the thread idle (not waiting on anything traceable)."""
+
+    duration: int
+
+
+@dataclass(frozen=True, slots=True)
+class WaitFor:
+    """Block until a one-shot :class:`SimEvent` fires; returns its value."""
+
+    event: SimEvent
+
+
+@dataclass(frozen=True, slots=True)
+class Fire:
+    """Fire a one-shot :class:`SimEvent`, waking every waiter."""
+
+    event: SimEvent
+    value: Any = None
+
+
+@dataclass(frozen=True, slots=True)
+class Post:
+    """Append an item to a mailbox, waking a blocked taker if any."""
+
+    mailbox: Mailbox
+    item: Any
+
+
+@dataclass(frozen=True, slots=True)
+class Take:
+    """Take the next item from a mailbox, blocking FIFO when empty."""
+
+    mailbox: Mailbox
+
+
+@dataclass(frozen=True, slots=True)
+class Spawn:
+    """Create a new thread running ``program``; returns its SimThread."""
+
+    info: ThreadInfo
+    program: Program
+
+
+class DevicePort:
+    """Interface the engine expects from a hardware device model.
+
+    Concrete devices live in :mod:`repro.sim.devices`.  ``service_window``
+    answers, for a request submitted *now* with the given service duration,
+    the ``(service_start, service_end)`` interval after queueing.
+    """
+
+    name: str
+    pseudo_tid: int
+    completion_stack: Tuple[str, ...]
+
+    def service_window(self, now: int, duration: int) -> Tuple[int, int]:
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# Threads
+# ---------------------------------------------------------------------------
+
+_NEW = "new"
+_RUNNABLE = "runnable"
+_RUNNING = "running"
+_BLOCKED = "blocked"
+_IDLE = "idle"
+_DONE = "done"
+
+
+class SimThread:
+    """One simulated thread: identity, callstack, generator, block state."""
+
+    __slots__ = (
+        "info",
+        "gen",
+        "stack",
+        "state",
+        "block_start",
+        "block_resource",
+        "context",
+    )
+
+    def __init__(self, info: ThreadInfo, context: "ThreadContext"):
+        self.info = info
+        self.gen: Optional[Generator] = None
+        self.stack: List[str] = []
+        self.state = _NEW
+        self.block_start: Optional[int] = None
+        self.block_resource: Optional[str] = None
+        self.context = context
+
+    @property
+    def tid(self) -> int:
+        return self.info.tid
+
+    def stack_tuple(self) -> Tuple[str, ...]:
+        return tuple(self.stack)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimThread({self.info.label}, tid={self.tid}, {self.state})"
+
+
+class ThreadContext:
+    """Helpers a thread program uses to interact with the simulated kernel.
+
+    All helpers that can advance virtual time are generator functions and
+    must be delegated to with ``yield from``.
+    """
+
+    def __init__(self, engine: "Engine", thread: Optional[SimThread] = None):
+        self.engine = engine
+        self.thread = thread  # filled in by Engine.spawn
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in microseconds."""
+        return self.engine.now
+
+    @property
+    def rng(self):
+        """The engine-wide random generator (seeded, deterministic)."""
+        return self.engine.rng
+
+    @contextmanager
+    def frame(self, signature: str):
+        """Push a callstack frame for the duration of the ``with`` block."""
+        assert self.thread is not None
+        self.thread.stack.append(signature)
+        try:
+            yield
+        finally:
+            self.thread.stack.pop()
+
+    # -- generator helpers -------------------------------------------------
+
+    def compute(self, duration: int) -> Generator:
+        """Burn CPU for ``duration`` microseconds."""
+        if duration > 0:
+            yield Compute(duration)
+
+    def acquire(self, lock: Lock) -> Generator:
+        """Acquire a lock through the kernel's lock-wait path."""
+        with self.frame(make_signature("kernel", "AcquireLock")):
+            yield Acquire(lock)
+
+    def release(self, lock: Lock) -> Generator:
+        """Release a lock, signalling the next FIFO waiter."""
+        with self.frame(make_signature("kernel", "ReleaseLock")):
+            yield Release(lock)
+
+    def holding(self, lock: Lock, body: Generator) -> Generator:
+        """Run ``body`` while holding ``lock`` (released on any exit)."""
+        yield from self.acquire(lock)
+        try:
+            yield from body
+        finally:
+            yield from self.release(lock)
+
+    def hardware(self, device: DevicePort, duration: int) -> Generator:
+        """Block on a hardware request of ``duration`` service time."""
+        with self.frame(make_signature("kernel", "WaitForHardware")):
+            yield HardwareIO(device, duration)
+
+    def delay(self, duration: int) -> Generator:
+        """Sleep without producing wait events (think-time between work)."""
+        if duration > 0:
+            yield Delay(duration)
+
+    def wait_for(self, event: SimEvent) -> Generator:
+        """Block on a one-shot event; the generator returns its value."""
+        with self.frame(make_signature("kernel", "WaitForObject")):
+            value = yield WaitFor(event)
+        return value
+
+    def fire(self, event: SimEvent, value: Any = None) -> Generator:
+        """Fire a one-shot event, waking all waiters."""
+        with self.frame(make_signature("kernel", "SignalObject")):
+            yield Fire(event, value)
+
+    def post(self, mailbox: Mailbox, item: Any) -> Generator:
+        """Send a request message (never blocks)."""
+        with self.frame(make_signature("kernel", "SendMessage")):
+            yield Post(mailbox, item)
+
+    def take(self, mailbox: Mailbox) -> Generator:
+        """Receive the next message, blocking while the queue is empty."""
+        with self.frame(make_signature("kernel", "WaitForMessage")):
+            item = yield Take(mailbox)
+        return item
+
+    def spawn(self, info: ThreadInfo, program: Program) -> Generator:
+        """Create a sibling thread; the generator returns its SimThread."""
+        thread = yield Spawn(info, program)
+        return thread
+
+    @contextmanager
+    def scenario(self, name: str):
+        """Mark a scenario instance initiated by this thread."""
+        assert self.thread is not None
+        tracer = self.engine.tracer
+        start = self.engine.now
+        try:
+            yield
+        finally:
+            tracer.on_scenario(name, self.thread.tid, start, self.engine.now)
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+
+class _NullTracer:
+    """Tracer that records nothing (used when tracing is disabled)."""
+
+    def on_thread_created(self, info: ThreadInfo) -> None:
+        pass
+
+    def on_compute(self, tid, stack, start, duration) -> None:
+        pass
+
+    def on_wait(self, tid, stack, start, end, resource) -> None:
+        pass
+
+    def on_unwait(self, tid, stack, timestamp, wtid, resource) -> None:
+        pass
+
+    def on_hw_service(self, tid, start, duration, resource) -> None:
+        pass
+
+    def on_scenario(self, name, tid, t0, t1) -> None:
+        pass
+
+
+class Engine:
+    """The discrete-event simulation kernel.
+
+    Parameters
+    ----------
+    cores:
+        Number of CPU cores.  ``Compute`` requests occupy one core
+        non-preemptively; excess runnable threads queue FIFO.
+    tracer:
+        Receiver of trace events (see :class:`repro.sim.tracer.Tracer`).
+        ``None`` disables tracing.
+    rng:
+        A seeded :class:`random.Random`; shared by thread programs through
+        :attr:`ThreadContext.rng` so whole simulations are reproducible.
+    """
+
+    def __init__(self, cores: int = 8, tracer=None, rng=None):
+        if cores < 1:
+            raise SimulationError("engine needs at least one CPU core")
+        self.now = 0
+        self.cores = cores
+        self.tracer = tracer if tracer is not None else _NullTracer()
+        self.rng = rng
+        self._heap: List[Tuple[int, int, Callable[[], None]]] = []
+        self._heap_seq = 0
+        self._free_cores = cores
+        self._cpu_queue: Deque[Tuple[SimThread, int]] = deque()
+        self._next_tid = 1
+        self._live_threads: Dict[int, SimThread] = {}
+        self._blocked_count = 0
+
+    # -- time & scheduling ---------------------------------------------------
+
+    def schedule(self, delay: int, action: Callable[[], None]) -> None:
+        """Run ``action`` ``delay`` microseconds from now."""
+        self.at(self.now + delay, action)
+
+    def at(self, timestamp: int, action: Callable[[], None]) -> None:
+        """Run ``action`` at an absolute virtual time."""
+        if timestamp < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past ({timestamp} < {self.now})"
+            )
+        heapq.heappush(self._heap, (timestamp, self._heap_seq, action))
+        self._heap_seq += 1
+
+    def allocate_tid(self) -> int:
+        """Hand out a fresh thread id (also used for device pseudo-threads)."""
+        tid = self._next_tid
+        self._next_tid += 1
+        return tid
+
+    # -- thread lifecycle ------------------------------------------------------
+
+    def spawn(
+        self,
+        program: Program,
+        process: str,
+        name: str,
+        start_at: Optional[int] = None,
+    ) -> SimThread:
+        """Create a thread and schedule its first step.
+
+        ``start_at`` defaults to the current time; programs may also begin
+        with ``ctx.delay`` for staggered starts.
+        """
+        info = ThreadInfo(tid=self.allocate_tid(), process=process, name=name)
+        context = ThreadContext(self)
+        thread = SimThread(info, context)
+        context.thread = thread
+        # Every thread gets an implicit root frame so even bare computes
+        # carry a meaningful callstack (ETW stacks always have a base).
+        thread.stack.append(f"{info.process}!{info.name}")
+        thread.gen = program(context)
+        self._live_threads[thread.tid] = thread
+        self.tracer.on_thread_created(info)
+        when = self.now if start_at is None else start_at
+        thread.state = _RUNNABLE
+        self.at(when, lambda: self._step(thread, None))
+        return thread
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Advance the simulation until the heap drains (or ``until``).
+
+        Raises :class:`DeadlockError` when the heap drains while blocked
+        threads remain (no future event can ever wake them).
+        """
+        while self._heap:
+            timestamp, _, action = self._heap[0]
+            if until is not None and timestamp > until:
+                self.now = until
+                return
+            heapq.heappop(self._heap)
+            self.now = timestamp
+            action()
+        if until is not None:
+            # Bounded runs treat still-blocked threads (e.g. service loops
+            # parked on their mailboxes) as daemons, not deadlocks.
+            self.now = until
+            return
+        if self._blocked_count:
+            # Threads parked on an empty mailbox are idle servers waiting
+            # for work — a normal quiescent state, not a deadlock.
+            stuck = [
+                thread
+                for thread in self._live_threads.values()
+                if thread.state == _BLOCKED
+                and not (thread.block_resource or "").startswith("mailbox:")
+            ]
+            if not stuck:
+                return
+            blocked = [
+                f"{thread.info.label} (tid {thread.tid}) on "
+                f"{thread.block_resource!r} since {thread.block_start}"
+                for thread in stuck
+            ]
+            raise DeadlockError(
+                "simulation deadlocked; blocked threads:\n  " + "\n  ".join(blocked)
+            )
+
+    def shutdown(self) -> None:
+        """Close every live thread generator (end of a bounded run).
+
+        Generators suspended inside ``try/finally`` blocks that release
+        locks would otherwise be closed by the garbage collector, where
+        their clean-up ``yield`` raises an unraisable RuntimeError.  An
+        explicit close here absorbs those errors deterministically.
+        """
+        for thread in list(self._live_threads.values()):
+            if thread.gen is None:
+                continue
+            try:
+                thread.gen.close()
+            except RuntimeError:
+                # The generator tried to yield (e.g. a lock release)
+                # during close; the simulation is over, so drop it.
+                pass
+            thread.state = _DONE
+        self._live_threads.clear()
+        self._blocked_count = 0
+
+    # -- stepping --------------------------------------------------------------
+
+    def _step(self, thread: SimThread, send_value: Any) -> None:
+        """Resume a thread's generator and dispatch its next request."""
+        if thread.state == _DONE:
+            raise SimulationError(f"stepping finished thread {thread!r}")
+        thread.state = _RUNNING
+        try:
+            request = thread.gen.send(send_value)
+        except StopIteration:
+            thread.state = _DONE
+            del self._live_threads[thread.tid]
+            return
+        self._dispatch(thread, request)
+
+    def _dispatch(self, thread: SimThread, request: Any) -> None:
+        if isinstance(request, Compute):
+            self._handle_compute(thread, request.duration)
+        elif isinstance(request, Acquire):
+            self._handle_acquire(thread, request.lock)
+        elif isinstance(request, Release):
+            self._handle_release(thread, request.lock)
+        elif isinstance(request, HardwareIO):
+            self._handle_hardware(thread, request.device, request.duration)
+        elif isinstance(request, Delay):
+            self._handle_delay(thread, request.duration)
+        elif isinstance(request, WaitFor):
+            self._handle_wait_for(thread, request.event)
+        elif isinstance(request, Fire):
+            self._handle_fire(thread, request.event, request.value)
+        elif isinstance(request, Post):
+            self._handle_post(thread, request.mailbox, request.item)
+        elif isinstance(request, Take):
+            self._handle_take(thread, request.mailbox)
+        elif isinstance(request, Spawn):
+            child = self.spawn(request.program, request.info.process, request.info.name)
+            self.at(self.now, lambda: self._step(thread, child))
+        else:
+            raise SimulationError(
+                f"{thread!r} yielded an unknown request: {request!r}"
+            )
+
+    # -- CPU -------------------------------------------------------------------
+
+    def _handle_compute(self, thread: SimThread, duration: int) -> None:
+        if duration <= 0:
+            self.at(self.now, lambda: self._step(thread, None))
+            return
+        if self._free_cores > 0:
+            self._start_compute(thread, duration)
+        else:
+            thread.state = _RUNNABLE
+            self._cpu_queue.append((thread, duration))
+
+    def _start_compute(self, thread: SimThread, duration: int) -> None:
+        self._free_cores -= 1
+        self.tracer.on_compute(
+            thread.tid, thread.stack_tuple(), self.now, duration
+        )
+
+        def finish() -> None:
+            self._free_cores += 1
+            if self._cpu_queue:
+                queued_thread, queued_duration = self._cpu_queue.popleft()
+                self._start_compute(queued_thread, queued_duration)
+            self._step(thread, None)
+
+        self.schedule(duration, finish)
+
+    # -- blocking & waking -------------------------------------------------------
+
+    def _block(self, thread: SimThread, resource: str) -> None:
+        thread.state = _BLOCKED
+        thread.block_start = self.now
+        thread.block_resource = resource
+        self._blocked_count += 1
+
+    def _wake(
+        self,
+        thread: SimThread,
+        waker_tid: int,
+        waker_stack: Tuple[str, ...],
+        resource: str,
+        send_value: Any = None,
+    ) -> None:
+        """Emit the wait/unwait pair for a wake-up and resume the thread.
+
+        Zero-duration waits (handoff at the same microsecond) are real
+        hand-offs but carry no cost; ETW would not attribute time to them,
+        so neither wait nor unwait events are emitted for them.
+        """
+        if thread.state != _BLOCKED:
+            raise SimulationError(f"waking non-blocked thread {thread!r}")
+        start = thread.block_start
+        assert start is not None
+        if self.now > start:
+            self.tracer.on_unwait(
+                waker_tid, waker_stack, self.now, thread.tid, resource
+            )
+            self.tracer.on_wait(
+                thread.tid, thread.stack_tuple(), start, self.now, resource
+            )
+        thread.state = _RUNNABLE
+        thread.block_start = None
+        thread.block_resource = None
+        self._blocked_count -= 1
+        self.at(self.now, lambda: self._step(thread, send_value))
+
+    # -- locks ---------------------------------------------------------------
+
+    def _handle_acquire(self, thread: SimThread, lock: Lock) -> None:
+        if lock.holder is None:
+            lock.holder = thread
+            self.at(self.now, lambda: self._step(thread, None))
+        else:
+            lock.waiters.append(thread)
+            self._block(thread, f"lock:{lock.name}")
+
+    def _handle_release(self, thread: SimThread, lock: Lock) -> None:
+        if lock.holder is not thread:
+            raise SimulationError(
+                f"{thread!r} released lock {lock.name!r} it does not hold"
+            )
+        if lock.waiters:
+            next_holder = lock.waiters.popleft()
+            lock.holder = next_holder
+            self._wake(
+                next_holder,
+                waker_tid=thread.tid,
+                waker_stack=thread.stack_tuple(),
+                resource=f"lock:{lock.name}",
+            )
+        else:
+            lock.holder = None
+        self.at(self.now, lambda: self._step(thread, None))
+
+    # -- hardware --------------------------------------------------------------
+
+    def _handle_hardware(
+        self, thread: SimThread, device: DevicePort, duration: int
+    ) -> None:
+        service_start, service_end = device.service_window(self.now, duration)
+        self._block(thread, f"device:{device.name}")
+        self.tracer.on_hw_service(
+            device.pseudo_tid, service_start, service_end - service_start,
+            resource=f"device:{device.name}",
+        )
+
+        def complete() -> None:
+            self._wake(
+                thread,
+                waker_tid=device.pseudo_tid,
+                waker_stack=device.completion_stack,
+                resource=f"device:{device.name}",
+            )
+
+        self.at(service_end, complete)
+
+    # -- idling ------------------------------------------------------------------
+
+    def _handle_delay(self, thread: SimThread, duration: int) -> None:
+        thread.state = _IDLE
+        self.schedule(max(duration, 0), lambda: self._step(thread, None))
+
+    # -- mailboxes ---------------------------------------------------------------
+
+    def _handle_post(self, thread: SimThread, mailbox: Mailbox, item: Any) -> None:
+        if mailbox.takers:
+            taker = mailbox.takers.popleft()
+            self._wake(
+                taker,
+                waker_tid=thread.tid,
+                waker_stack=thread.stack_tuple(),
+                resource=f"mailbox:{mailbox.name}",
+                send_value=item,
+            )
+        else:
+            mailbox.items.append(item)
+        self.at(self.now, lambda: self._step(thread, None))
+
+    def _handle_take(self, thread: SimThread, mailbox: Mailbox) -> None:
+        if mailbox.items:
+            item = mailbox.items.popleft()
+            self.at(self.now, lambda: self._step(thread, item))
+        else:
+            mailbox.takers.append(thread)
+            self._block(thread, f"mailbox:{mailbox.name}")
+
+    # -- one-shot events -----------------------------------------------------------
+
+    def _handle_wait_for(self, thread: SimThread, event: SimEvent) -> None:
+        if event.fired:
+            self.at(self.now, lambda: self._step(thread, event.value))
+        else:
+            event.waiters.append(thread)
+            self._block(thread, f"event:{event.name}")
+
+    def _handle_fire(self, thread: SimThread, event: SimEvent, value: Any) -> None:
+        event.fire(value)
+        waiters, event.waiters = list(event.waiters), []
+        for waiter in waiters:
+            self._wake(
+                waiter,
+                waker_tid=thread.tid,
+                waker_stack=thread.stack_tuple(),
+                resource=f"event:{event.name}",
+                send_value=value,
+            )
+        self.at(self.now, lambda: self._step(thread, None))

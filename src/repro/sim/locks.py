@@ -1,0 +1,93 @@
+"""Kernel synchronization primitives for the simulator.
+
+:class:`Lock` is a FIFO mutex — the mechanism behind the paper's lock
+contention regions (File Table lock, MDU lock).  :class:`SimEvent` is a
+one-shot signalled event used for request/response interactions between
+threads (e.g. a UI thread waiting on a network worker) and for hard-fault
+page-in completion.
+
+Both classes are pure state containers; the :class:`repro.sim.engine.Engine`
+performs all transitions so that blocking and waking are traced uniformly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.engine import SimThread
+
+
+class Lock:
+    """A named FIFO mutex.
+
+    The name identifies the protected resource (``'fv.sys/FileTable'``);
+    it reaches traces only through the ``resource`` provenance field that
+    baseline analyzers consume.
+    """
+
+    __slots__ = ("name", "holder", "waiters")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.holder: Optional["SimThread"] = None
+        self.waiters: Deque["SimThread"] = deque()
+
+    @property
+    def contended(self) -> bool:
+        """True when at least one thread is queued behind the holder."""
+        return bool(self.waiters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        holder = self.holder.tid if self.holder else None
+        return f"Lock({self.name!r}, holder={holder}, waiters={len(self.waiters)})"
+
+
+class Mailbox:
+    """A FIFO message queue for cross-thread requests (IPC).
+
+    Posting never blocks; taking blocks until an item is available.  The
+    poster's unwait is attributed to its callstack at post time, so Wait
+    Graphs see who handed work to a waiting service thread.
+    """
+
+    __slots__ = ("name", "items", "takers")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.items: Deque[Any] = deque()
+        self.takers: Deque["SimThread"] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Mailbox({self.name!r}, items={len(self.items)}, "
+            f"takers={len(self.takers)})"
+        )
+
+
+class SimEvent:
+    """A one-shot signalled event carrying an optional value.
+
+    Threads block on it with ``ctx.wait_for``; one thread fires it with
+    ``ctx.fire``.  Waiting on an already-fired event returns immediately.
+    """
+
+    __slots__ = ("name", "fired", "value", "waiters")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.fired = False
+        self.value: Any = None
+        self.waiters: List["SimThread"] = []
+
+    def fire(self, value: Any = None) -> None:
+        """Mark the event as signalled (the engine wakes the waiters)."""
+        self.fired = True
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimEvent({self.name!r}, fired={self.fired})"

@@ -1,0 +1,223 @@
+"""Machine assembly: one simulated Windows-like box per trace stream.
+
+A :class:`Machine` wires together the engine, tracer, hardware devices,
+the driver stack and pageable memory according to a :class:`MachineConfig`.
+Workloads (:mod:`repro.sim.workloads`) then spawn application threads onto
+the machine; :meth:`Machine.run_and_trace` drains the simulation and
+returns the finished :class:`~repro.trace.stream.TraceStream`.
+
+Config fields model deployment-site diversity (the paper's corpus spans
+thousands of real machines): disk speed, encryption on/off, disk
+protection, lock granularity, fault rates, interference levels.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.sim.devices import QueuedDevice
+from repro.sim.drivers import (
+    ACPIDriver,
+    AntiVirusFilterDriver,
+    DiskProtectionDriver,
+    FileSystemDriver,
+    FileVirtualizationDriver,
+    GraphicsDriver,
+    IOCacheDriver,
+    MouseDriver,
+    NetworkDriver,
+    PlainStorageDriver,
+    StorageBackupDriver,
+    StorageEncryptionDriver,
+)
+from repro.sim.engine import Engine, Program, SimThread
+from repro.sim.memory import PagedMemory
+from repro.sim.services import WorkerService
+from repro.sim.tracer import Tracer
+from repro.trace.stream import TraceStream
+from repro.units import DEFAULT_SAMPLE_INTERVAL_US
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Per-machine hardware/software configuration.
+
+    The defaults describe a mid-range encrypted laptop; the corpus
+    generator perturbs them per machine.
+    """
+
+    seed: int = 0
+    cores: int = 8
+    sample_interval_us: int = DEFAULT_SAMPLE_INTERVAL_US
+    # Software configuration.
+    encryption_enabled: bool = True
+    disk_protection_enabled: bool = False
+    io_cache_enabled: bool = True
+    # Hardware speeds.
+    disk_read_median_us: int = 3_000
+    disk_capacity: int = 1
+    network_latency_median_us: int = 12_000
+    network_capacity: int = 4
+    gpu_render_median_us: int = 6_000
+    # Driver behaviour.
+    decrypt_median_us: int = 1_200
+    mdu_lock_count: int = 3
+    file_table_lock_count: int = 2
+    av_scan_median_us: int = 1_500
+    av_database_miss_rate: float = 0.25
+    network_congestion_rate: float = 0.15
+    # Memory behaviour.
+    hard_fault_rate: float = 0.03
+    page_read_size: float = 6.0
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on out-of-range values."""
+        if self.cores < 1:
+            raise ConfigError("cores must be >= 1")
+        if self.disk_capacity < 1 or self.network_capacity < 1:
+            raise ConfigError("device capacities must be >= 1")
+        if self.mdu_lock_count < 1 or self.file_table_lock_count < 1:
+            raise ConfigError("lock counts must be >= 1")
+        for name in ("hard_fault_rate", "av_database_miss_rate",
+                     "network_congestion_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be a probability, got {value}")
+        for name in ("disk_read_median_us", "network_latency_median_us",
+                     "gpu_render_median_us", "decrypt_median_us",
+                     "av_scan_median_us", "sample_interval_us"):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be >= 1 microsecond")
+
+    def with_seed(self, seed: int) -> "MachineConfig":
+        """Copy of this config with a different seed."""
+        return replace(self, seed=seed)
+
+
+class Machine:
+    """A fully wired simulated machine."""
+
+    def __init__(self, stream_id: str, config: Optional[MachineConfig] = None):
+        self.config = config if config is not None else MachineConfig()
+        self.config.validate()
+        self.stream_id = stream_id
+        self.rng = random.Random(self.config.seed)
+        self.tracer = Tracer(stream_id, self.config.sample_interval_us)
+        self.engine = Engine(
+            cores=self.config.cores, tracer=self.tracer, rng=self.rng
+        )
+
+        # Hardware.
+        self.disk = QueuedDevice(self.engine, "Disk", self.config.disk_capacity)
+        self.network = QueuedDevice(
+            self.engine, "Network", self.config.network_capacity
+        )
+        self.gpu = QueuedDevice(self.engine, "Gpu", capacity=1)
+
+        # Storage stack (bottom-up).
+        if self.config.encryption_enabled:
+            self.storage = StorageEncryptionDriver(
+                self.disk,
+                self.rng,
+                read_median_us=self.config.disk_read_median_us,
+                decrypt_median_us=self.config.decrypt_median_us,
+            )
+        else:
+            self.storage = PlainStorageDriver(
+                self.disk, self.rng, read_median_us=self.config.disk_read_median_us
+            )
+        self.dp = (
+            DiskProtectionDriver(self.rng)
+            if self.config.disk_protection_enabled
+            else None
+        )
+        self.fs = FileSystemDriver(
+            self.storage,
+            self.rng,
+            mdu_lock_count=self.config.mdu_lock_count,
+            disk_protection=self.dp,
+        )
+        self.fv = FileVirtualizationDriver(
+            self.fs,
+            self.rng,
+            file_table_lock_count=self.config.file_table_lock_count,
+        )
+
+        # Filters and peripherals.
+        self.av = AntiVirusFilterDriver(
+            self.fs,
+            self.rng,
+            scan_median_us=self.config.av_scan_median_us,
+            database_miss_rate=self.config.av_database_miss_rate,
+        )
+        self.iocache = IOCacheDriver(self.rng) if self.config.io_cache_enabled else None
+        self.bkup = StorageBackupDriver(self.fs, self.rng)
+        self.net = NetworkDriver(
+            self.network,
+            self.rng,
+            latency_median_us=self.config.network_latency_median_us,
+            congestion_rate=self.config.network_congestion_rate,
+        )
+        self.memory = PagedMemory(
+            self.engine,
+            self.fs,
+            self.rng,
+            fault_rate=self.config.hard_fault_rate,
+            page_read_size=self.config.page_read_size,
+        )
+        self.graphics = GraphicsDriver(
+            self.gpu,
+            self.memory,
+            self.rng,
+            render_median_us=self.config.gpu_render_median_us,
+        )
+        self.mouse = MouseDriver(self.rng)
+        self.acpi = ACPIDriver(self.rng)
+
+        # Shared IPC services.  Single workers serialize requests — the
+        # paper's security-software architecture ("a single process and
+        # database for security inspection") — so one slow driver call
+        # inside a service propagates to every queued requester.
+        self.security_service = WorkerService(
+            self.engine,
+            "SecuritySvc",
+            workers=1,
+            handler_frame="SecuritySvc!InspectRequest",
+        )
+        self.render_service = WorkerService(
+            self.engine,
+            "RenderSvc",
+            workers=1,
+            handler_frame="RenderSvc!ProcessBatch",
+        )
+        self.browser_io_service = WorkerService(
+            self.engine,
+            "BrowserIo",
+            workers=2,
+            handler_frame="BrowserIo!HandleRequest",
+        )
+        self.fetch_service = WorkerService(
+            self.engine,
+            "NetSvc",
+            workers=2,
+            handler_frame="NetSvc!Fetch",
+        )
+
+    def spawn(
+        self,
+        program: Program,
+        process: str,
+        name: str,
+        start_at: Optional[int] = None,
+    ) -> SimThread:
+        """Spawn a thread onto this machine's engine."""
+        return self.engine.spawn(program, process, name, start_at=start_at)
+
+    def run_and_trace(self, until: Optional[int] = None) -> TraceStream:
+        """Drain the simulation and return the recorded trace stream."""
+        self.engine.run(until=until)
+        self.engine.shutdown()
+        return self.tracer.finalize()

@@ -1,0 +1,84 @@
+"""Virtual memory with hard faults.
+
+A hard fault forces the memory manager to read the page back from disk:
+the faulting thread blocks, a system pager worker performs the page-in
+through the file system (and through storage encryption when enabled),
+then signals the faulting thread.  This is the "subtler interaction" of
+the paper's §5.2.4: a graphics routine that never knowingly touches the
+disk ends up waiting on ``fs.sys`` and ``se.sys`` for seconds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator
+
+from repro.sim.distributions import bernoulli, lognormal_us, pareto_us
+from repro.sim.drivers import FileSystemDriver, io_call
+from repro.sim.engine import Engine, ThreadContext
+from repro.sim.locks import SimEvent
+from repro.trace.signatures import make_signature
+from repro.trace.stream import ThreadInfo
+
+
+class PagedMemory:
+    """Pageable memory: each touch may hard-fault with ``fault_rate``.
+
+    Parameters
+    ----------
+    engine, fs:
+        Simulation kernel and the file-system driver used for page-in.
+    fault_rate:
+        Probability that a touch misses resident memory.
+    page_read_size:
+        Size factor handed to ``fs.paging_read`` for an ordinary fault.
+    severe_fault_rate:
+        Fraction of faults that page in a large cluster (Pareto-tailed),
+        producing the multi-second stalls of the paper's graphics case.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        fs: FileSystemDriver,
+        rng: random.Random,
+        fault_rate: float = 0.03,
+        page_read_size: float = 6.0,
+        severe_fault_rate: float = 0.2,
+    ):
+        self.engine = engine
+        self.fs = fs
+        self.rng = rng
+        self.fault_rate = fault_rate
+        self.page_read_size = page_read_size
+        self.severe_fault_rate = severe_fault_rate
+        self.fault_count = 0
+        self._pager_index = 0
+
+    def touch(self, ctx: ThreadContext) -> Generator:
+        """Access pageable memory; block on a page-in when it hard-faults."""
+        if not bernoulli(self.rng, self.fault_rate):
+            # Resident: the access costs nothing observable at 1 ms sampling.
+            return
+        self.fault_count += 1
+        self._pager_index += 1
+        pager_name = f"Pager{self._pager_index}"
+        completed = SimEvent(f"pagein/{pager_name}")
+        file_id = self.rng.randrange(1 << 16)
+        if bernoulli(self.rng, self.severe_fault_rate):
+            size = self.page_read_size * pareto_us(self.rng, 4, alpha=1.5, cap_us=40)
+        else:
+            size = self.page_read_size
+        fs = self.fs
+
+        def pager_program(pager_ctx: ThreadContext) -> Generator:
+            with pager_ctx.frame(make_signature("kernel", "PageFaultHandler")):
+                yield from io_call(
+                    pager_ctx, fs.paging_read(pager_ctx, file_id, size)
+                )
+                yield from pager_ctx.fire(completed)
+
+        info = ThreadInfo(tid=-1, process="System", name=pager_name)
+        with ctx.frame(make_signature("kernel", "PageFault")):
+            yield from ctx.spawn(info, pager_program)
+            yield from ctx.wait_for(completed)

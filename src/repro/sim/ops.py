@@ -1,0 +1,114 @@
+"""Request factories for service-mediated operations.
+
+These build the generators that :class:`~repro.sim.services.WorkerService`
+workers execute on behalf of scenario threads: virtual-file opens, session
+flushes, security inspections and render batches.  Keeping them in one
+module lets several workloads share the exact same service-side behaviour
+(and therefore aggregate onto the same Wait Graph signatures).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Sequence
+
+from repro.sim.distributions import bernoulli, uniform_us
+from repro.sim.engine import ThreadContext
+from repro.sim.services import RequestFactory
+
+
+def open_virtual_files(
+    machine,
+    file_ids: Sequence[int],
+    resolve_prob: float = 0.6,
+    cache_prob: float = 0.4,
+    size_factor: float = 1.0,
+) -> RequestFactory:
+    """Open files through the fv.sys → fs.sys → storage stack."""
+
+    def factory(ctx: ThreadContext) -> Generator:
+        if bernoulli(machine.rng, 0.2):
+            # Buffer pages for the request may have been evicted.
+            yield from machine.memory.touch(ctx)
+        for file_id in file_ids:
+            with ctx.frame("kernel!OpenFile"):
+                yield from machine.fv.query_file_table(
+                    ctx,
+                    file_id,
+                    resolve=bernoulli(machine.rng, resolve_prob),
+                    cached=bernoulli(machine.rng, cache_prob),
+                    size_factor=size_factor * machine.rng.uniform(0.5, 3.0),
+                )
+
+    return factory
+
+
+def flush_files(machine, file_ids: Sequence[int]) -> RequestFactory:
+    """Write files through fs.sys (session state, cache entries)."""
+
+    def factory(ctx: ThreadContext) -> Generator:
+        for file_id in file_ids:
+            with ctx.frame("kernel!WriteFile"):
+                yield from machine.fs.write_file(ctx, file_id)
+
+    return factory
+
+
+def security_inspection(
+    machine, file_id: int, resolve_prob: float = 0.4
+) -> RequestFactory:
+    """Full security-stack inspection of one access request."""
+
+    def factory(ctx: ThreadContext) -> Generator:
+        if bernoulli(machine.rng, 0.3):
+            # The inspection engine's rule pages may have been evicted.
+            yield from machine.memory.touch(ctx)
+        if machine.iocache is not None:
+            with ctx.frame("kernel!OpenFile"):
+                yield from machine.iocache.lookup(ctx)
+        with ctx.frame("kernel!OpenFile"):
+            yield from machine.av.scan_file(ctx, file_id)
+        if bernoulli(machine.rng, resolve_prob):
+            with ctx.frame("kernel!OpenFile"):
+                yield from machine.fv.query_file_table(
+                    ctx, file_id, resolve=True,
+                    cached=bernoulli(machine.rng, 0.5),
+                )
+
+    return factory
+
+
+def render_batch(
+    machine, complexity: float = 1.0, surface_prob: float = 0.1
+) -> RequestFactory:
+    """Render a frame batch on the shared render worker.
+
+    With probability ``surface_prob`` the batch needs a fresh internal
+    surface, whose initialization touches pageable memory — the §5.2.4
+    hard-fault path.  A fault on the shared render worker stalls every
+    queued render request, which is precisely how one page-in freezes
+    several scenarios at once.
+    """
+
+    def factory(ctx: ThreadContext) -> Generator:
+        yield from ctx.compute(uniform_us(machine.rng, 100, 500))
+        if bernoulli(machine.rng, surface_prob):
+            yield from machine.graphics.initialize_surface(ctx)
+        yield from machine.graphics.render(ctx, complexity=complexity)
+
+    return factory
+
+
+def fetch_resources(
+    machine, count: int, size_low: float = 0.5, size_high: float = 3.0
+) -> RequestFactory:
+    """Fetch ``count`` resources over the network stack (net.sys)."""
+
+    def factory(ctx: ThreadContext) -> Generator:
+        for _ in range(count):
+            with ctx.frame("kernel!SocketReceive"):
+                yield from machine.net.transfer(
+                    ctx,
+                    size_factor=machine.rng.uniform(size_low, size_high),
+                )
+
+    return factory

@@ -1,0 +1,125 @@
+"""Shared worker services reached over IPC mailboxes.
+
+Real Windows scenarios rarely have the UI thread take kernel driver locks
+itself: work is posted to worker threads and shared service processes
+(the security service with its single inspection database, render
+workers, browser IO workers), and the requester blocks on an IPC reply.
+That structure is what makes one driver delay fan out over several
+concurrent scenario instances — every requester's Wait Graph reaches the
+*same* service-thread wait events, giving ``D_wait / D_waitdist`` ratios
+well above 1 (paper §3.2, §5.1).
+
+A :class:`WorkerService` owns a mailbox and one or more worker threads.
+Clients call :meth:`WorkerService.submit` with a *request factory* — a
+callable producing the generator the worker should execute — and block
+until the worker fires the completion event.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.sim.engine import Engine, ThreadContext
+from repro.sim.locks import Mailbox, SimEvent
+
+RequestFactory = Callable[[ThreadContext], Generator]
+
+
+class WorkerService:
+    """A mailbox-fed pool of worker threads executing request generators.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine to spawn workers onto.
+    process, name_prefix:
+        Thread identity: workers are ``{process}/{name_prefix}{i}``.
+    workers:
+        Pool size.  1 serializes all requests (the paper's single-database
+        security service); more workers trade sharing for throughput.
+    handler_frame:
+        Callstack frame pushed around each handled request, e.g.
+        ``"SecuritySvc!HandleRequest"``.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        process: str,
+        name_prefix: str = "Worker",
+        workers: int = 1,
+        handler_frame: str = "",
+    ):
+        self.engine = engine
+        self.process = process
+        self.mailbox = Mailbox(f"{process}/requests")
+        self.handler_frame = handler_frame or f"{process}!HandleRequest"
+        self.submitted = 0
+        self.completed = 0
+        for index in range(workers):
+            engine.spawn(self._worker_program, process, f"{name_prefix}{index}")
+
+    def _worker_program(self, ctx: ThreadContext) -> Generator:
+        with ctx.frame(f"{self.process}!MainLoop"):
+            while True:
+                request = yield from ctx.take(self.mailbox)
+                factory, done = request
+                with ctx.frame(self.handler_frame):
+                    yield from factory(ctx)
+                yield from ctx.fire(done)
+                self.completed += 1
+
+    def post_only(
+        self,
+        ctx: ThreadContext,
+        factory: RequestFactory,
+    ) -> Generator:
+        """Post a request without waiting for its completion (fire/forget)."""
+        self.submitted += 1
+        done = SimEvent(f"{self.process}/reply#{self.submitted}")
+        yield from ctx.post(self.mailbox, (factory, done))
+
+    def submit(
+        self,
+        ctx: ThreadContext,
+        factory: RequestFactory,
+        wait_frame: str,
+    ) -> Generator:
+        """Post a request and block until a worker completes it.
+
+        ``wait_frame`` is the requester-side frame around the reply wait
+        (e.g. ``"Browser!WaitForIo"``) — deliberately *not* a driver frame,
+        since the requester itself is not executing driver code.
+        """
+        self.submitted += 1
+        done = SimEvent(f"{self.process}/reply#{self.submitted}")
+        yield from ctx.post(self.mailbox, (factory, done))
+        with ctx.frame(wait_frame):
+            yield from ctx.wait_for(done)
+
+
+class ScenarioWorkerService(WorkerService):
+    """A worker service whose request handling *is* a scenario instance.
+
+    Real scenarios trigger each other: a page navigation spawns sub-frame
+    creations on a renderer thread, whose execution is itself a
+    ``BrowserFrameCreate`` instance.  The triggering instance suspends on
+    the triggered one, so the triggered instance's wait events appear in
+    both Wait Graphs — the instance overlap the paper's §2.1 calls "a
+    typical manifestation of cost propagation".
+    """
+
+    def __init__(self, *args, scenario: str, **kwargs):
+        self.scenario = scenario
+        super().__init__(*args, **kwargs)
+
+    def _worker_program(self, ctx: ThreadContext) -> Generator:
+        with ctx.frame(f"{self.process}!MainLoop"):
+            while True:
+                request = yield from ctx.take(self.mailbox)
+                factory, done = request
+                with ctx.scenario(self.scenario):
+                    with ctx.frame(self.handler_frame):
+                        yield from factory(ctx)
+                yield from ctx.fire(done)
+                self.completed += 1

@@ -1,0 +1,155 @@
+"""ETW-like tracer: turns engine callbacks into a trace stream.
+
+The tracer implements the observation model of the paper's §2.1:
+
+* CPU execution is reported as RUNNING events sampled at a constant
+  interval (1 ms by default, like ETW/DTrace).  A compute slice of
+  duration *d* yields ``ceil(d / interval)`` samples whose costs add up to
+  exactly *d* — a cost-exact idealization of wall-clock sampling.
+* Blocking produces one WAIT event whose ``cost`` is the restored wait
+  duration and whose callstack is the blocker's stack at block time.
+* Wake-ups produce one UNWAIT event attributed to the waking thread (or a
+  device pseudo-thread for IO completions) with ``wtid`` set.
+* Device activity produces HW_SERVICE events with start and duration.
+
+Call :meth:`Tracer.finalize` once the simulation has drained to obtain an
+ordered, validated :class:`~repro.trace.stream.TraceStream`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.trace.events import Event, EventKind
+from repro.trace.stream import ThreadInfo, TraceStream
+from repro.units import DEFAULT_SAMPLE_INTERVAL_US
+
+
+class Tracer:
+    """Collects tracing events during a simulation run."""
+
+    def __init__(
+        self,
+        stream_id: str,
+        sample_interval: int = DEFAULT_SAMPLE_INTERVAL_US,
+    ):
+        if sample_interval < 1:
+            raise SimulationError("sample interval must be >= 1 microsecond")
+        self.stream_id = stream_id
+        self.sample_interval = sample_interval
+        self._events: List[Event] = []
+        self._threads: List[ThreadInfo] = []
+        self._scenarios: List[Tuple[str, int, int, int]] = []
+        self._finalized: Optional[TraceStream] = None
+
+    # -- engine callbacks ---------------------------------------------------
+
+    def on_thread_created(self, info: ThreadInfo) -> None:
+        self._threads.append(info)
+
+    def on_compute(
+        self, tid: int, stack: Tuple[str, ...], start: int, duration: int
+    ) -> None:
+        """Emit RUNNING samples covering ``[start, start + duration)``."""
+        offset = 0
+        while offset < duration:
+            slice_cost = min(self.sample_interval, duration - offset)
+            self._append(
+                EventKind.RUNNING,
+                stack=stack,
+                timestamp=start + offset,
+                cost=slice_cost,
+                tid=tid,
+            )
+            offset += slice_cost
+
+    def on_wait(
+        self,
+        tid: int,
+        stack: Tuple[str, ...],
+        start: int,
+        end: int,
+        resource: Optional[str],
+    ) -> None:
+        if end <= start:
+            return
+        self._append(
+            EventKind.WAIT,
+            stack=stack,
+            timestamp=start,
+            cost=end - start,
+            tid=tid,
+            resource=resource,
+        )
+
+    def on_unwait(
+        self,
+        tid: int,
+        stack: Tuple[str, ...],
+        timestamp: int,
+        wtid: int,
+        resource: Optional[str],
+    ) -> None:
+        self._append(
+            EventKind.UNWAIT,
+            stack=stack,
+            timestamp=timestamp,
+            cost=0,
+            tid=tid,
+            wtid=wtid,
+            resource=resource,
+        )
+
+    def on_hw_service(
+        self, tid: int, start: int, duration: int, resource: Optional[str]
+    ) -> None:
+        self._append(
+            EventKind.HW_SERVICE,
+            stack=(),
+            timestamp=start,
+            cost=duration,
+            tid=tid,
+            resource=resource,
+        )
+
+    def on_scenario(self, name: str, tid: int, t0: int, t1: int) -> None:
+        self._scenarios.append((name, tid, t0, t1))
+
+    # -- finalization ------------------------------------------------------
+
+    def _append(
+        self,
+        kind: EventKind,
+        stack: Tuple[str, ...],
+        timestamp: int,
+        cost: int,
+        tid: int,
+        wtid: Optional[int] = None,
+        resource: Optional[str] = None,
+    ) -> None:
+        if self._finalized is not None:
+            raise SimulationError("tracer already finalized")
+        self._events.append(
+            Event(
+                kind=kind,
+                stack=stack,
+                timestamp=timestamp,
+                cost=cost,
+                tid=tid,
+                seq=len(self._events),
+                wtid=wtid,
+                resource=resource,
+            )
+        )
+
+    def finalize(self) -> TraceStream:
+        """Sort, renumber and package everything into a TraceStream."""
+        if self._finalized is None:
+            stream = TraceStream.from_events(
+                self.stream_id, self._events, self._threads
+            )
+            for name, tid, t0, t1 in self._scenarios:
+                stream.add_instance(name, tid, t0, t1)
+            self._finalized = stream
+        return self._finalized

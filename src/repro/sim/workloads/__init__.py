@@ -1,0 +1,58 @@
+"""Scenario workloads and background interference for the simulator."""
+
+from repro.sim.workloads.background import (
+    install_acpi_activity,
+    install_av_scanner,
+    install_backup_agent,
+    install_config_manager,
+    install_dp_monitor,
+    install_graphics_system_worker,
+    install_standard_background,
+)
+from repro.sim.workloads.base import ScenarioSpec, Workload
+from repro.sim.workloads.browser import (
+    BrowserFrameCreate,
+    BrowserTabClose,
+    BrowserTabCreate,
+    BrowserTabSwitch,
+    WebPageNavigation,
+    install_browser_workers,
+)
+from repro.sim.workloads.menu import MenuDisplay
+from repro.sim.workloads.registry import (
+    SCENARIO_NAMES,
+    SCENARIO_SPECS,
+    WORKLOAD_CLASSES,
+    WORKLOADS_BY_NAME,
+    scenario_spec,
+    workload_class,
+)
+from repro.sim.workloads.responsiveness import AppNonResponsive
+from repro.sim.workloads.security import AppAccessControl
+
+__all__ = [
+    "AppAccessControl",
+    "AppNonResponsive",
+    "BrowserFrameCreate",
+    "BrowserTabClose",
+    "BrowserTabCreate",
+    "BrowserTabSwitch",
+    "MenuDisplay",
+    "SCENARIO_NAMES",
+    "SCENARIO_SPECS",
+    "ScenarioSpec",
+    "WORKLOAD_CLASSES",
+    "WORKLOADS_BY_NAME",
+    "WebPageNavigation",
+    "Workload",
+    "install_acpi_activity",
+    "install_av_scanner",
+    "install_backup_agent",
+    "install_browser_workers",
+    "install_config_manager",
+    "install_dp_monitor",
+    "install_graphics_system_worker",
+    "install_standard_background",
+    "scenario_spec",
+    "workload_class",
+]

@@ -1,0 +1,212 @@
+"""Background interference threads.
+
+These are the "other applications" of the paper's motivating example: an
+AntiVirus worker scanning files, a Configuration Manager reading and
+writing configuration, a backup agent sweeping the disk, a disk-protection
+monitor, ACPI power activity, and a graphics system worker.  They are not
+scenario initiators; their activity shows up *inside* scenario instances'
+Wait Graphs through lock contention and shared devices — which is exactly
+how cost propagation multiplies one delay across several scenario
+instances (``D_wait / D_waitdist > 1``).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.sim.distributions import bernoulli, exponential_us, skewed_file_id, uniform_us
+from repro.sim.engine import ThreadContext
+from repro.sim.machine import Machine
+from repro.units import MILLISECONDS, SECONDS
+
+
+def install_av_scanner(
+    machine: Machine,
+    duration_us: int,
+    aggressiveness: float = 0.5,
+) -> None:
+    """An AntiVirus worker scanning files until ``duration_us``."""
+    pause = int(250 * MILLISECONDS * (1.15 - aggressiveness))
+
+    def program(ctx: ThreadContext) -> Generator:
+        with ctx.frame("AntiVirus!ScanLoop"):
+            while ctx.now < duration_us:
+                file_id = skewed_file_id(machine.rng)
+                with ctx.frame("kernel!OpenFile"):
+                    yield from machine.av.scan_file(ctx, file_id)
+                if bernoulli(machine.rng, 0.4):
+                    with ctx.frame("kernel!OpenFile"):
+                        yield from machine.fs.read_file(
+                            ctx, file_id, cached=bernoulli(machine.rng, 0.6)
+                        )
+                yield from ctx.delay(exponential_us(machine.rng, pause))
+
+    machine.spawn(program, "AntiVirus", "Worker")
+
+
+def install_config_manager(machine: Machine, duration_us: int) -> None:
+    """A Configuration Manager worker reading/writing config files."""
+
+    def program(ctx: ThreadContext) -> Generator:
+        with ctx.frame("ConfigMgr!Worker"):
+            while ctx.now < duration_us:
+                file_id = skewed_file_id(machine.rng, cold_range=1 << 10)
+                with ctx.frame("kernel!OpenFile"):
+                    if bernoulli(machine.rng, 0.7):
+                        yield from machine.fs.read_file(
+                            ctx, file_id, cached=bernoulli(machine.rng, 0.5)
+                        )
+                    else:
+                        yield from machine.fs.write_file(ctx, file_id)
+                yield from ctx.delay(
+                    exponential_us(machine.rng, 350 * MILLISECONDS)
+                )
+
+    machine.spawn(program, "ConfigMgr", "Worker")
+
+
+def install_backup_agent(machine: Machine, duration_us: int) -> None:
+    """A storage-backup agent sweeping batches of files via bkup.sys."""
+
+    def program(ctx: ThreadContext) -> Generator:
+        with ctx.frame("BackupService!Sweep"):
+            while ctx.now < duration_us:
+                batch = [
+                    skewed_file_id(machine.rng)
+                    for _ in range(machine.rng.randint(2, 4))
+                ]
+                yield from machine.bkup.backup_pass(ctx, batch)
+                yield from ctx.delay(
+                    exponential_us(machine.rng, 600 * MILLISECONDS)
+                )
+
+    machine.spawn(program, "BackupService", "Sweep")
+
+
+def install_dp_monitor(machine: Machine, duration_us: int) -> None:
+    """The disk-protection monitor, engaging the gate now and then."""
+    if machine.dp is None:
+        return
+
+    def program(ctx: ThreadContext) -> Generator:
+        with ctx.frame("System!DiskProtectionMonitor"):
+            while ctx.now < duration_us:
+                yield from ctx.delay(
+                    exponential_us(machine.rng, 2 * SECONDS)
+                )
+                halt = uniform_us(
+                    machine.rng, 80 * MILLISECONDS, 400 * MILLISECONDS
+                )
+                yield from machine.dp.engage(ctx, halt)
+
+    machine.spawn(program, "System", "DpMonitor")
+
+
+def install_acpi_activity(machine: Machine, duration_us: int) -> None:
+    """Periodic ACPI power transitions holding the firmware lock."""
+
+    def program(ctx: ThreadContext) -> Generator:
+        with ctx.frame("System!PowerManager"):
+            while ctx.now < duration_us:
+                yield from ctx.delay(
+                    exponential_us(machine.rng, 4 * SECONDS)
+                )
+                yield from machine.acpi.power_transition(
+                    ctx, uniform_us(machine.rng, 5 * MILLISECONDS, 40 * MILLISECONDS)
+                )
+
+    machine.spawn(program, "System", "PowerMgr")
+
+
+def install_graphics_system_worker(machine: Machine, duration_us: int) -> None:
+    """The system worker running graphics event routines (may hard-fault)."""
+
+    def program(ctx: ThreadContext) -> Generator:
+        with ctx.frame("System!Worker"):
+            while ctx.now < duration_us:
+                yield from ctx.delay(
+                    exponential_us(machine.rng, 600 * MILLISECONDS)
+                )
+                yield from machine.graphics.system_routine(ctx)
+
+    machine.spawn(program, "System", "GfxWorker")
+
+
+def install_service_clients(machine: Machine, duration_us: int) -> None:
+    """Background applications using the shared services.
+
+    Other running applications (mail client, indexer, updater) also open
+    protected files and paint — keeping the security and render services
+    loaded so scenario requests queue behind them, as on real desktops.
+    """
+    from repro.sim.ops import render_batch, security_inspection
+
+    def office_program(ctx: ThreadContext) -> Generator:
+        with ctx.frame("OfficeApp!AutoSave"):
+            while ctx.now < duration_us:
+                yield from machine.security_service.submit(
+                    ctx,
+                    security_inspection(machine, skewed_file_id(machine.rng)),
+                    "OfficeApp!WaitAccessCheck",
+                )
+                yield from ctx.delay(
+                    exponential_us(machine.rng, 150 * MILLISECONDS)
+                )
+
+    def widget_program(ctx: ThreadContext) -> Generator:
+        with ctx.frame("Widgets!Refresh"):
+            while ctx.now < duration_us:
+                yield from machine.render_service.submit(
+                    ctx,
+                    render_batch(machine, complexity=0.5),
+                    "Widgets!WaitForRender",
+                )
+                yield from ctx.delay(
+                    exponential_us(machine.rng, 200 * MILLISECONDS)
+                )
+
+    def indexer_program(ctx: ThreadContext) -> Generator:
+        with ctx.frame("Indexer!Crawl"):
+            while ctx.now < duration_us:
+                yield from machine.security_service.submit(
+                    ctx,
+                    security_inspection(machine, skewed_file_id(machine.rng)),
+                    "Indexer!WaitAccessCheck",
+                )
+                yield from ctx.delay(
+                    exponential_us(machine.rng, 220 * MILLISECONDS)
+                )
+
+    def mail_program(ctx: ThreadContext) -> Generator:
+        from repro.sim.ops import fetch_resources
+
+        with ctx.frame("Mail!Sync"):
+            while ctx.now < duration_us:
+                yield from machine.fetch_service.submit(
+                    ctx,
+                    fetch_resources(machine, 1, 0.3, 1.0),
+                    "Mail!WaitForSync",
+                )
+                yield from ctx.delay(
+                    exponential_us(machine.rng, 350 * MILLISECONDS)
+                )
+
+    machine.spawn(office_program, "OfficeApp", "AutoSave")
+    machine.spawn(widget_program, "Widgets", "Refresh")
+    machine.spawn(indexer_program, "Indexer", "Crawl")
+    machine.spawn(mail_program, "Mail", "Sync")
+
+
+def install_standard_background(
+    machine: Machine,
+    duration_us: int,
+    av_aggressiveness: float = 0.5,
+) -> None:
+    """Install the default interference mix used by corpus generation."""
+    install_av_scanner(machine, duration_us, av_aggressiveness)
+    install_service_clients(machine, duration_us)
+    install_config_manager(machine, duration_us)
+    install_backup_agent(machine, duration_us)
+    install_dp_monitor(machine, duration_us)
+    install_acpi_activity(machine, duration_us)
+    install_graphics_system_worker(machine, duration_us)

@@ -1,0 +1,117 @@
+"""Workload framework: scenario specs and the installable-workload base.
+
+A *scenario* (paper §2.1) is a named user-visible operation with
+vendor-specified performance thresholds ``T_fast`` (upper bound of normal
+performance) and ``T_slow`` (lower bound of degradation).  A *workload*
+installs one initiating thread that performs the scenario repeatedly —
+each repetition marked as a scenario instance — plus any helper threads
+the scenario naturally brings along (browser worker threads, etc.).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.errors import ConfigError
+from repro.sim.distributions import exponential_us
+from repro.sim.engine import ThreadContext
+from repro.sim.machine import Machine
+from repro.units import MILLISECONDS
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A scenario's identity and its performance specification."""
+
+    name: str
+    t_fast: int
+    t_slow: int
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.t_fast < self.t_slow:
+            raise ConfigError(
+                f"scenario {self.name}: T_fast ({self.t_fast}) must be below "
+                f"T_slow ({self.t_slow})"
+            )
+
+    def classify(self, duration: int) -> str:
+        """``'fast'``, ``'slow'`` or ``'between'`` for an instance duration."""
+        if duration < self.t_fast:
+            return "fast"
+        if duration > self.t_slow:
+            return "slow"
+        return "between"
+
+
+class Workload(abc.ABC):
+    """Base class for installable scenario workloads.
+
+    Parameters
+    ----------
+    repeats:
+        Number of scenario instances the initiating thread performs.
+    think_median_us:
+        Mean think time between instances (exponential).
+    start_offset_us:
+        Delay before the first instance, used to stagger workloads.
+    intensity:
+        Abstract 0..1 knob scaling how much work each instance does and
+        how aggressive the helper threads are; the corpus generator draws
+        it per machine so the corpus spans calm and loaded systems.
+    """
+
+    spec: ScenarioSpec  # set by subclasses
+
+    def __init__(
+        self,
+        repeats: int = 10,
+        think_median_us: int = 250 * MILLISECONDS,
+        start_offset_us: int = 0,
+        intensity: float = 0.5,
+    ):
+        if repeats < 1:
+            raise ConfigError("workload needs repeats >= 1")
+        if not 0.0 <= intensity <= 1.0:
+            raise ConfigError(f"intensity must be in [0, 1], got {intensity}")
+        self.repeats = repeats
+        self.think_median_us = think_median_us
+        self.start_offset_us = start_offset_us
+        self.intensity = intensity
+
+    @abc.abstractmethod
+    def install(self, machine: Machine) -> None:
+        """Spawn this workload's threads onto the machine."""
+
+    # -- helpers shared by subclasses ---------------------------------------
+
+    @staticmethod
+    def activity_factor(now_us: int, period_us: int = 4_000_000) -> float:
+        """Bursty user activity: short thinks in busy phases, long in lulls.
+
+        Real desktop activity is correlated — the user does several things
+        in quick succession, then pauses.  Alternating busy/idle phases
+        make scenario arrivals pile onto the shared services together,
+        which is where cost propagation multiplies one delay across many
+        concurrently-open instances.
+        """
+        return 0.35 if (now_us // period_us) % 2 == 0 else 2.2
+
+    def _iterate(
+        self, ctx: ThreadContext, machine: Machine, body_factory
+    ) -> Generator:
+        """Run ``repeats`` scenario instances with think time in between.
+
+        ``body_factory(ctx, iteration)`` returns the generator for one
+        instance body; the scenario marker wraps exactly that body.
+        """
+        yield from ctx.delay(self.start_offset_us)
+        for iteration in range(self.repeats):
+            with ctx.scenario(self.spec.name):
+                yield from body_factory(ctx, iteration)
+            think = round(
+                self.think_median_us * self.activity_factor(ctx.now)
+            )
+            yield from ctx.delay(exponential_us(machine.rng, max(think, 1)))

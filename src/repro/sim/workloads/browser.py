@@ -1,0 +1,433 @@
+"""Web-browser scenario workloads.
+
+Five of the paper's eight selected scenarios belong to the browser:
+``BrowserTabCreate`` (the motivating example), ``BrowserTabClose``,
+``BrowserTabSwitch``, ``BrowserFrameCreate`` and ``WebPageNavigation``.
+
+Structure mirrors how browsers actually work on Windows:
+
+* the UI thread handles input and layout/script CPU itself, posting file
+  IO, fetches and frame batches to shared worker services;
+* navigations run on navigation-controller threads and spawn sub-frame
+  creations on the shared renderer thread — so ``WebPageNavigation``
+  instances *contain* ``BrowserFrameCreate`` instances, and a tab create
+  triggers a navigation.  Instances of different scenarios therefore
+  overlap in the trace, the §2.1 "typical manifestation of cost
+  propagation", and the inner instances' wait events appear in every
+  enclosing instance's Wait Graph;
+* background browser workers contend the File Table and MDU locks
+  directly (the ``T_{B,W*}`` threads of Figure 1).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.sim.distributions import (
+    bernoulli,
+    exponential_us,
+    skewed_file_id,
+    uniform_us,
+)
+from repro.sim.engine import ThreadContext
+from repro.sim.machine import Machine
+from repro.sim.ops import (
+    fetch_resources,
+    flush_files,
+    open_virtual_files,
+    render_batch,
+    security_inspection,
+)
+from repro.sim.services import RequestFactory, ScenarioWorkerService
+from repro.sim.workloads.base import ScenarioSpec, Workload
+from repro.units import MILLISECONDS
+
+# ---------------------------------------------------------------------------
+# Shared browser runtime: renderer and navigation controller
+# ---------------------------------------------------------------------------
+
+
+def frame_renderer(machine: Machine) -> ScenarioWorkerService:
+    """The browser's shared renderer thread creating sub-frames.
+
+    Created once per machine; every frame creation it handles is marked
+    as a ``BrowserFrameCreate`` scenario instance, whether triggered by
+    the FrameCreate workload or by a navigated page spawning sub-frames.
+    """
+    service = getattr(machine, "_frame_renderer", None)
+    if service is None:
+        service = ScenarioWorkerService(
+            machine.engine,
+            "Browser",
+            name_prefix="Renderer",
+            workers=1,
+            handler_frame="Browser!CreateFrame",
+            scenario="BrowserFrameCreate",
+        )
+        machine._frame_renderer = service
+    return service
+
+
+def navigation_controller(machine: Machine) -> ScenarioWorkerService:
+    """The navigation controller: each handled request is a navigation."""
+    service = getattr(machine, "_nav_controller", None)
+    if service is None:
+        service = ScenarioWorkerService(
+            machine.engine,
+            "Browser",
+            name_prefix="NavCtl",
+            workers=2,
+            handler_frame="Browser!Navigate",
+            scenario="WebPageNavigation",
+        )
+        machine._nav_controller = service
+    return service
+
+
+def frame_create_request(machine: Machine) -> RequestFactory:
+    """One sub-frame creation executed on the renderer thread."""
+
+    def factory(ctx: ThreadContext) -> Generator:
+        rng = machine.rng
+        with ctx.frame("Browser!FrameCreate"):
+            yield from machine.fetch_service.submit(
+                ctx,
+                fetch_resources(machine, 1, 0.5, 2.0),
+                "Browser!WaitForContent",
+            )
+            file_ids = [skewed_file_id(rng) for _ in range(rng.randint(1, 3))]
+            yield from machine.browser_io_service.submit(
+                ctx,
+                open_virtual_files(machine, file_ids, resolve_prob=0.5),
+                "Browser!WaitForIo",
+            )
+            yield from ctx.compute(uniform_us(rng, 25_000, 70_000))
+            yield from machine.render_service.submit(
+                ctx, render_batch(machine, 0.6), "Browser!WaitForRender"
+            )
+
+    return factory
+
+
+def navigation_request(machine: Machine) -> RequestFactory:
+    """One full page navigation executed on a navigation controller."""
+
+    def factory(ctx: ThreadContext) -> Generator:
+        rng = machine.rng
+        yield from machine.fetch_service.submit(
+            ctx,
+            fetch_resources(machine, rng.randint(1, 3), 0.3, 1.5),
+            "Browser!WaitForResources",
+        )
+        file_ids = [skewed_file_id(rng) for _ in range(rng.randint(1, 3))]
+        yield from machine.browser_io_service.submit(
+            ctx,
+            open_virtual_files(
+                machine, file_ids, resolve_prob=0.8, cache_prob=0.3
+            ),
+            "Browser!WaitForCache",
+        )
+        # Parse, style and script: the heavy application CPU part.
+        yield from ctx.compute(uniform_us(rng, 80_000, 200_000))
+        if bernoulli(rng, 0.7):
+            # The page spawns sub-frames: nested BrowserFrameCreate
+            # instances on the shared renderer thread.
+            renderer = frame_renderer(machine)
+            for _ in range(rng.randint(1, 2)):
+                yield from renderer.submit(
+                    ctx,
+                    frame_create_request(machine),
+                    "Browser!WaitForFrame",
+                )
+        yield from machine.render_service.submit(
+            ctx, render_batch(machine, 1.2), "Browser!WaitForRender"
+        )
+
+    return factory
+
+
+def install_browser_workers(
+    machine: Machine, duration_us: int, count: int = 2, intensity: float = 0.5
+) -> None:
+    """Spawn browser worker threads doing background virtual-file work."""
+    pause = int(250 * MILLISECONDS * (1.3 - intensity))
+    for index in range(count):
+
+        def program(ctx: ThreadContext) -> Generator:
+            with ctx.frame("Browser!Worker"):
+                while ctx.now < duration_us:
+                    file_id = skewed_file_id(machine.rng)
+                    if bernoulli(machine.rng, 0.5):
+                        # Contend the File Table / MDU locks directly
+                        # (the T_{B,W*} threads of Figure 1).
+                        with ctx.frame("kernel!CreateFile"):
+                            yield from machine.fv.query_file_table(
+                                ctx,
+                                file_id,
+                                resolve=bernoulli(machine.rng, 0.6),
+                                cached=bernoulli(machine.rng, 0.4),
+                                size_factor=machine.rng.uniform(0.5, 2.5),
+                            )
+                    else:
+                        yield from machine.browser_io_service.submit(
+                            ctx,
+                            open_virtual_files(
+                                machine, [file_id], resolve_prob=0.6
+                            ),
+                            "Browser!WaitForIo",
+                        )
+                    if bernoulli(machine.rng, 0.25):
+                        with ctx.frame("kernel!WriteFile"):
+                            yield from machine.fs.write_file(ctx, file_id)
+                    yield from ctx.delay(exponential_us(machine.rng, pause))
+
+        machine.spawn(program, "Browser", f"W{index}")
+
+
+class BrowserWorkload(Workload):
+    """Base for browser scenarios.
+
+    Subclasses override :meth:`body` — one scenario instance performed on
+    the UI thread.  ``install`` wires the worker threads and the UI loop.
+    """
+
+    worker_count = 2
+
+    def __init__(self, *args, horizon_us: int = 30_000_000, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.horizon_us = horizon_us
+
+    def install(self, machine: Machine) -> None:
+        install_browser_workers(
+            machine, self.horizon_us, self.worker_count, self.intensity
+        )
+        workload = self
+
+        def ui_program(ctx: ThreadContext) -> Generator:
+            yield from workload._iterate(
+                ctx,
+                machine,
+                lambda body_ctx, iteration: workload.body(
+                    machine, body_ctx, iteration
+                ),
+            )
+
+        machine.spawn(ui_program, "Browser", "UI")
+
+    def body(
+        self, machine: Machine, ctx: ThreadContext, iteration: int
+    ) -> Generator:
+        """One scenario instance on the UI thread."""
+        raise NotImplementedError
+
+
+class BrowserTabCreate(BrowserWorkload):
+    """Create a new tab: open virtual files, run layout, render (§2.2).
+
+    Most tab creations also load a start page — a nested
+    ``WebPageNavigation`` instance on the navigation controller.
+    """
+
+    spec = ScenarioSpec(
+        name="BrowserTabCreate",
+        t_fast=300 * MILLISECONDS,
+        t_slow=500 * MILLISECONDS,
+        description="user clicks 'create a new tab' until the tab displays",
+    )
+
+    def body(
+        self, machine: Machine, ctx: ThreadContext, iteration: int
+    ) -> Generator:
+        rng = machine.rng
+        with ctx.frame("Browser!TabCreate"):
+            yield from machine.mouse.process_input(ctx)
+            # The UI thread opens the first profile file itself (Figure 1
+            # shows T_{B,UI} inside fv.sys!QueryFileTable directly) ...
+            with ctx.frame("kernel!OpenFile"):
+                yield from machine.fv.query_file_table(
+                    ctx,
+                    skewed_file_id(rng),
+                    resolve=bernoulli(rng, 0.4 + 0.4 * self.intensity),
+                    cached=bernoulli(rng, 0.5),
+                )
+            # ... and posts the remaining opens to the IO workers.
+            file_ids = [skewed_file_id(rng) for _ in range(rng.randint(1, 3))]
+            yield from machine.browser_io_service.submit(
+                ctx,
+                open_virtual_files(
+                    machine,
+                    file_ids,
+                    resolve_prob=0.4 + 0.4 * self.intensity,
+                    cache_prob=0.5 - 0.3 * self.intensity,
+                ),
+                "Browser!WaitForIo",
+            )
+            if bernoulli(rng, 0.3):
+                # Opening the profile triggers an access-control check: a
+                # nested AppAccessControl instance on its host thread.
+                from repro.sim.workloads.security import (
+                    access_check_request,
+                    access_control_host,
+                )
+
+                yield from access_control_host(machine).submit(
+                    ctx,
+                    access_check_request(machine, self.intensity),
+                    "Browser!WaitAccessCheck",
+                )
+            # Layout and script: pure application CPU on the UI thread.
+            yield from ctx.compute(uniform_us(rng, 30_000, 100_000))
+            if bernoulli(rng, 0.5):
+                # The new tab loads its start page: a nested navigation.
+                yield from navigation_controller(machine).submit(
+                    ctx, navigation_request(machine), "Browser!WaitForNavigate"
+                )
+            yield from machine.render_service.submit(
+                ctx, render_batch(machine, 0.8), "Browser!WaitForRender"
+            )
+
+
+class BrowserTabClose(BrowserWorkload):
+    """Close a tab: flush session state, compact and repaint the strip."""
+
+    spec = ScenarioSpec(
+        name="BrowserTabClose",
+        t_fast=23 * MILLISECONDS,
+        t_slow=40 * MILLISECONDS,
+        description="user closes a tab until the strip re-renders",
+    )
+    worker_count = 1
+
+    def body(
+        self, machine: Machine, ctx: ThreadContext, iteration: int
+    ) -> Generator:
+        rng = machine.rng
+        with ctx.frame("Browser!TabClose"):
+            file_ids = [skewed_file_id(rng) for _ in range(rng.randint(1, 2))]
+            yield from machine.browser_io_service.submit(
+                ctx, flush_files(machine, file_ids), "Browser!WaitForFlush"
+            )
+            yield from ctx.compute(uniform_us(rng, 8_000, 25_000))
+            yield from machine.render_service.submit(
+                ctx, render_batch(machine, 0.4), "Browser!WaitForRender"
+            )
+
+
+class BrowserTabSwitch(BrowserWorkload):
+    """Switch tabs: mostly GPU rendering plus cached tab-state reads.
+
+    The paper notes 66.6% of this scenario's driver cost is direct
+    hardware service without propagation — hence the render-heavy body.
+    """
+
+    spec = ScenarioSpec(
+        name="BrowserTabSwitch",
+        t_fast=22 * MILLISECONDS,
+        t_slow=38 * MILLISECONDS,
+        description="user switches tabs until the new tab paints",
+    )
+    worker_count = 1
+
+    def body(
+        self, machine: Machine, ctx: ThreadContext, iteration: int
+    ) -> Generator:
+        rng = machine.rng
+        with ctx.frame("Browser!TabSwitch"):
+            yield from machine.mouse.process_input(ctx)
+            yield from ctx.compute(uniform_us(rng, 6_000, 20_000))
+            for _ in range(rng.randint(1, 2)):
+                yield from machine.render_service.submit(
+                    ctx, render_batch(machine, 1.0), "Browser!WaitForRender"
+                )
+            if bernoulli(rng, 0.3):
+                with ctx.frame("kernel!OpenFile"):
+                    yield from machine.fs.read_file(
+                        ctx,
+                        skewed_file_id(rng),
+                        cached=bernoulli(rng, 0.7),
+                    )
+
+
+class BrowserFrameCreate(BrowserWorkload):
+    """Create a sub-frame on the renderer thread.
+
+    The scenario instance lives on the shared renderer thread (see
+    :func:`frame_renderer`); this workload's page-script thread only
+    triggers creations and waits — as does ``WebPageNavigation`` when a
+    navigated page spawns sub-frames, overlapping the two scenarios.
+    """
+
+    spec = ScenarioSpec(
+        name="BrowserFrameCreate",
+        t_fast=68 * MILLISECONDS,
+        t_slow=100 * MILLISECONDS,
+        description="page script creates an iframe until it renders",
+    )
+
+    def install(self, machine: Machine) -> None:
+        install_browser_workers(
+            machine, self.horizon_us, self.worker_count, self.intensity
+        )
+        renderer = frame_renderer(machine)
+        workload = self
+
+        def script_program(ctx: ThreadContext) -> Generator:
+            yield from ctx.delay(workload.start_offset_us)
+            with ctx.frame("Browser!PageScript"):
+                for _ in range(workload.repeats):
+                    yield from renderer.submit(
+                        ctx,
+                        frame_create_request(machine),
+                        "Browser!WaitForFrame",
+                    )
+                    think = round(
+                        workload.think_median_us
+                        * workload.activity_factor(ctx.now)
+                    )
+                    yield from ctx.delay(
+                        exponential_us(machine.rng, max(think, 1))
+                    )
+
+        machine.spawn(script_program, "Browser", "Script")
+
+
+class WebPageNavigation(BrowserWorkload):
+    """Navigate to a page on the navigation controller.
+
+    Instances live on the controller threads; this workload's UI thread
+    triggers navigations (as the TabCreate workload also does for start
+    pages), so navigations nest under tab creations in the traces.
+    """
+
+    spec = ScenarioSpec(
+        name="WebPageNavigation",
+        t_fast=300 * MILLISECONDS,
+        t_slow=550 * MILLISECONDS,
+        description="address-bar navigation until the page displays",
+    )
+
+    def install(self, machine: Machine) -> None:
+        install_browser_workers(
+            machine, self.horizon_us, self.worker_count, self.intensity
+        )
+        controller = navigation_controller(machine)
+        workload = self
+
+        def ui_program(ctx: ThreadContext) -> Generator:
+            yield from ctx.delay(workload.start_offset_us)
+            with ctx.frame("Browser!AddressBar"):
+                for _ in range(workload.repeats):
+                    yield from controller.submit(
+                        ctx,
+                        navigation_request(machine),
+                        "Browser!WaitForNavigate",
+                    )
+                    think = round(
+                        workload.think_median_us
+                        * workload.activity_factor(ctx.now)
+                    )
+                    yield from ctx.delay(
+                        exponential_us(machine.rng, max(think, 1))
+                    )
+
+        machine.spawn(ui_program, "Browser", "UI")

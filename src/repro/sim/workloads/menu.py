@@ -1,0 +1,103 @@
+"""MenuDisplay scenario: populate a menu whose items come from a server.
+
+Table 4 shows network drivers in 7 of this scenario's top-10 patterns —
+a menu that synchronously fetches remote items propagates every network
+hiccup straight to the user interface (the paper's second observation,
+with the advice to fetch asynchronously or prefetch).
+
+Menus are displayed by the shell's menu thread; the MenuDisplay workload
+triggers them, and so do other applications (``AppNonResponsive`` opens
+menus during its UI bursts), overlapping the scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.sim.distributions import bernoulli, exponential_us, skewed_file_id, uniform_us
+from repro.sim.engine import ThreadContext
+from repro.sim.machine import Machine
+from repro.sim.ops import render_batch
+from repro.sim.services import RequestFactory, ScenarioWorkerService
+from repro.sim.workloads.base import ScenarioSpec, Workload
+from repro.units import MILLISECONDS
+
+
+def menu_host(machine: Machine) -> ScenarioWorkerService:
+    """The shell's menu thread; each handled request is a MenuDisplay."""
+    service = getattr(machine, "_menu_host", None)
+    if service is None:
+        service = ScenarioWorkerService(
+            machine.engine,
+            "Shell",
+            name_prefix="Menu",
+            workers=1,
+            handler_frame="Shell!MenuDisplay",
+            scenario="MenuDisplay",
+        )
+        machine._menu_host = service
+    return service
+
+
+def menu_display_request(machine: Machine, intensity: float = 0.5) -> RequestFactory:
+    """One menu display executed on the shell's menu thread."""
+
+    def factory(ctx: ThreadContext) -> Generator:
+        rng = machine.rng
+        yield from machine.mouse.process_input(ctx)
+        if bernoulli(rng, 0.7 + 0.25 * intensity):
+            # Items come from a remote server, fetched synchronously on
+            # the menu thread — the anti-pattern the paper calls out.
+            for _ in range(rng.randint(1, 2)):
+                with ctx.frame("Shell!FetchRemoteItems"):
+                    yield from machine.net.transfer(
+                        ctx, size_factor=rng.uniform(0.3, 1.2)
+                    )
+        for _ in range(rng.randint(1, 2)):
+            with ctx.frame("kernel!OpenFile"):
+                yield from machine.fs.read_file(
+                    ctx,
+                    skewed_file_id(rng, cold_range=1 << 10),
+                    size_factor=0.3,
+                    cached=bernoulli(rng, 0.9),
+                )
+        yield from ctx.compute(uniform_us(rng, 8_000, 25_000))
+        yield from machine.render_service.submit(
+            ctx, render_batch(machine, 0.3), "Shell!WaitForRender"
+        )
+
+    return factory
+
+
+class MenuDisplay(Workload):
+    """Open an application menu: remote items, icon files, a small paint."""
+
+    spec = ScenarioSpec(
+        name="MenuDisplay",
+        t_fast=28 * MILLISECONDS,
+        t_slow=60 * MILLISECONDS,
+        description="user opens a menu until all items display",
+    )
+
+    def install(self, machine: Machine) -> None:
+        host = menu_host(machine)
+        workload = self
+
+        def ui_program(ctx: ThreadContext) -> Generator:
+            yield from ctx.delay(workload.start_offset_us)
+            with ctx.frame("Shell!InputLoop"):
+                for _ in range(workload.repeats):
+                    yield from host.submit(
+                        ctx,
+                        menu_display_request(machine, workload.intensity),
+                        "Shell!WaitForMenu",
+                    )
+                    think = round(
+                        workload.think_median_us
+                        * workload.activity_factor(ctx.now)
+                    )
+                    yield from ctx.delay(
+                        exponential_us(machine.rng, max(think, 1))
+                    )
+
+        machine.spawn(ui_program, "Shell", "UI")

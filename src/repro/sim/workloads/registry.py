@@ -1,0 +1,71 @@
+"""Registry of the eight evaluation scenarios (paper Table 1).
+
+Maps scenario names to workload classes and exposes the per-scenario
+performance thresholds used by contrast classification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.errors import ConfigError
+from repro.sim.workloads.base import ScenarioSpec, Workload
+from repro.sim.workloads.browser import (
+    BrowserFrameCreate,
+    BrowserTabClose,
+    BrowserTabCreate,
+    BrowserTabSwitch,
+    WebPageNavigation,
+)
+from repro.sim.workloads.extra import EXTRA_WORKLOAD_CLASSES
+from repro.sim.workloads.menu import MenuDisplay
+from repro.sim.workloads.responsiveness import AppNonResponsive
+from repro.sim.workloads.security import AppAccessControl
+
+#: The eight selected scenarios, in the paper's Table 1 order.
+WORKLOAD_CLASSES: List[Type[Workload]] = [
+    AppAccessControl,
+    AppNonResponsive,
+    BrowserFrameCreate,
+    BrowserTabClose,
+    BrowserTabCreate,
+    BrowserTabSwitch,
+    MenuDisplay,
+    WebPageNavigation,
+]
+
+#: Additional scenarios usable in corpora but outside the Table 1–4
+#: evaluation (the paper selected 8 of its 1,364 scenarios).
+EXTRA_SCENARIO_NAMES: List[str] = [
+    cls.spec.name for cls in EXTRA_WORKLOAD_CLASSES
+]
+
+WORKLOADS_BY_NAME: Dict[str, Type[Workload]] = {
+    cls.spec.name: cls
+    for cls in [*WORKLOAD_CLASSES, *EXTRA_WORKLOAD_CLASSES]
+}
+
+SCENARIO_SPECS: Dict[str, ScenarioSpec] = {
+    cls.spec.name: cls.spec
+    for cls in [*WORKLOAD_CLASSES, *EXTRA_WORKLOAD_CLASSES]
+}
+
+SCENARIO_NAMES: List[str] = [cls.spec.name for cls in WORKLOAD_CLASSES]
+
+
+def workload_class(name: str) -> Type[Workload]:
+    """Look up a workload class by scenario name."""
+    try:
+        return WORKLOADS_BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS_BY_NAME))
+        raise ConfigError(f"unknown scenario {name!r}; known: {known}") from None
+
+
+def scenario_spec(name: str) -> ScenarioSpec:
+    """Look up a scenario's performance specification by name."""
+    try:
+        return SCENARIO_SPECS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIO_SPECS))
+        raise ConfigError(f"unknown scenario {name!r}; known: {known}") from None

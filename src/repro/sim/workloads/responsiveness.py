@@ -1,0 +1,69 @@
+"""AppNonResponsive scenario: a UI message-pump burst that must stay fluid.
+
+This scenario measures how long a burst of UI-thread work takes; it goes
+non-responsive when the graphics driver's GPU context is held by a system
+routine that hard-faults — the §5.2.4 case where ``graphics.sys`` shows
+up together with ``fs.sys`` and ``se.sys`` and a page read takes seconds.
+The burst occasionally opens a menu, nesting a ``MenuDisplay`` instance.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.sim.distributions import bernoulli, skewed_file_id, uniform_us
+from repro.sim.engine import ThreadContext
+from repro.sim.machine import Machine
+from repro.sim.workloads.base import ScenarioSpec, Workload
+from repro.sim.workloads.menu import menu_display_request, menu_host
+from repro.units import MILLISECONDS
+
+
+class AppNonResponsive(Workload):
+    """One UI pump burst: renders, surface setup, power query, file ops.
+
+    Unlike the browser scenarios this application renders *on the UI
+    thread* — it executes ``graphics.sys`` directly and takes the GPU
+    context lock itself, exactly like the hanging UI thread of §5.2.4.
+    """
+
+    spec = ScenarioSpec(
+        name="AppNonResponsive",
+        t_fast=110 * MILLISECONDS,
+        t_slow=160 * MILLISECONDS,
+        description="a burst of UI-thread work that should never hang",
+    )
+
+    def install(self, machine: Machine) -> None:
+        workload = self
+
+        def body(ctx: ThreadContext, iteration: int) -> Generator:
+            rng = machine.rng
+            with ctx.frame("App!MessagePump"):
+                for _ in range(rng.randint(2, 4)):
+                    yield from machine.graphics.render(ctx, complexity=0.7)
+                if bernoulli(rng, 0.4 + 0.4 * workload.intensity):
+                    yield from machine.graphics.initialize_surface(ctx)
+                with ctx.frame("App!PowerCheck"):
+                    yield from machine.acpi.query_power_state(ctx)
+                if bernoulli(rng, 0.5):
+                    with ctx.frame("kernel!OpenFile"):
+                        yield from machine.fs.read_file(
+                            ctx,
+                            skewed_file_id(rng),
+                            cached=bernoulli(rng, 0.6),
+                        )
+                if bernoulli(rng, 0.3):
+                    # The user opens a menu during the burst: a nested
+                    # MenuDisplay instance on the shell's menu thread.
+                    yield from menu_host(machine).submit(
+                        ctx,
+                        menu_display_request(machine, workload.intensity),
+                        "App!WaitForMenu",
+                    )
+                yield from ctx.compute(uniform_us(rng, 60_000, 150_000))
+
+        def app_program(ctx: ThreadContext) -> Generator:
+            yield from workload._iterate(ctx, machine, body)
+
+        machine.spawn(app_program, "App", "UI")

@@ -1,0 +1,96 @@
+"""AppAccessControl scenario: an access-controlled application operation.
+
+Every protected open is inspected by the shared security service — a
+single worker with a single signature database, the architecture §5.2.4
+blames for bottlenecks under load.  Table 4 shows this scenario dominated
+by file-system and filter drivers (9 + 9 of the top-10 patterns).
+
+Access checks run on the application's access-control thread; the
+workload triggers them, and so do tab creations and office applications,
+overlapping this scenario with the others.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.sim.distributions import exponential_us, skewed_file_id, uniform_us
+from repro.sim.engine import ThreadContext
+from repro.sim.machine import Machine
+from repro.sim.ops import security_inspection
+from repro.sim.services import RequestFactory, ScenarioWorkerService
+from repro.sim.workloads.base import ScenarioSpec, Workload
+from repro.units import MILLISECONDS
+
+
+def access_control_host(machine: Machine) -> ScenarioWorkerService:
+    """The app's access-control thread; each request is an AppAccessControl."""
+    service = getattr(machine, "_access_host", None)
+    if service is None:
+        service = ScenarioWorkerService(
+            machine.engine,
+            "App",
+            name_prefix="AccessCtl",
+            workers=1,
+            handler_frame="App!AccessProtectedResource",
+            scenario="AppAccessControl",
+        )
+        machine._access_host = service
+    return service
+
+
+def access_check_request(
+    machine: Machine, intensity: float = 0.5
+) -> RequestFactory:
+    """One protected open through the full security filter stack."""
+
+    def factory(ctx: ThreadContext) -> Generator:
+        rng = machine.rng
+        file_id = skewed_file_id(rng)
+        yield from machine.security_service.submit(
+            ctx,
+            security_inspection(
+                machine, file_id, resolve_prob=0.3 + 0.4 * intensity
+            ),
+            "App!WaitAccessCheck",
+        )
+        for _ in range(rng.randint(1, 2)):
+            with ctx.frame("kernel!QueryAttributes"):
+                yield from machine.fs.query_metadata(ctx, skewed_file_id(rng))
+        yield from ctx.compute(uniform_us(rng, 15_000, 50_000))
+
+    return factory
+
+
+class AppAccessControl(Workload):
+    """Open a protected resource through the full security filter stack."""
+
+    spec = ScenarioSpec(
+        name="AppAccessControl",
+        t_fast=30 * MILLISECONDS,
+        t_slow=55 * MILLISECONDS,
+        description="application opens a protected file until access is granted",
+    )
+
+    def install(self, machine: Machine) -> None:
+        host = access_control_host(machine)
+        workload = self
+
+        def app_program(ctx: ThreadContext) -> Generator:
+            yield from ctx.delay(workload.start_offset_us)
+            with ctx.frame("App!WorkLoop"):
+                for _ in range(workload.repeats):
+                    yield from host.submit(
+                        ctx,
+                        access_check_request(machine, workload.intensity),
+                        "App!WaitForAccess",
+                    )
+                    think = round(
+                        workload.think_median_us
+                        * workload.activity_factor(ctx.now)
+                    )
+                    yield from ctx.delay(
+                        exponential_us(machine.rng, max(think, 1))
+                    )
+
+        machine.spawn(app_program, "App", "Main")

@@ -1,0 +1,60 @@
+"""Trace-stream data model: events, callstacks, streams, scenario instances.
+
+This package implements the abstracted trace schema of the paper's §2.1,
+compatible in shape with what ETW or DTrace produce: running, wait, unwait
+and hardware-service events carrying callstacks, timestamps and costs.
+"""
+
+from repro.trace.events import Event, EventKind
+from repro.trace.signatures import (
+    ALL_DRIVERS,
+    HARDWARE_SIGNATURE,
+    ComponentFilter,
+    function_of,
+    make_signature,
+    module_of,
+)
+from repro.trace.stream import ScenarioInstance, ThreadInfo, TraceStream
+from repro.trace.serialization import (
+    dump_corpus,
+    dump_stream,
+    dumps_stream,
+    load_corpus,
+    load_stream,
+    loads_stream,
+)
+from repro.trace.importers import (
+    FieldMap,
+    import_csv,
+    import_csv_text,
+    import_json_events,
+    import_records,
+)
+from repro.trace.validate import collect_violations, validate_stream
+
+__all__ = [
+    "ALL_DRIVERS",
+    "HARDWARE_SIGNATURE",
+    "ComponentFilter",
+    "Event",
+    "EventKind",
+    "FieldMap",
+    "ScenarioInstance",
+    "ThreadInfo",
+    "TraceStream",
+    "collect_violations",
+    "dump_corpus",
+    "dump_stream",
+    "dumps_stream",
+    "function_of",
+    "import_csv",
+    "import_csv_text",
+    "import_json_events",
+    "import_records",
+    "load_corpus",
+    "load_stream",
+    "loads_stream",
+    "make_signature",
+    "module_of",
+    "validate_stream",
+]

@@ -1,0 +1,102 @@
+"""Tracing events (paper §2.1).
+
+Each event in a trace stream is one of four kinds:
+
+* ``RUNNING`` — CPU usage sampled at a constant interval (1 ms in ETW).
+* ``WAIT`` — a thread entered the waiting state on a blocking operation.
+* ``UNWAIT`` — a running thread signalled a waiting thread to continue.
+* ``HW_SERVICE`` — a hardware operation with a start timestamp and duration.
+
+The fields mirror the paper's schema: callstack ``e.S``, timestamp ``e.T``,
+cost ``e.C``, owning thread ``e.TID`` and, for unwaits, the target thread
+``e.WTID``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import TraceError
+
+
+class EventKind(enum.Enum):
+    """The four tracing-event types of the trace-stream schema."""
+
+    RUNNING = "running"
+    WAIT = "wait"
+    UNWAIT = "unwait"
+    HW_SERVICE = "hw_service"
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One tracing event.
+
+    Attributes
+    ----------
+    kind:
+        One of the four :class:`EventKind` values.
+    stack:
+        The callstack, root-first (outermost caller at index 0).
+    timestamp:
+        Start time in integer microseconds (``e.T``).
+    cost:
+        Duration in integer microseconds (``e.C``).  For wait events this is
+        the restored wait duration; for running events the sampled slice;
+        for hardware events the service time.
+    tid:
+        The thread that triggered the event (``e.TID``).  Hardware events
+        carry the pseudo-tid of the servicing device.
+    seq:
+        Position of the event in its trace stream.  ``(stream_id, seq)``
+        identifies an event globally, which is what the distinct-wait
+        deduplication of impact analysis relies on.
+    wtid:
+        For unwait events only: the thread being woken (``e.WTID``).
+    resource:
+        Optional name of the lock/device involved.  Real ETW traces do not
+        label waits with resources; this provenance field exists solely so
+        the *baseline* analyzers (gprof-style and per-lock contention) have
+        the ground truth they assume.  The paper's approach never reads it.
+    """
+
+    kind: EventKind
+    stack: Tuple[str, ...]
+    timestamp: int
+    cost: int
+    tid: int
+    seq: int
+    wtid: Optional[int] = None
+    resource: Optional[str] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise TraceError(f"negative timestamp: {self.timestamp}")
+        if self.cost < 0:
+            raise TraceError(f"negative cost: {self.cost}")
+        if not self.stack and self.kind is not EventKind.HW_SERVICE:
+            raise TraceError(f"{self.kind.value} event requires a callstack")
+        if self.wtid is not None and self.kind is not EventKind.UNWAIT:
+            raise TraceError("wtid is only meaningful on unwait events")
+        if self.kind is EventKind.UNWAIT and self.wtid is None:
+            raise TraceError("unwait event requires a wtid")
+
+    @property
+    def end(self) -> int:
+        """Exclusive end time (``timestamp + cost``)."""
+        return self.timestamp + self.cost
+
+    @property
+    def leaf(self) -> str:
+        """The innermost frame of the callstack."""
+        return self.stack[-1] if self.stack else ""
+
+    def overlaps(self, t0: int, t1: int) -> bool:
+        """Return True when the event's span intersects ``[t0, t1)``."""
+        return self.timestamp < t1 and self.end > t0
+
+    def key(self, stream_id: str) -> Tuple[str, int]:
+        """Globally unique identity of this event."""
+        return (stream_id, self.seq)

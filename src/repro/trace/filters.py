@@ -1,0 +1,64 @@
+"""Small composable helpers for slicing trace streams.
+
+These are convenience utilities used by examples and by the baseline
+analyzers; the core pipeline builds richer indexes of its own inside
+:mod:`repro.waitgraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List
+
+from repro.trace.events import Event, EventKind
+from repro.trace.signatures import ComponentFilter
+from repro.trace.stream import ScenarioInstance, TraceStream
+
+EventPredicate = Callable[[Event], bool]
+
+
+def by_kind(kind: EventKind) -> EventPredicate:
+    """Predicate selecting events of one kind."""
+    return lambda event: event.kind is kind
+
+
+def by_component(component_filter: ComponentFilter) -> EventPredicate:
+    """Predicate selecting events whose callstack touches the components."""
+    return lambda event: component_filter.matches_stack(event.stack)
+
+
+def in_window(t0: int, t1: int) -> EventPredicate:
+    """Predicate selecting events overlapping ``[t0, t1)``."""
+    return lambda event: event.overlaps(t0, t1)
+
+
+def select(events: Iterable[Event], *predicates: EventPredicate) -> Iterator[Event]:
+    """Yield events satisfying every predicate."""
+    for event in events:
+        if all(predicate(event) for predicate in predicates):
+            yield event
+
+
+def instance_events(instance: ScenarioInstance) -> List[Event]:
+    """All events overlapping an instance's window, from any thread."""
+    stream = instance.stream
+    return [
+        event
+        for event in stream.events
+        if event.overlaps(instance.t0, instance.t1)
+    ]
+
+
+def instances_by_scenario(
+    streams: Iterable[TraceStream],
+) -> Dict[str, List[ScenarioInstance]]:
+    """Group every scenario instance in a corpus by scenario name."""
+    grouped: Dict[str, List[ScenarioInstance]] = {}
+    for stream in streams:
+        for instance in stream.instances:
+            grouped.setdefault(instance.scenario, []).append(instance)
+    return grouped
+
+
+def total_cost(events: Iterable[Event]) -> int:
+    """Sum of event costs in microseconds."""
+    return sum(event.cost for event in events)

@@ -1,0 +1,260 @@
+"""Importing traces from external formats.
+
+Real deployments already have trace data — ETW exports, DTrace output,
+custom profilers.  These importers map common tabular/JSON shapes onto
+the :mod:`repro.trace` schema so the analyses run on them unchanged:
+
+* :func:`import_csv` — one event per row; columns configurable through a
+  :class:`FieldMap`.  Callstacks are a single cell with a frame
+  separator (``;`` by default, innermost frame last).
+* :func:`import_json_events` — a list of JSON objects with the same
+  logical fields.
+
+Both return a validated :class:`~repro.trace.stream.TraceStream`.  Wait
+durations may be supplied directly (a ``cost`` column) or restored from
+wait/unwait pairing when the source only logs transitions
+(``restore_wait_durations=True``).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, TextIO, Union
+
+from repro.errors import SerializationError
+from repro.trace.events import Event, EventKind
+from repro.trace.stream import ThreadInfo, TraceStream
+from repro.trace.validate import validate_stream
+
+PathOrFile = Union[str, os.PathLike, TextIO]
+
+#: Accepted spellings for each event kind in external data.
+_KIND_ALIASES: Dict[str, EventKind] = {
+    "running": EventKind.RUNNING,
+    "run": EventKind.RUNNING,
+    "cpu": EventKind.RUNNING,
+    "sample": EventKind.RUNNING,
+    "wait": EventKind.WAIT,
+    "block": EventKind.WAIT,
+    "blocked": EventKind.WAIT,
+    "unwait": EventKind.UNWAIT,
+    "ready": EventKind.UNWAIT,
+    "readythread": EventKind.UNWAIT,
+    "signal": EventKind.UNWAIT,
+    "hw_service": EventKind.HW_SERVICE,
+    "hw": EventKind.HW_SERVICE,
+    "diskio": EventKind.HW_SERVICE,
+    "hardware": EventKind.HW_SERVICE,
+}
+
+
+@dataclass(frozen=True)
+class FieldMap:
+    """Column/key names of the source data."""
+
+    kind: str = "kind"
+    timestamp: str = "timestamp"
+    cost: str = "cost"
+    tid: str = "tid"
+    wtid: str = "wtid"
+    stack: str = "stack"
+    resource: str = "resource"
+    stack_separator: str = ";"
+
+
+def _parse_kind(raw: str, where: str) -> EventKind:
+    try:
+        return _KIND_ALIASES[str(raw).strip().lower()]
+    except KeyError:
+        known = ", ".join(sorted(_KIND_ALIASES))
+        raise SerializationError(
+            f"{where}: unknown event kind {raw!r} (known: {known})"
+        ) from None
+
+
+def _parse_int(raw, name: str, where: str, default: Optional[int] = None) -> int:
+    if raw is None or raw == "":
+        if default is not None:
+            return default
+        raise SerializationError(f"{where}: missing required field {name!r}")
+    try:
+        return int(float(raw))
+    except (TypeError, ValueError):
+        raise SerializationError(
+            f"{where}: field {name!r} is not a number: {raw!r}"
+        ) from None
+
+
+def _record_to_event(
+    record: Dict, fields: FieldMap, seq: int, where: str
+) -> Event:
+    kind = _parse_kind(record.get(fields.kind), where)
+    raw_stack = record.get(fields.stack) or ""
+    if isinstance(raw_stack, str):
+        frames = tuple(
+            frame.strip()
+            for frame in raw_stack.split(fields.stack_separator)
+            if frame.strip()
+        )
+    else:  # JSON may carry a real list
+        frames = tuple(str(frame) for frame in raw_stack)
+    wtid_raw = record.get(fields.wtid)
+    wtid = None
+    if kind is EventKind.UNWAIT:
+        wtid = _parse_int(wtid_raw, fields.wtid, where)
+    resource = record.get(fields.resource) or None
+    try:
+        return Event(
+            kind=kind,
+            stack=frames,
+            timestamp=_parse_int(record.get(fields.timestamp),
+                                 fields.timestamp, where),
+            cost=_parse_int(record.get(fields.cost), fields.cost, where,
+                            default=0),
+            tid=_parse_int(record.get(fields.tid), fields.tid, where),
+            seq=seq,
+            wtid=wtid,
+            resource=resource if resource else None,
+        )
+    except SerializationError:
+        raise
+    except Exception as exc:  # schema violations from Event.__post_init__
+        raise SerializationError(f"{where}: {exc}") from exc
+
+
+def _restore_wait_durations(events: List[Event]) -> List[Event]:
+    """Fill zero-cost wait events from their matching unwaits.
+
+    Sources that log only state transitions emit waits with unknown
+    duration; the matching unwait (same target tid, first one at or after
+    the wait's start) defines the end.
+    """
+    unwaits_by_target: Dict[int, List[Event]] = {}
+    for event in events:
+        if event.kind is EventKind.UNWAIT and event.wtid is not None:
+            unwaits_by_target.setdefault(event.wtid, []).append(event)
+    for queue in unwaits_by_target.values():
+        queue.sort(key=lambda event: event.timestamp)
+
+    used: set = set()
+    restored: List[Event] = []
+    for event in events:
+        if event.kind is EventKind.WAIT and event.cost == 0:
+            candidates = unwaits_by_target.get(event.tid, [])
+            match = next(
+                (
+                    candidate
+                    for candidate in candidates
+                    if candidate.seq not in used
+                    and candidate.timestamp >= event.timestamp
+                ),
+                None,
+            )
+            if match is not None:
+                used.add(match.seq)
+                event = Event(
+                    kind=event.kind,
+                    stack=event.stack,
+                    timestamp=event.timestamp,
+                    cost=match.timestamp - event.timestamp,
+                    tid=event.tid,
+                    seq=event.seq,
+                    resource=event.resource,
+                )
+        restored.append(event)
+    return restored
+
+
+def import_records(
+    records: Iterable[Dict],
+    stream_id: str,
+    fields: FieldMap = FieldMap(),
+    threads: Iterable[ThreadInfo] = (),
+    restore_wait_durations: bool = False,
+    validate: bool = True,
+) -> TraceStream:
+    """Import an iterable of dict records (the core of both importers)."""
+    events: List[Event] = []
+    for index, record in enumerate(records):
+        events.append(
+            _record_to_event(record, fields, seq=index, where=f"record {index}")
+        )
+    if restore_wait_durations:
+        events = _restore_wait_durations(events)
+    stream = TraceStream.from_events(stream_id, events, threads)
+    if validate:
+        validate_stream(stream)
+    return stream
+
+
+def import_csv(
+    source: PathOrFile,
+    stream_id: str = "",
+    fields: FieldMap = FieldMap(),
+    restore_wait_durations: bool = False,
+    validate: bool = True,
+) -> TraceStream:
+    """Import a CSV file (header row required) as a trace stream."""
+    if isinstance(source, (str, os.PathLike)):
+        resolved_id = stream_id or os.path.splitext(
+            os.path.basename(os.fspath(source))
+        )[0]
+        with open(source, "r", encoding="utf-8", newline="") as handle:
+            return _import_csv_handle(
+                handle, resolved_id, fields, restore_wait_durations, validate
+            )
+    return _import_csv_handle(
+        source, stream_id or "imported", fields, restore_wait_durations,
+        validate,
+    )
+
+
+def _import_csv_handle(
+    handle: TextIO,
+    stream_id: str,
+    fields: FieldMap,
+    restore_wait_durations: bool,
+    validate: bool,
+) -> TraceStream:
+    reader = csv.DictReader(handle)
+    if reader.fieldnames is None:
+        raise SerializationError("CSV source has no header row")
+    missing = {fields.kind, fields.timestamp, fields.tid} - set(
+        reader.fieldnames
+    )
+    if missing:
+        raise SerializationError(
+            f"CSV header lacks required columns: {sorted(missing)}"
+        )
+    return import_records(
+        reader,
+        stream_id,
+        fields,
+        restore_wait_durations=restore_wait_durations,
+        validate=validate,
+    )
+
+
+def import_csv_text(text: str, **kwargs) -> TraceStream:
+    """Import CSV from a string (testing/notebook convenience)."""
+    return import_csv(io.StringIO(text), **kwargs)
+
+
+def import_json_events(
+    records: Iterable[Dict],
+    stream_id: str = "imported",
+    fields: FieldMap = FieldMap(),
+    restore_wait_durations: bool = False,
+    validate: bool = True,
+) -> TraceStream:
+    """Import a list of JSON-style dict events as a trace stream."""
+    return import_records(
+        records,
+        stream_id,
+        fields,
+        restore_wait_durations=restore_wait_durations,
+        validate=validate,
+    )

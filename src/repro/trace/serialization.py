@@ -1,0 +1,183 @@
+"""JSONL serialization of trace streams.
+
+A trace file holds one JSON object per line:
+
+* one ``header`` line with the stream id and thread table,
+* one ``event`` line per tracing event, in stream order,
+* one ``instance`` line per scenario instance.
+
+The format is deliberately flat and line-oriented so large corpora can be
+streamed, grepped and partially loaded without a real database.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from typing import Iterable, Iterator, List, TextIO, Union
+
+from repro.errors import SerializationError
+from repro.trace.events import Event, EventKind
+from repro.trace.stream import ScenarioInstance, ThreadInfo, TraceStream
+
+_FORMAT_VERSION = 1
+
+PathOrFile = Union[str, os.PathLike, TextIO]
+
+
+def _event_to_record(event: Event) -> dict:
+    record = {
+        "k": event.kind.value,
+        "s": list(event.stack),
+        "t": event.timestamp,
+        "c": event.cost,
+        "tid": event.tid,
+    }
+    if event.wtid is not None:
+        record["wtid"] = event.wtid
+    if event.resource is not None:
+        record["res"] = event.resource
+    return record
+
+
+def _event_from_record(record: dict, seq: int) -> Event:
+    try:
+        return Event(
+            kind=EventKind(record["k"]),
+            stack=tuple(record["s"]),
+            timestamp=record["t"],
+            cost=record["c"],
+            tid=record["tid"],
+            seq=seq,
+            wtid=record.get("wtid"),
+            resource=record.get("res"),
+        )
+    except (KeyError, ValueError) as exc:
+        raise SerializationError(f"malformed event record: {record!r}") from exc
+
+
+def dump_stream(stream: TraceStream, destination: PathOrFile) -> None:
+    """Write one trace stream to a JSONL file or open text handle."""
+    if isinstance(destination, (str, os.PathLike)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            _dump(stream, handle)
+    else:
+        _dump(stream, destination)
+
+
+def _dump(stream: TraceStream, handle: TextIO) -> None:
+    header = {
+        "type": "header",
+        "version": _FORMAT_VERSION,
+        "stream_id": stream.stream_id,
+        "threads": [
+            {"tid": info.tid, "process": info.process, "name": info.name}
+            for info in stream.threads.values()
+        ],
+    }
+    handle.write(json.dumps(header) + "\n")
+    for event in stream.events:
+        handle.write(json.dumps(_event_to_record(event)) + "\n")
+    for instance in stream.instances:
+        record = {
+            "type": "instance",
+            "scenario": instance.scenario,
+            "tid": instance.tid,
+            "t0": instance.t0,
+            "t1": instance.t1,
+        }
+        handle.write(json.dumps(record) + "\n")
+
+
+def load_stream(source: PathOrFile) -> TraceStream:
+    """Read one trace stream from a JSONL file or open text handle."""
+    if isinstance(source, (str, os.PathLike)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return _load(handle)
+    return _load(source)
+
+
+def _load(handle: TextIO) -> TraceStream:
+    first = handle.readline()
+    if not first:
+        raise SerializationError("empty trace file")
+    try:
+        header = json.loads(first)
+    except json.JSONDecodeError as exc:
+        raise SerializationError("first line is not valid JSON") from exc
+    if header.get("type") != "header":
+        raise SerializationError("trace file does not start with a header line")
+    version = header.get("version")
+    if version != _FORMAT_VERSION:
+        raise SerializationError(f"unsupported trace format version: {version}")
+
+    threads = [
+        ThreadInfo(tid=item["tid"], process=item["process"], name=item["name"])
+        for item in header.get("threads", [])
+    ]
+    events: List[Event] = []
+    instance_records: List[dict] = []
+    for line_number, line in enumerate(handle, start=2):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(
+                f"line {line_number} is not valid JSON"
+            ) from exc
+        if record.get("type") == "instance":
+            instance_records.append(record)
+        else:
+            events.append(_event_from_record(record, seq=len(events)))
+
+    stream = TraceStream(header["stream_id"], events, threads)
+    for record in instance_records:
+        try:
+            stream.add_instance(
+                scenario=record["scenario"],
+                tid=record["tid"],
+                t0=record["t0"],
+                t1=record["t1"],
+            )
+        except KeyError as exc:
+            raise SerializationError(
+                f"malformed instance record: {record!r}"
+            ) from exc
+    return stream
+
+
+def dump_corpus(streams: Iterable[TraceStream], directory: Union[str, os.PathLike]) -> List[str]:
+    """Write each stream to ``<directory>/<stream_id>.jsonl``; return paths."""
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for stream in streams:
+        path = os.path.join(os.fspath(directory), f"{stream.stream_id}.jsonl")
+        dump_stream(stream, path)
+        paths.append(path)
+    return paths
+
+
+def load_corpus(directory: Union[str, os.PathLike]) -> Iterator[TraceStream]:
+    """Yield every ``*.jsonl`` trace stream found in a directory."""
+    names = sorted(
+        name
+        for name in os.listdir(directory)
+        if name.endswith(".jsonl")
+    )
+    for name in names:
+        yield load_stream(os.path.join(os.fspath(directory), name))
+
+
+def dumps_stream(stream: TraceStream) -> str:
+    """Serialize a stream to a JSONL string (round-trip convenience)."""
+    buffer = io.StringIO()
+    _dump(stream, buffer)
+    return buffer.getvalue()
+
+
+def loads_stream(text: str) -> TraceStream:
+    """Parse a stream from a JSONL string."""
+    return _load(io.StringIO(text))

@@ -1,0 +1,116 @@
+"""Function signatures and component matching.
+
+A *signature* identifies a function on a callstack and is written
+``module!Function`` exactly as ETW renders symbols (paper §2.1, e.g.
+``fv.sys!QueryFileTable`` or ``kernel!AcquireLock``).  Callstacks are stored
+root-first: index 0 is the outermost caller and the last element is the
+frame that was executing when the event fired.
+
+A :class:`ComponentFilter` selects the *chosen components* of an analysis
+(paper §3).  Patterns are shell-style wildcards matched against the module
+part of a signature; the paper's device-driver study uses the single
+pattern ``*.sys``.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+from typing import Iterable, Optional, Sequence, Tuple
+
+SIGNATURE_SEPARATOR = "!"
+
+#: Dummy signature representing hardware service time on Aggregated Wait
+#: Graph nodes (paper Definition 3 gives hardware-service nodes a dummy
+#: signature; Figure 2 labels it "hardware service").
+HARDWARE_SIGNATURE = "Hardware!Service"
+
+Stack = Tuple[str, ...]
+
+
+def make_signature(module: str, function: str) -> str:
+    """Build a ``module!Function`` signature string."""
+    return f"{module}{SIGNATURE_SEPARATOR}{function}"
+
+
+def module_of(signature: str) -> str:
+    """Return the module part of a signature (``'fv.sys'``).
+
+    Signatures without a separator are treated as bare module names, which
+    lets hardware dummy signatures and raw component names flow through the
+    same matching code.
+    """
+    head, _, _ = signature.partition(SIGNATURE_SEPARATOR)
+    return head
+
+
+def function_of(signature: str) -> str:
+    """Return the function part of a signature (``'QueryFileTable'``)."""
+    _, _, tail = signature.partition(SIGNATURE_SEPARATOR)
+    return tail
+
+
+class ComponentFilter:
+    """Matches signatures against a set of component-name patterns.
+
+    Parameters
+    ----------
+    patterns:
+        Shell-style wildcard patterns applied to the *module* part of each
+        signature, e.g. ``["*.sys"]`` for all device drivers or
+        ``["fv.sys", "fs.sys"]`` for two specific ones.  Matching is
+        case-insensitive, as Windows module names are.
+    """
+
+    def __init__(self, patterns: Iterable[str]):
+        self._patterns: Tuple[str, ...] = tuple(patterns)
+        if not self._patterns:
+            raise ValueError("ComponentFilter requires at least one pattern")
+        joined = "|".join(
+            fnmatch.translate(pattern.lower()) for pattern in self._patterns
+        )
+        self._regex = re.compile(joined)
+        self._module_cache: dict = {}
+
+    @property
+    def patterns(self) -> Tuple[str, ...]:
+        return self._patterns
+
+    def matches_module(self, module: str) -> bool:
+        """Return True when a module name matches any pattern."""
+        cached = self._module_cache.get(module)
+        if cached is None:
+            cached = bool(self._regex.match(module.lower()))
+            self._module_cache[module] = cached
+        return cached
+
+    def matches_signature(self, signature: str) -> bool:
+        """Return True when the signature's module matches any pattern."""
+        return self.matches_module(module_of(signature))
+
+    def matches_stack(self, stack: Sequence[str]) -> bool:
+        """Return True when any frame on the callstack matches."""
+        return any(self.matches_signature(frame) for frame in stack)
+
+    def component_signature(self, stack: Sequence[str]) -> Optional[str]:
+        """Return *the* component signature of a callstack, if any.
+
+        The paper (Definition 2 preamble) reduces an event to "the topmost
+        signature related to the chosen components on the callstack": the
+        innermost (deepest) matching frame, i.e. the most specific component
+        function responsible for the event.  For the stack
+        ``(Browser!TabCreate, kernel!OpenFile, fv.sys!QueryFileTable,
+        kernel!AcquireLock)`` with pattern ``*.sys`` this is
+        ``fv.sys!QueryFileTable``.
+        """
+        for frame in reversed(stack):
+            if self.matches_signature(frame):
+                return frame
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ComponentFilter(patterns={self._patterns!r})"
+
+
+#: The filter used throughout the paper's evaluation: all device drivers.
+ALL_DRIVERS = ComponentFilter(["*.sys"])

@@ -1,0 +1,263 @@
+"""Trace streams and scenario instances (paper §2.1).
+
+A :class:`TraceStream` is the ordered sequence of tracing events recorded on
+one machine during one tracing session, together with a thread table and the
+scenario instances captured in the stream.  A :class:`ScenarioInstance` is
+the tuple ``(TS, S, TID, t0, t1)`` from the paper: the execution of scenario
+``S``, initiated by thread ``TID``, within ``[t0, t1]`` of stream ``TS``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import TraceError
+from repro.trace.events import Event, EventKind
+
+#: Process name given to device pseudo-threads: threads with this process
+#: own HW_SERVICE events and emit IO-completion unwaits.  Wait Graph
+#: construction uses it to pair a wait with the specific hardware service
+#: that resolved it (the IRP correlation real ETW provides).
+HARDWARE_PROCESS = "Hardware"
+
+
+@dataclass(frozen=True, slots=True)
+class ThreadInfo:
+    """Identity of a simulated or recorded thread.
+
+    ``process`` and ``name`` follow the paper's ``T_{X,Y}`` notation: the
+    browser UI thread ``T_{B,UI}`` has ``process='Browser'``, ``name='UI'``.
+    """
+
+    tid: int
+    process: str
+    name: str
+
+    @property
+    def label(self) -> str:
+        """Human-readable ``Process/Name`` label."""
+        return f"{self.process}/{self.name}"
+
+
+@dataclass(frozen=True)
+class ScenarioInstance:
+    """One execution of a scenario within a trace stream.
+
+    The owning stream is carried as a non-compared back-reference so
+    instances hash and compare by their identifying tuple only.
+    """
+
+    scenario: str
+    tid: int
+    t0: int
+    t1: int
+    stream: "TraceStream" = field(compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.t1 < self.t0:
+            raise TraceError(
+                f"instance of {self.scenario} ends before it starts "
+                f"({self.t0}..{self.t1})"
+            )
+
+    @property
+    def duration(self) -> int:
+        """Recorded execution time of the instance in microseconds."""
+        return self.t1 - self.t0
+
+    @property
+    def key(self) -> Tuple[str, str, int, int, int]:
+        """Globally unique identity of the instance."""
+        return (self.stream.stream_id, self.scenario, self.tid, self.t0, self.t1)
+
+
+class _ThreadIndex:
+    """Per-thread, time-sorted view over a stream's events."""
+
+    __slots__ = ("events", "_starts")
+
+    def __init__(self, events: List[Event]):
+        self.events = events
+        self._starts = [event.timestamp for event in events]
+
+    def in_window(self, t0: int, t1: int) -> List[Event]:
+        """Events of this thread whose span intersects ``[t0, t1)``.
+
+        Events are sorted by start time; an event starting before ``t0`` may
+        still overlap the window, so scan left from the bisection point past
+        every event that could reach into the window.
+        """
+        out: List[Event] = []
+        lo = bisect.bisect_left(self._starts, t0)
+        # Events starting inside the window.
+        for index in range(lo, len(self.events)):
+            event = self.events[index]
+            if event.timestamp >= t1:
+                break
+            out.append(event)
+        # Events starting before the window but overlapping into it.
+        reach_back: List[Event] = []
+        for index in range(lo - 1, -1, -1):
+            event = self.events[index]
+            if event.end > t0:
+                reach_back.append(event)
+        reach_back.reverse()
+        return reach_back + out
+
+
+class TraceStream:
+    """An ordered sequence of tracing events plus thread/instance metadata.
+
+    Events must be supplied sorted by ``timestamp`` (ties broken by ``seq``)
+    and with ``seq`` equal to their index; :meth:`from_events` normalizes
+    arbitrary input.
+    """
+
+    def __init__(
+        self,
+        stream_id: str,
+        events: Sequence[Event],
+        threads: Iterable[ThreadInfo] = (),
+    ):
+        self.stream_id = stream_id
+        self.events: List[Event] = list(events)
+        self.threads: Dict[int, ThreadInfo] = {
+            info.tid: info for info in threads
+        }
+        self.instances: List[ScenarioInstance] = []
+        self._by_thread: Optional[Dict[int, _ThreadIndex]] = None
+        self._unwaits_for: Optional[Dict[int, List[Event]]] = None
+        for index, event in enumerate(self.events):
+            if event.seq != index:
+                raise TraceError(
+                    f"event seq {event.seq} does not match position {index}; "
+                    "use TraceStream.from_events to renumber"
+                )
+        for earlier, later in zip(self.events, self.events[1:]):
+            if later.timestamp < earlier.timestamp:
+                raise TraceError(
+                    "events are not sorted by timestamp; "
+                    "use TraceStream.from_events to sort"
+                )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_events(
+        cls,
+        stream_id: str,
+        events: Iterable[Event],
+        threads: Iterable[ThreadInfo] = (),
+    ) -> "TraceStream":
+        """Build a stream from unordered events, renumbering ``seq``."""
+        ordered = sorted(events, key=lambda event: (event.timestamp, event.seq))
+        renumbered = [
+            Event(
+                kind=event.kind,
+                stack=event.stack,
+                timestamp=event.timestamp,
+                cost=event.cost,
+                tid=event.tid,
+                seq=index,
+                wtid=event.wtid,
+                resource=event.resource,
+            )
+            for index, event in enumerate(ordered)
+        ]
+        return cls(stream_id, renumbered, threads)
+
+    def add_instance(
+        self, scenario: str, tid: int, t0: int, t1: int
+    ) -> ScenarioInstance:
+        """Record a scenario instance captured in this stream."""
+        instance = ScenarioInstance(
+            scenario=scenario, tid=tid, t0=t0, t1=t1, stream=self
+        )
+        self.instances.append(instance)
+        return instance
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    @property
+    def span(self) -> Tuple[int, int]:
+        """(first start, last end) over all events; (0, 0) when empty."""
+        if not self.events:
+            return (0, 0)
+        first = self.events[0].timestamp
+        last = max(event.end for event in self.events)
+        return (first, last)
+
+    def thread_info(self, tid: int) -> ThreadInfo:
+        """Thread metadata, synthesizing a placeholder for unknown tids."""
+        info = self.threads.get(tid)
+        if info is None:
+            info = ThreadInfo(tid=tid, process="?", name=f"tid{tid}")
+        return info
+
+    def _thread_indexes(self) -> Dict[int, _ThreadIndex]:
+        if self._by_thread is None:
+            buckets: Dict[int, List[Event]] = {}
+            for event in self.events:
+                buckets.setdefault(event.tid, []).append(event)
+            self._by_thread = {
+                tid: _ThreadIndex(bucket) for tid, bucket in buckets.items()
+            }
+        return self._by_thread
+
+    def events_of_thread(
+        self, tid: int, t0: Optional[int] = None, t1: Optional[int] = None
+    ) -> List[Event]:
+        """Events triggered by one thread, optionally windowed."""
+        index = self._thread_indexes().get(tid)
+        if index is None:
+            return []
+        if t0 is None and t1 is None:
+            return list(index.events)
+        start, end = self.span
+        window_start = start if t0 is None else t0
+        window_end = end if t1 is None else t1
+        return index.in_window(window_start, window_end)
+
+    def unwaits_targeting(
+        self, tid: int, t0: Optional[int] = None, t1: Optional[int] = None
+    ) -> List[Event]:
+        """Unwait events whose ``wtid`` is the given thread, windowed."""
+        if self._unwaits_for is None:
+            table: Dict[int, List[Event]] = {}
+            for event in self.events:
+                if event.kind is EventKind.UNWAIT and event.wtid is not None:
+                    table.setdefault(event.wtid, []).append(event)
+            self._unwaits_for = table
+        candidates = self._unwaits_for.get(tid, [])
+        if t0 is None and t1 is None:
+            return list(candidates)
+        out = []
+        for event in candidates:
+            if t0 is not None and event.timestamp < t0:
+                continue
+            if t1 is not None and event.timestamp > t1:
+                continue
+            out.append(event)
+        return out
+
+    def events_of_kind(self, kind: EventKind) -> List[Event]:
+        """All events of one kind, in stream order."""
+        return [event for event in self.events if event.kind is kind]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceStream(id={self.stream_id!r}, events={len(self.events)}, "
+            f"threads={len(self.threads)}, instances={len(self.instances)})"
+        )

@@ -1,0 +1,78 @@
+"""Trace-stream validation.
+
+The analyses downstream (Wait Graph construction in particular) assume a
+handful of schema invariants.  :func:`validate_stream` checks them all and
+raises :class:`~repro.errors.TraceValidationError` with every violation
+collected, so a malformed synthetic generator or importer fails loudly and
+with full context instead of producing quietly wrong graphs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import TraceValidationError
+from repro.trace.events import EventKind
+from repro.trace.stream import TraceStream
+
+
+def collect_violations(stream: TraceStream) -> List[str]:
+    """Return a list of human-readable invariant violations (empty = valid)."""
+    problems: List[str] = []
+    last_timestamp = None
+    for event in stream.events:
+        where = f"event #{event.seq}"
+        if last_timestamp is not None and event.timestamp < last_timestamp:
+            problems.append(f"{where}: timestamps go backwards")
+        last_timestamp = event.timestamp
+        if event.kind is EventKind.UNWAIT:
+            if event.wtid == event.tid:
+                problems.append(f"{where}: thread unwaits itself")
+        if event.kind is EventKind.WAIT and event.cost == 0:
+            problems.append(f"{where}: wait event with zero duration")
+
+    # Every wait must have a matching unwait that ends it: an unwait by
+    # another thread targeting the waiter, timestamped at the wait's end.
+    for event in stream.events:
+        if event.kind is not EventKind.WAIT:
+            continue
+        matches = [
+            unwait
+            for unwait in stream.unwaits_targeting(
+                event.tid, event.timestamp, event.end
+            )
+            if unwait.timestamp == event.end
+        ]
+        if not matches:
+            problems.append(
+                f"event #{event.seq}: wait of thread {event.tid} at "
+                f"{event.timestamp} has no unwait at its end {event.end}"
+            )
+
+    for instance in stream.instances:
+        start, end = stream.span
+        # Instances may begin or end during untraced idle time at the
+        # stream's edges; only windows entirely outside the recorded span
+        # indicate a marker bug.
+        if stream.events and (instance.t1 < start or instance.t0 > end):
+            problems.append(
+                f"instance {instance.scenario}@{instance.t0} lies outside "
+                f"the stream span {start}..{end}"
+            )
+        if instance.tid not in stream.threads and stream.threads:
+            problems.append(
+                f"instance {instance.scenario}@{instance.t0} initiated by "
+                f"unknown thread {instance.tid}"
+            )
+    return problems
+
+
+def validate_stream(stream: TraceStream) -> None:
+    """Raise :class:`TraceValidationError` when any invariant is violated."""
+    problems = collect_violations(stream)
+    if problems:
+        summary = "\n  - ".join(problems[:25])
+        more = f"\n  ... and {len(problems) - 25} more" if len(problems) > 25 else ""
+        raise TraceValidationError(
+            f"trace stream {stream.stream_id!r} is invalid:\n  - {summary}{more}"
+        )

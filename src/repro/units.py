@@ -1,0 +1,47 @@
+"""Time units used throughout the library.
+
+All timestamps and durations are **integer microseconds** so that arithmetic
+is exact and traces serialize without floating-point drift.  The constants
+and helpers below keep call sites readable (``5 * MILLISECONDS`` instead of
+``5000``).
+"""
+
+from __future__ import annotations
+
+MICROSECONDS = 1
+MILLISECONDS = 1_000
+SECONDS = 1_000_000
+MINUTES = 60 * SECONDS
+HOURS = 60 * MINUTES
+
+#: ETW and DTrace sample CPU usage at a constant 1 ms interval (paper §2.1).
+DEFAULT_SAMPLE_INTERVAL_US = 1 * MILLISECONDS
+
+
+def us_from_ms(milliseconds: float) -> int:
+    """Convert milliseconds to integer microseconds (round to nearest)."""
+    return round(milliseconds * MILLISECONDS)
+
+
+def ms_from_us(microseconds: int) -> float:
+    """Convert integer microseconds to (float) milliseconds."""
+    return microseconds / MILLISECONDS
+
+
+def format_duration(microseconds: int) -> str:
+    """Render a duration human-readably (``'482.3ms'``, ``'4.73s'``).
+
+    >>> format_duration(800)
+    '800us'
+    >>> format_duration(482_300)
+    '482.3ms'
+    >>> format_duration(4_730_000)
+    '4.73s'
+    """
+    if microseconds < MILLISECONDS:
+        return f"{microseconds}us"
+    if microseconds < SECONDS:
+        value = microseconds / MILLISECONDS
+        return f"{value:.4g}ms"
+    value = microseconds / SECONDS
+    return f"{value:.4g}s"

@@ -1,0 +1,28 @@
+"""Wait Graphs and Aggregated Wait Graphs (paper §3.1, §4.1)."""
+
+from repro.waitgraph.aggregate import (
+    HARDWARE,
+    RUNNING,
+    WAITING,
+    AggregatedWaitGraph,
+    AwgNode,
+    aggregate_wait_graphs,
+)
+from repro.waitgraph.builder import build_wait_graph, build_wait_graphs
+from repro.waitgraph.graph import WaitGraph
+from repro.waitgraph.paths import CriticalPath, PropagationHop, critical_path
+
+__all__ = [
+    "AggregatedWaitGraph",
+    "AwgNode",
+    "HARDWARE",
+    "RUNNING",
+    "WAITING",
+    "CriticalPath",
+    "PropagationHop",
+    "WaitGraph",
+    "aggregate_wait_graphs",
+    "critical_path",
+    "build_wait_graph",
+    "build_wait_graphs",
+]

@@ -1,0 +1,236 @@
+"""Aggregated Wait Graphs (paper Definitions 2–3) and Algorithm 1.
+
+An Aggregated Wait Graph (AWG) abstracts and aggregates the runtime
+behaviour of many Wait Graphs of the same scenario.  Nodes represent the
+aggregated execution of a function signature in one of three statuses —
+waiting (a merged wait/unwait pair), running, or hardware service — and
+carry a cost ``C``, an occurrence counter ``N`` and (our addition, needed
+by the §5.2.1 high-impact rule) the maximum single-occurrence cost.
+
+Aggregation follows Algorithm 1:
+
+1. eliminate component-irrelevant root nodes, promoting children;
+2. merge each wait event with its paired unwait into one waiting node;
+3. aggregate processed Wait Graphs on common signature prefixes (a trie);
+4. reduce non-optimizable portions: prune rooted ``waiting -> single
+   hardware leaf`` structures, whose cost is direct hardware service that
+   never propagated anywhere a developer could optimize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.trace.events import Event, EventKind
+from repro.trace.signatures import HARDWARE_SIGNATURE, ComponentFilter
+from repro.trace.stream import HARDWARE_PROCESS
+from repro.waitgraph.graph import WaitGraph
+
+#: Node statuses (Definition 2).
+WAITING = "waiting"
+RUNNING = "running"
+HARDWARE = "hardware"
+
+NodeKey = Tuple[str, ...]
+
+
+@dataclass
+class AwgNode:
+    """One aggregated node: a signature executing in one status."""
+
+    status: str
+    wait_sig: Optional[str] = None
+    unwait_sig: Optional[str] = None
+    run_sig: Optional[str] = None
+    cost: int = 0
+    count: int = 0
+    max_single: int = 0
+    children: Dict[NodeKey, "AwgNode"] = field(default_factory=dict)
+    parent: Optional["AwgNode"] = None
+
+    @property
+    def key(self) -> NodeKey:
+        if self.status == WAITING:
+            return (WAITING, self.wait_sig or "", self.unwait_sig or "")
+        return (self.status, self.run_sig or "")
+
+    @property
+    def mean_cost(self) -> float:
+        """Average cost per occurrence (``v.C / v.N``)."""
+        return self.cost / self.count if self.count else 0.0
+
+    def add_occurrence(self, cost: int) -> None:
+        self.cost += cost
+        self.count += 1
+        if cost > self.max_single:
+            self.max_single = cost
+
+    @property
+    def label(self) -> str:
+        """Human-readable node label (Figure 2 style)."""
+        if self.status == WAITING:
+            return f"{self.wait_sig} -> {self.unwait_sig}"
+        if self.status == HARDWARE:
+            return f"[hw] {self.run_sig}"
+        return f"[run] {self.run_sig}"
+
+    def walk(self) -> Iterator["AwgNode"]:
+        """This node and all descendants, pre-order."""
+        yield self
+        for child in self.children.values():
+            yield from child.walk()
+
+
+class AggregatedWaitGraph:
+    """The aggregation of many Wait Graphs of one contrast class."""
+
+    def __init__(self, component_filter: ComponentFilter):
+        self.component_filter = component_filter
+        self.roots: Dict[NodeKey, AwgNode] = {}
+        #: Aggregate cost removed by the non-optimizable reduction (step 4),
+        #: i.e. direct hardware service under a rooted wait.
+        self.reduced_hw_cost = 0
+        self.reduced_hw_count = 0
+        self.source_graphs = 0
+
+    # -- queries -------------------------------------------------------------
+
+    def nodes(self) -> Iterator[AwgNode]:
+        for root in self.roots.values():
+            yield from root.walk()
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.nodes())
+
+    def leaves(self) -> Iterator[AwgNode]:
+        for node in self.nodes():
+            if not node.children:
+                yield node
+
+    def total_cost(self) -> int:
+        """Summed cost of root nodes (top-level aggregated behaviour)."""
+        return sum(root.cost for root in self.roots.values())
+
+    # -- construction ----------------------------------------------------------
+
+    def _signature_of(self, event: Event, stream) -> str:
+        """The node signature of an event (Definition 2 preamble).
+
+        The topmost component-related signature on the callstack when one
+        exists; otherwise the innermost frame (irrelevant inner nodes keep
+        their own identity); hardware events get the dummy signature.
+        """
+        if event.kind is EventKind.HW_SERVICE:
+            return HARDWARE_SIGNATURE
+        if stream.thread_info(event.tid).process == HARDWARE_PROCESS:
+            return HARDWARE_SIGNATURE
+        component = self.component_filter.component_signature(event.stack)
+        if component is not None:
+            return component
+        return event.stack[-1] if event.stack else HARDWARE_SIGNATURE
+
+    def _event_key(self, graph: WaitGraph, event: Event) -> NodeKey:
+        stream = graph.instance.stream
+        if event.kind is EventKind.WAIT:
+            wait_sig = self._signature_of(event, stream)
+            unwait = graph.unwait_of(event)
+            if unwait is None:
+                unwait_sig = wait_sig
+            else:
+                unwait_sig = self._signature_of(unwait, stream)
+            return (WAITING, wait_sig, unwait_sig)
+        if event.kind is EventKind.HW_SERVICE:
+            return (HARDWARE, HARDWARE_SIGNATURE)
+        return (RUNNING, self._signature_of(event, stream))
+
+    def _node_for(
+        self, key: NodeKey, table: Dict[NodeKey, AwgNode], parent: Optional[AwgNode]
+    ) -> AwgNode:
+        node = table.get(key)
+        if node is None:
+            if key[0] == WAITING:
+                node = AwgNode(WAITING, wait_sig=key[1], unwait_sig=key[2])
+            else:
+                node = AwgNode(key[0], run_sig=key[1])
+            node.parent = parent
+            table[key] = node
+        return node
+
+    def add_graph(self, graph: WaitGraph) -> None:
+        """Aggregate one Wait Graph (steps 1–3 of Algorithm 1)."""
+        self.source_graphs += 1
+        effective_roots = self._eliminate_irrelevant_roots(graph)
+        for event in effective_roots:
+            self._merge(graph, event, self.roots, None, on_path=frozenset())
+
+    def _eliminate_irrelevant_roots(self, graph: WaitGraph) -> List[Event]:
+        """Promote children of component-irrelevant roots until all match."""
+        component = self.component_filter
+        frontier = list(graph.roots)
+        accepted: List[Event] = []
+        seen = set()
+        while frontier:
+            event = frontier.pop(0)
+            if event.seq in seen:
+                continue
+            seen.add(event.seq)
+            if component.matches_stack(event.stack):
+                accepted.append(event)
+            elif event.kind is EventKind.WAIT:
+                frontier.extend(graph.children(event))
+            # Irrelevant running/hardware roots have no children: dropped.
+        return accepted
+
+    def _merge(
+        self,
+        graph: WaitGraph,
+        event: Event,
+        table: Dict[NodeKey, AwgNode],
+        parent: Optional[AwgNode],
+        on_path: frozenset,
+    ) -> None:
+        if event.seq in on_path:  # defensive: malformed cyclic input
+            return
+        key = self._event_key(graph, event)
+        node = self._node_for(key, table, parent)
+        node.add_occurrence(event.cost)
+        if event.kind is EventKind.WAIT:
+            for child in graph.children(event):
+                self._merge(
+                    graph, child, node.children, node, on_path | {event.seq}
+                )
+
+    def reduce_non_optimizable(self) -> int:
+        """Step 4: prune rooted ``waiting -> single hw leaf`` structures.
+
+        Returns the cost removed by this reduction (and accumulates it on
+        :attr:`reduced_hw_cost` so callers can report the non-optimizable
+        share, e.g. the paper's BrowserTabSwitch 66.6%).
+        """
+        removed = 0
+        for key in list(self.roots):
+            root = self.roots[key]
+            if root.status != WAITING or len(root.children) != 1:
+                continue
+            (only_child,) = root.children.values()
+            if only_child.status == HARDWARE and not only_child.children:
+                removed += root.cost
+                self.reduced_hw_count += root.count
+                del self.roots[key]
+        self.reduced_hw_cost += removed
+        return removed
+
+
+def aggregate_wait_graphs(
+    graphs: Iterable[WaitGraph],
+    component_filter: ComponentFilter,
+    reduce_hw: bool = True,
+) -> AggregatedWaitGraph:
+    """Run Algorithm 1 over a set of Wait Graphs."""
+    awg = AggregatedWaitGraph(component_filter)
+    for graph in graphs:
+        awg.add_graph(graph)
+    if reduce_hw:
+        awg.reduce_non_optimizable()
+    return awg

@@ -1,0 +1,105 @@
+"""The Wait Graph structure (paper Definition 1, from StackMine).
+
+A Wait Graph models one scenario instance: nodes are tracing events; a
+directed edge ``e_i -> e_j`` means ``e_i`` is a wait event and ``e_j`` was
+triggered by another thread during ``e_i``'s wait interval — i.e. ``e_j``
+is (part of) the activity the waiter was suspended on.  Roots are the
+top-level events of the instance's initiating thread.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.trace.events import Event, EventKind
+from repro.trace.stream import ScenarioInstance
+
+
+class WaitGraph:
+    """A constructed Wait Graph for one scenario instance.
+
+    Events are identified within the owning stream by their ``seq``;
+    ``children`` and ``unwait_of`` are keyed accordingly.  The graph is a
+    DAG: a wait event reachable along two different wait chains appears
+    once, with both parents pointing at it.
+    """
+
+    def __init__(
+        self,
+        instance: ScenarioInstance,
+        roots: List[Event],
+        children: Dict[int, List[Event]],
+        unwait_of: Dict[int, Event],
+    ):
+        self.instance = instance
+        self.roots = roots
+        self._children = children
+        self._unwait_of = unwait_of
+
+    @property
+    def stream_id(self) -> str:
+        return self.instance.stream.stream_id
+
+    def children(self, event: Event) -> List[Event]:
+        """Events performed by another thread within ``event``'s wait."""
+        return self._children.get(event.seq, [])
+
+    def unwait_of(self, event: Event) -> Optional[Event]:
+        """The unwait event that ended this wait event, if resolved."""
+        return self._unwait_of.get(event.seq)
+
+    @property
+    def top_level_duration(self) -> int:
+        """Sum of root event costs — the instance's measured busy time.
+
+        Impact analysis accumulates this into ``D_scn`` ("adding up the
+        time periods of top-level tracing events", paper §3.2).
+        """
+        return sum(event.cost for event in self.roots)
+
+    def events(self) -> Iterator[Event]:
+        """Every distinct event in the graph (pre-order, deduplicated)."""
+        seen: Set[int] = set()
+        stack = list(reversed(self.roots))
+        while stack:
+            event = stack.pop()
+            if event.seq in seen:
+                continue
+            seen.add(event.seq)
+            yield event
+            stack.extend(reversed(self.children(event)))
+
+    def node_count(self) -> int:
+        """Number of distinct events reachable in the graph."""
+        return sum(1 for _ in self.events())
+
+    def depth(self) -> int:
+        """Longest root-to-sink path length (cycle-safe)."""
+        memo: Dict[int, int] = {}
+
+        def depth_of(event: Event, on_path: Tuple[int, ...]) -> int:
+            if event.seq in memo:
+                return memo[event.seq]
+            if event.seq in on_path:  # defensive: should not happen
+                return 0
+            child_depths = [
+                depth_of(child, on_path + (event.seq,))
+                for child in self.children(event)
+            ]
+            value = 1 + (max(child_depths) if child_depths else 0)
+            memo[event.seq] = value
+            return value
+
+        return max((depth_of(root, ()) for root in self.roots), default=0)
+
+    def wait_events(self) -> Iterator[Event]:
+        """Every distinct wait event in the graph."""
+        for event in self.events():
+            if event.kind is EventKind.WAIT:
+                yield event
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WaitGraph({self.instance.scenario}@{self.instance.t0} "
+            f"roots={len(self.roots)})"
+        )

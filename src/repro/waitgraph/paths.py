@@ -1,0 +1,139 @@
+"""Critical-path extraction from Wait Graphs.
+
+The motivating example explains a delay as a numbered chain of
+propagation hops — "(1) se.sys propagates the disk time ... (6) T_{B,W0}
+propagates its delay ... to T_{B,UI}" (Figure 1).  This module makes that
+chain a first-class object: from a Wait Graph, extract the *critical
+path* — the chain of wait events (ending in a running or hardware leaf)
+that accounts for the largest share of the instance's delay — with one
+:class:`PropagationHop` per edge, ready to print exactly like the paper's
+annotation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.trace.events import Event, EventKind
+from repro.trace.signatures import ComponentFilter
+from repro.units import format_duration
+from repro.waitgraph.graph import WaitGraph
+
+
+@dataclass(frozen=True)
+class PropagationHop:
+    """One hop of a propagation chain: who waited, on what, for how long."""
+
+    event: Event
+    thread_label: str
+    signature: str
+    cost: int
+
+    def describe(self) -> str:
+        kind = {
+            EventKind.WAIT: "waited in",
+            EventKind.RUNNING: "ran",
+            EventKind.HW_SERVICE: "hardware service",
+        }[self.event.kind]
+        return (
+            f"{self.thread_label} {kind} {self.signature} "
+            f"for {format_duration(self.cost)}"
+        )
+
+
+@dataclass
+class CriticalPath:
+    """The heaviest root-to-leaf chain of one scenario instance."""
+
+    hops: List[PropagationHop]
+    total_cost: int
+    instance_duration: int
+
+    @property
+    def depth(self) -> int:
+        return len(self.hops)
+
+    @property
+    def share_of_instance(self) -> float:
+        if not self.instance_duration:
+            return 0.0
+        return min(1.0, self.hops[0].cost / self.instance_duration) if self.hops else 0.0
+
+    def describe(self) -> str:
+        """The Figure 1-style numbered chain, innermost cause first."""
+        lines = []
+        for number, hop in enumerate(reversed(self.hops), start=1):
+            lines.append(f"({number}) {hop.describe()}")
+        return "\n".join(lines)
+
+
+def _signature_of(
+    event: Event, component_filter: Optional[ComponentFilter]
+) -> str:
+    if component_filter is not None:
+        match = component_filter.component_signature(event.stack)
+        if match:
+            return match
+    return event.leaf or "<hardware>"
+
+
+def critical_path(
+    graph: WaitGraph,
+    component_filter: Optional[ComponentFilter] = None,
+) -> CriticalPath:
+    """Extract the costliest wait chain of a Wait Graph.
+
+    From each root wait, follow the child with the largest cost
+    (recursively, memoized over the DAG) down to a leaf; pick the overall
+    heaviest chain.  Running/hardware leaves terminate chains; a wait
+    without children terminates too (unresolved wait).
+    """
+    stream = graph.instance.stream
+    memo: Dict[int, Tuple[int, List[Event]]] = {}
+
+    def best_chain(event: Event, on_path: frozenset) -> Tuple[int, List[Event]]:
+        if event.seq in memo:
+            return memo[event.seq]
+        if event.seq in on_path:  # defensive
+            return (event.cost, [event])
+        children = (
+            graph.children(event) if event.kind is EventKind.WAIT else []
+        )
+        # A chain is weighted by its head's cost — the head wait's
+        # duration already contains the nested costs, so summing along
+        # the chain would double count.  Descend into the child whose own
+        # cost is largest (the dominant constituent of this wait).
+        best: Tuple[int, List[Event]] = (0, [])
+        for child in children:
+            child_cost, child_chain = best_chain(
+                child, on_path | {event.seq}
+            )
+            if child_cost > best[0]:
+                best = (child_cost, child_chain)
+        result = (event.cost, [event] + best[1])
+        memo[event.seq] = result
+        return result
+
+    overall: Tuple[int, List[Event]] = (0, [])
+    for root in graph.roots:
+        if root.kind is not EventKind.WAIT:
+            continue
+        cost, chain = best_chain(root, frozenset())
+        if cost > overall[0]:
+            overall = (cost, chain)
+
+    hops = [
+        PropagationHop(
+            event=event,
+            thread_label=stream.thread_info(event.tid).label,
+            signature=_signature_of(event, component_filter),
+            cost=event.cost,
+        )
+        for event in overall[1]
+    ]
+    return CriticalPath(
+        hops=hops,
+        total_cost=overall[0],
+        instance_duration=graph.instance.duration,
+    )

@@ -1,0 +1,84 @@
+"""Tests for the call-graph profiling baseline."""
+
+from repro.baselines.callgraph import CallGraphProfile, profile_corpus
+from repro.trace.events import EventKind
+from repro.trace.signatures import ALL_DRIVERS
+from tests.conftest import make_event, make_stream
+
+
+def stream_with_running(samples):
+    """samples: list of (stack, cost)."""
+    events = [
+        make_event(EventKind.RUNNING, stack, timestamp=index * 1_000, cost=cost)
+        for index, (stack, cost) in enumerate(samples)
+    ]
+    return make_stream(events=events)
+
+
+class TestProfile:
+    def test_inclusive_attributed_to_all_frames(self):
+        profile = CallGraphProfile()
+        profile.add_stream(stream_with_running([
+            (("a!main", "b!helper"), 1_000),
+        ]))
+        assert profile._entry("a!main").inclusive == 1_000
+        assert profile._entry("b!helper").inclusive == 1_000
+
+    def test_exclusive_attributed_to_leaf(self):
+        profile = CallGraphProfile()
+        profile.add_stream(stream_with_running([
+            (("a!main", "b!helper"), 1_000),
+        ]))
+        assert profile._entry("a!main").exclusive == 0
+        assert profile._entry("b!helper").exclusive == 1_000
+        assert profile._entry("b!helper").samples == 1
+
+    def test_recursion_counted_once_inclusively(self):
+        profile = CallGraphProfile()
+        profile.add_stream(stream_with_running([
+            (("a!f", "a!f", "a!f"), 900),
+        ]))
+        assert profile._entry("a!f").inclusive == 900
+
+    def test_waits_ignored(self):
+        events = [
+            make_event(EventKind.WAIT, ("a!f",), timestamp=0, cost=9_000),
+            make_event(EventKind.UNWAIT, ("b!g",), timestamp=9_000, cost=0,
+                       tid=2, wtid=1),
+        ]
+        profile = CallGraphProfile()
+        profile.add_stream(make_stream(events=events))
+        assert profile.total_cpu == 0
+
+    def test_top_functions_sorted(self):
+        profile = CallGraphProfile()
+        profile.add_stream(stream_with_running([
+            (("a!cheap",), 100),
+            (("b!hot",), 10_000),
+        ]))
+        assert profile.top_inclusive(1)[0].signature == "b!hot"
+        assert profile.top_exclusive(1)[0].signature == "b!hot"
+
+    def test_component_cpu_share(self):
+        profile = CallGraphProfile()
+        profile.add_stream(stream_with_running([
+            (("app!Main",), 9_000),
+            (("app!Main", "fs.sys!Read"), 1_000),
+        ]))
+        assert profile.component_cpu_share(ALL_DRIVERS) == 0.1
+
+    def test_empty_profile_share_zero(self):
+        assert CallGraphProfile().component_cpu_share(ALL_DRIVERS) == 0.0
+
+
+class TestOnCorpus:
+    def test_profiler_blind_to_wait_impact(self, small_corpus):
+        """The paper's headline contrast: drivers' CPU share is small even
+        though impact analysis shows large wait impact."""
+        from repro.impact import ImpactAnalysis
+
+        profile = profile_corpus(small_corpus)
+        cpu_share = profile.component_cpu_share(ALL_DRIVERS)
+        impact = ImpactAnalysis(["*.sys"]).analyze_corpus(small_corpus)
+        assert cpu_share < impact.ia_wait
+        assert cpu_share < 0.35

@@ -1,0 +1,80 @@
+"""Tests for the per-lock contention baseline."""
+
+from repro.baselines.lockcontention import analyze_lock_contention
+from repro.trace.events import EventKind
+from tests.conftest import make_event, make_stream
+
+
+def contention_stream():
+    events = [
+        make_event(EventKind.WAIT, ("a!f", "kernel!AcquireLock"),
+                   timestamp=0, cost=5_000, tid=1, resource="lock:L1"),
+        make_event(EventKind.WAIT, ("a!g", "kernel!AcquireLock"),
+                   timestamp=100, cost=2_000, tid=2, resource="lock:L1"),
+        make_event(EventKind.WAIT, ("a!h", "kernel!AcquireLock"),
+                   timestamp=200, cost=1_000, tid=3, resource="lock:L2"),
+        make_event(EventKind.WAIT, ("a!i", "kernel!WaitForHardware"),
+                   timestamp=300, cost=50_000, tid=4, resource="device:Disk"),
+        make_event(EventKind.UNWAIT, ("x!y",), timestamp=5_000, cost=0,
+                   tid=9, wtid=1),
+        make_event(EventKind.UNWAIT, ("x!y",), timestamp=2_100, cost=0,
+                   tid=9, wtid=2),
+        make_event(EventKind.UNWAIT, ("x!y",), timestamp=1_200, cost=0,
+                   tid=9, wtid=3),
+        make_event(EventKind.UNWAIT, ("x!y",), timestamp=50_300, cost=0,
+                   tid=9, wtid=4),
+    ]
+    return make_stream(events=events)
+
+
+class TestLockContention:
+    def test_per_lock_totals(self):
+        analysis = analyze_lock_contention([contention_stream()])
+        l1 = analysis.lock("lock:L1")
+        assert l1.total_wait == 7_000
+        assert l1.waits == 2
+        assert l1.max_wait == 5_000
+        assert l1.mean_wait == 3_500
+        assert l1.waiting_threads == {1, 2}
+
+    def test_device_waits_excluded(self):
+        analysis = analyze_lock_contention([contention_stream()])
+        assert analysis.lock("device:Disk") is None
+        assert analysis.total_wait == 8_000
+
+    def test_top_locks_order(self):
+        analysis = analyze_lock_contention([contention_stream()])
+        top = analysis.top_locks()
+        assert [profile.resource for profile in top] == ["lock:L1", "lock:L2"]
+
+    def test_isolated_view(self):
+        analysis = analyze_lock_contention([contention_stream()])
+        combined, biggest = analysis.isolated_view_of(["lock:L1", "lock:L2"])
+        assert combined == 8_000
+        assert biggest == 7_000
+
+    def test_isolated_view_unknown_locks(self):
+        analysis = analyze_lock_contention([contention_stream()])
+        assert analysis.isolated_view_of(["lock:nope"]) == (0, 0)
+
+    def test_unknown_lock_lookup(self):
+        analysis = analyze_lock_contention([])
+        assert analysis.lock("lock:L1") is None
+
+
+class TestOnCorpus:
+    def test_finds_simulated_locks(self, small_corpus):
+        analysis = analyze_lock_contention(small_corpus)
+        resources = {profile.resource for profile in analysis.top_locks(50)}
+        # The simulator's hot locks should surface.
+        assert any("MDU" in resource for resource in resources) or any(
+            "FileTable" in resource for resource in resources
+        )
+
+    def test_single_lock_view_understates_chains(self, small_corpus):
+        """No single lock accounts for all lock wait time — the chains the
+        causality analysis reveals span multiple locks."""
+        analysis = analyze_lock_contention(small_corpus)
+        top = analysis.top_locks(1)
+        if top and analysis.total_wait:
+            assert top[0].total_wait < analysis.total_wait

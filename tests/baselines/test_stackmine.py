@@ -1,0 +1,86 @@
+"""Tests for the StackMine-style within-thread baseline."""
+
+from repro.baselines.stackmine import (
+    StackMineAnalysis,
+    _component_suffix,
+    mine_stack_patterns,
+)
+from repro.trace.events import EventKind
+from repro.trace.signatures import ALL_DRIVERS
+from tests.conftest import make_event, make_stream
+
+
+class TestSuffixExtraction:
+    def test_starts_at_outermost_component_frame(self):
+        stack = (
+            "Browser!TabCreate", "kernel!OpenFile",
+            "fv.sys!Q", "fs.sys!R", "kernel!AcquireLock",
+        )
+        assert _component_suffix(stack, ALL_DRIVERS) == (
+            "fv.sys!Q", "fs.sys!R", "kernel!AcquireLock",
+        )
+
+    def test_no_component_frame(self):
+        assert _component_suffix(("a!b", "c!d"), ALL_DRIVERS) == ()
+
+
+class TestMining:
+    def build_instance(self):
+        events = [
+            make_event(EventKind.WAIT,
+                       ("App!X", "fv.sys!Q", "kernel!AcquireLock"),
+                       timestamp=0, cost=5_000, tid=1),
+            make_event(EventKind.UNWAIT, ("x!y",), timestamp=5_000,
+                       cost=0, tid=2, wtid=1),
+            make_event(EventKind.WAIT,
+                       ("App!Y", "fv.sys!Q", "kernel!AcquireLock"),
+                       timestamp=6_000, cost=2_000, tid=1),
+            make_event(EventKind.UNWAIT, ("x!y",), timestamp=8_000,
+                       cost=0, tid=2, wtid=1),
+            make_event(EventKind.WAIT, ("App!Z", "kernel!WaitForObject"),
+                       timestamp=9_000, cost=9_000, tid=1),
+            make_event(EventKind.UNWAIT, ("x!y",), timestamp=18_000,
+                       cost=0, tid=2, wtid=1),
+        ]
+        stream = make_stream(events=events)
+        return stream.add_instance("S", tid=1, t0=0, t1=18_000)
+
+    def test_same_suffix_clusters(self):
+        analysis = mine_stack_patterns([self.build_instance()])
+        top = analysis.top_patterns(1)[0]
+        assert top.suffix == ("fv.sys!Q", "kernel!AcquireLock")
+        assert top.occurrences == 2
+        assert top.total_cost == 7_000
+        assert top.max_cost == 5_000
+        assert top.mean_cost == 3_500
+
+    def test_non_driver_waits_ignored(self):
+        analysis = mine_stack_patterns([self.build_instance()])
+        assert analysis.total_wait_cost == 7_000
+
+    def test_coverage(self):
+        analysis = mine_stack_patterns([self.build_instance()])
+        assert analysis.coverage_of_top(10) == 1.0
+        assert StackMineAnalysis().coverage_of_top(10) == 0.0
+
+    def test_label(self):
+        analysis = mine_stack_patterns([self.build_instance()])
+        assert "fv.sys!Q" in analysis.top_patterns(1)[0].label
+
+
+class TestWithinVsCrossThread:
+    def test_stackmine_misses_the_holder_side(self, small_corpus):
+        """StackMine only sees the initiating threads' own waits — it
+        never attributes cost to the service/holder threads the causality
+        analysis reaches through unwait chains."""
+        instances = [
+            instance
+            for stream in small_corpus
+            for instance in stream.instances
+        ]
+        analysis = mine_stack_patterns(instances[:60])
+        # Every mined pattern is a within-thread stack: it names at most
+        # the blocking site, never a (wait, unwait, running) interaction.
+        for pattern in analysis.top_patterns(20):
+            assert isinstance(pattern.suffix, tuple)
+            assert pattern.occurrences >= 1

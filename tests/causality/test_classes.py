@@ -1,0 +1,46 @@
+"""Tests for contrast-class classification."""
+
+import pytest
+
+from repro.causality.classes import classify_instances
+from repro.errors import AnalysisError
+from tests.conftest import make_event, make_stream
+
+
+def instances_with_durations(durations, scenario="S"):
+    stream = make_stream(events=[make_event(cost=10_000_000)])
+    return [
+        stream.add_instance(scenario, tid=1, t0=0, t1=duration)
+        for duration in durations
+    ]
+
+
+class TestClassification:
+    def test_split(self):
+        instances = instances_with_durations([50, 150, 250, 400, 90])
+        classes = classify_instances(instances, t_fast=100, t_slow=300)
+        assert len(classes.fast) == 2
+        assert len(classes.slow) == 1
+        assert len(classes.between) == 2
+        assert classes.total == 5
+
+    def test_boundary_values_are_between(self):
+        instances = instances_with_durations([100, 300])
+        classes = classify_instances(instances, t_fast=100, t_slow=300)
+        assert len(classes.between) == 2
+
+    def test_thresholds_must_be_ordered(self):
+        with pytest.raises(AnalysisError):
+            classify_instances([], t_fast=300, t_slow=100)
+
+    def test_wrong_scenario_rejected(self):
+        instances = instances_with_durations([50], scenario="A")
+        with pytest.raises(AnalysisError, match="passed to"):
+            classify_instances(instances, 100, 300, scenario="B")
+
+    def test_summary_mentions_counts(self):
+        instances = instances_with_durations([50, 400], scenario="S")
+        classes = classify_instances(instances, 100, 300, scenario="S")
+        text = classes.summary()
+        assert "1 fast" in text
+        assert "1 slow" in text

@@ -1,0 +1,77 @@
+"""Tests for by-design pattern filtering (§5.2.5)."""
+
+from repro.causality.filtering import (
+    ByDesignKnowledge,
+    DEFAULT_BY_DESIGN_MODULES,
+    filter_by_design,
+)
+from repro.causality.mining import ContrastPattern
+from repro.causality.sst import SignatureSetTuple
+
+
+def pattern(waits, unwaits=(), runnings=()):
+    return ContrastPattern(
+        sst=SignatureSetTuple(
+            frozenset(waits), frozenset(unwaits), frozenset(runnings)
+        ),
+        cost=100,
+        count=1,
+        max_single=100,
+        matched_meta_patterns=1,
+    )
+
+
+class TestKnowledge:
+    def test_default_includes_disk_protection(self):
+        knowledge = ByDesignKnowledge.default()
+        assert "dp.sys" in knowledge.modules
+        assert DEFAULT_BY_DESIGN_MODULES == ("dp.sys",)
+
+    def test_explains_pure_by_design_pattern(self):
+        knowledge = ByDesignKnowledge.default()
+        assert knowledge.explains(pattern({"dp.sys!AcquireGate"}))
+
+    def test_mixed_pattern_not_explained(self):
+        knowledge = ByDesignKnowledge.default()
+        mixed = pattern({"dp.sys!AcquireGate", "fs.sys!AcquireMDU"})
+        assert not knowledge.explains(mixed)
+        assert knowledge.touches(mixed)
+
+    def test_empty_wait_set_never_explained(self):
+        knowledge = ByDesignKnowledge.default()
+        assert not knowledge.explains(pattern(set(), runnings={"dp.sys!X"}))
+
+    def test_signature_level_knowledge(self):
+        knowledge = ByDesignKnowledge()
+        knowledge.add_signature("fs.sys!FlushBarrier")
+        assert knowledge.explains(pattern({"fs.sys!FlushBarrier"}))
+        assert not knowledge.explains(pattern({"fs.sys!AcquireMDU"}))
+
+    def test_module_case_insensitive(self):
+        knowledge = ByDesignKnowledge()
+        knowledge.add_module("DP.SYS")
+        assert knowledge.explains(pattern({"dp.sys!AcquireGate"}))
+
+
+class TestFiltering:
+    def test_partition(self):
+        knowledge = ByDesignKnowledge.default()
+        pure = pattern({"dp.sys!AcquireGate"})
+        mixed = pattern({"dp.sys!AcquireGate", "fs.sys!AcquireMDU"})
+        clean = pattern({"fv.sys!QueryFileTable"})
+        result = filter_by_design([pure, mixed, clean], knowledge)
+        assert result.by_design == [pure]
+        assert result.actionable == [mixed, clean]
+        assert result.flagged == [mixed]
+        assert result.suppressed_count == 1
+
+    def test_order_preserved(self):
+        knowledge = ByDesignKnowledge.default()
+        patterns = [pattern({f"d{i}.sys!X"}) for i in range(5)]
+        result = filter_by_design(patterns, knowledge)
+        assert result.actionable == patterns
+
+    def test_empty_input(self):
+        result = filter_by_design([], ByDesignKnowledge.default())
+        assert result.actionable == []
+        assert result.by_design == []

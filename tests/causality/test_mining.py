@@ -1,0 +1,195 @@
+"""Tests for meta-pattern enumeration and contrast mining."""
+
+import pytest
+
+from repro.causality.mining import (
+    ContrastPattern,
+    discover_contrast_meta_patterns,
+    enumerate_meta_patterns,
+    extract_contrast_patterns,
+)
+from repro.causality.sst import SignatureSetTuple
+from repro.errors import AnalysisError
+from repro.trace.signatures import ALL_DRIVERS
+from repro.waitgraph.aggregate import (
+    AggregatedWaitGraph,
+    AwgNode,
+    HARDWARE,
+    RUNNING,
+    WAITING,
+)
+
+
+def build_awg(structure):
+    """Build an AWG from nested tuples: (status, sigs, cost, count, children)."""
+    awg = AggregatedWaitGraph(ALL_DRIVERS)
+
+    def build_node(spec, parent):
+        status, sigs, cost, count, children = spec
+        if status == WAITING:
+            node = AwgNode(WAITING, wait_sig=sigs[0], unwait_sig=sigs[1])
+        else:
+            node = AwgNode(status, run_sig=sigs[0])
+        node.cost = cost
+        node.count = count
+        node.max_single = cost // max(count, 1)
+        node.parent = parent
+        return node
+
+    def attach(specs, table, parent):
+        for spec in specs:
+            node = build_node(spec, parent)
+            table[node.key] = node
+            attach(spec[4], node.children, node)
+
+    attach(structure, awg.roots, None)
+    return awg
+
+
+def chain_awg(cost=1000, count=1):
+    """wait(A) -> wait(B) -> run(C): one 3-node path."""
+    return build_awg([
+        (WAITING, ("fv.sys!A", "fv.sys!A"), cost, count, [
+            (WAITING, ("fs.sys!B", "fs.sys!B"), cost - 100, count, [
+                (RUNNING, ("se.sys!C",), cost - 200, count, []),
+            ]),
+        ]),
+    ])
+
+
+class TestEnumeration:
+    def test_bound_must_be_positive(self):
+        with pytest.raises(AnalysisError):
+            enumerate_meta_patterns(chain_awg(), k=0)
+
+    def test_k1_one_pattern_per_distinct_node(self):
+        patterns = enumerate_meta_patterns(chain_awg(), k=1)
+        assert len(patterns) == 3
+
+    def test_k2_adds_pairs(self):
+        patterns = enumerate_meta_patterns(chain_awg(), k=2)
+        # 3 singles + 2 adjacent pairs
+        assert len(patterns) == 5
+
+    def test_k3_adds_triple(self):
+        patterns = enumerate_meta_patterns(chain_awg(), k=3)
+        assert len(patterns) == 6
+
+    def test_larger_k_no_more_segments_than_paths_allow(self):
+        assert len(enumerate_meta_patterns(chain_awg(), k=10)) == 6
+
+    def test_segment_metric_is_end_node(self):
+        patterns = enumerate_meta_patterns(chain_awg(cost=1000), k=2)
+        pair = SignatureSetTuple(
+            frozenset({"fv.sys!A", "fs.sys!B"}),
+            frozenset({"fv.sys!A", "fs.sys!B"}),
+            frozenset(),
+        )
+        assert patterns[pair].cost == 900  # the end node's (B's) cost
+
+    def test_common_sst_aggregates(self):
+        # Two sibling running nodes with the same signature under one root
+        # can't share a key in a trie; instead test two roots with equal
+        # signatures through separate AWGs merged by dict aggregation.
+        awg = build_awg([
+            (WAITING, ("fv.sys!A", "fv.sys!A"), 500, 1, [
+                (RUNNING, ("x!R",), 100, 1, []),
+            ]),
+        ])
+        patterns = enumerate_meta_patterns(awg, k=1)
+        single = SignatureSetTuple(
+            frozenset({"fv.sys!A"}), frozenset({"fv.sys!A"}), frozenset()
+        )
+        assert patterns[single].count == 1
+
+
+class TestContrastDiscovery:
+    def test_slow_only_selected(self):
+        slow = enumerate_meta_patterns(chain_awg(), k=1)
+        contrasts = discover_contrast_meta_patterns(slow, {}, 100, 300)
+        assert len(contrasts) == len(slow)
+        assert all(criteria.slow_only for criteria in contrasts.values())
+
+    def test_common_with_low_ratio_excluded(self):
+        slow = enumerate_meta_patterns(chain_awg(cost=1000), k=1)
+        fast = enumerate_meta_patterns(chain_awg(cost=900), k=1)
+        contrasts = discover_contrast_meta_patterns(slow, fast, 100, 300)
+        assert contrasts == {}
+
+    def test_common_with_high_ratio_selected(self):
+        slow = enumerate_meta_patterns(chain_awg(cost=10_000), k=1)
+        fast = enumerate_meta_patterns(chain_awg(cost=1_000), k=1)
+        contrasts = discover_contrast_meta_patterns(slow, fast, 100, 300)
+        assert len(contrasts) == 3
+        for criteria in contrasts.values():
+            assert not criteria.slow_only
+            assert criteria.cost_ratio > 3.0
+
+    def test_ratio_respects_counts(self):
+        # Same total cost but 10x the occurrences: mean is 10x smaller.
+        slow = enumerate_meta_patterns(chain_awg(cost=1_000, count=10), k=1)
+        fast = enumerate_meta_patterns(chain_awg(cost=1_000, count=1), k=1)
+        contrasts = discover_contrast_meta_patterns(slow, fast, 100, 300)
+        assert contrasts == {}
+
+
+class TestPatternExtraction:
+    def test_path_selected_when_containing_contrast(self):
+        slow_awg = chain_awg(cost=10_000)
+        slow = enumerate_meta_patterns(slow_awg, k=2)
+        contrasts = discover_contrast_meta_patterns(slow, {}, 100, 300)
+        patterns = extract_contrast_patterns(slow_awg, contrasts)
+        assert len(patterns) == 1
+        pattern = patterns[0]
+        assert pattern.sst.wait_signatures == {"fv.sys!A", "fs.sys!B"}
+        assert pattern.sst.running_signatures == {"se.sys!C"}
+        assert pattern.cost == 9_800  # leaf cost
+        assert pattern.max_single == 10_000  # root single-execution cost
+
+    def test_path_without_contrast_skipped(self):
+        slow_awg = chain_awg()
+        patterns = extract_contrast_patterns(slow_awg, {})
+        assert patterns == []
+
+    def test_identical_path_ssts_merge(self):
+        # Two leaves whose full paths generalize to the same SST: a root
+        # with two orders of the same pair of waits.
+        awg = build_awg([
+            (WAITING, ("a.sys!X", "a.sys!X"), 1_000, 1, [
+                (WAITING, ("b.sys!Y", "b.sys!Y"), 900, 1, [
+                    (RUNNING, ("c.sys!R",), 100, 1, []),
+                ]),
+            ]),
+            (WAITING, ("b.sys!Y", "b.sys!Y"), 2_000, 1, [
+                (WAITING, ("a.sys!X", "a.sys!X"), 1_800, 1, [
+                    (RUNNING, ("c.sys!R",), 300, 1, []),
+                ]),
+            ]),
+        ])
+        metas = enumerate_meta_patterns(awg, k=3)
+        contrasts = discover_contrast_meta_patterns(metas, {}, 100, 300)
+        patterns = extract_contrast_patterns(awg, contrasts)
+        assert len(patterns) == 1  # both orders merged
+        assert patterns[0].count == 2
+        assert patterns[0].cost == 400
+
+    def test_high_impact_rule(self):
+        pattern = ContrastPattern(
+            sst=SignatureSetTuple(frozenset(), frozenset(), frozenset()),
+            cost=100,
+            count=1,
+            max_single=600_000,
+            matched_meta_patterns=1,
+        )
+        assert pattern.is_high_impact(t_slow=500_000)
+        assert not pattern.is_high_impact(t_slow=700_000)
+
+    def test_impact_is_mean_cost(self):
+        pattern = ContrastPattern(
+            sst=SignatureSetTuple(frozenset(), frozenset(), frozenset()),
+            cost=1_000,
+            count=4,
+            max_single=0,
+            matched_meta_patterns=1,
+        )
+        assert pattern.impact == 250.0

@@ -1,0 +1,79 @@
+"""Tests for pattern ranking and coverage."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.causality.mining import ContrastPattern
+from repro.causality.ranking import coverage_curve, coverage_of_top, rank_patterns
+from repro.causality.sst import SignatureSetTuple
+
+
+def pattern(cost, count, tag):
+    return ContrastPattern(
+        sst=SignatureSetTuple(frozenset({f"{tag}!f"}), frozenset(), frozenset()),
+        cost=cost,
+        count=count,
+        max_single=cost,
+        matched_meta_patterns=1,
+    )
+
+
+class TestRanking:
+    def test_sorted_by_impact(self):
+        patterns = [pattern(100, 10, "low"), pattern(1_000, 2, "high")]
+        ranked = rank_patterns(patterns)
+        assert ranked[0].impact > ranked[1].impact
+
+    def test_deterministic_tie_break(self):
+        a = pattern(100, 1, "a.sys")
+        b = pattern(100, 1, "b.sys")
+        assert rank_patterns([b, a]) == rank_patterns([a, b])
+
+    @given(st.lists(st.tuples(st.integers(1, 10**6), st.integers(1, 100)), max_size=20))
+    def test_rank_is_non_increasing(self, raw):
+        patterns = [pattern(c, n, f"t{i}.sys") for i, (c, n) in enumerate(raw)]
+        ranked = rank_patterns(patterns)
+        impacts = [p.impact for p in ranked]
+        assert impacts == sorted(impacts, reverse=True)
+
+
+class TestCoverage:
+    def test_empty(self):
+        assert coverage_of_top([], 0.1) == 0.0
+
+    def test_full_fraction_covers_everything(self):
+        ranked = rank_patterns([pattern(100, 1, "a"), pattern(50, 1, "b")])
+        assert coverage_of_top(ranked, 1.0) == 1.0
+
+    def test_top_fraction(self):
+        ranked = rank_patterns(
+            [pattern(900, 1, "a"), pattern(50, 1, "b"), pattern(50, 1, "c")]
+        )
+        assert coverage_of_top(ranked, 1 / 3) == 0.9
+
+    def test_at_least_one_pattern_selected(self):
+        ranked = rank_patterns([pattern(100, 1, "a"), pattern(100, 1, "b")])
+        assert coverage_of_top(ranked, 0.01) == 0.5
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            coverage_of_top([], 1.5)
+
+    def test_curve(self):
+        ranked = rank_patterns([pattern(100 * i, 1, f"t{i}") for i in range(1, 11)])
+        curve = coverage_curve(ranked)
+        assert len(curve) == 3
+        assert curve == sorted(curve)  # monotone in the fraction
+
+    @given(
+        st.lists(st.integers(1, 10**6), min_size=1, max_size=30),
+        st.floats(0.0, 1.0),
+        st.floats(0.0, 1.0),
+    )
+    def test_coverage_monotone(self, costs, f1, f2):
+        ranked = rank_patterns(
+            [pattern(cost, 1, f"t{i}") for i, cost in enumerate(costs)]
+        )
+        low, high = min(f1, f2), max(f1, f2)
+        assert coverage_of_top(ranked, low) <= coverage_of_top(ranked, high) + 1e-12

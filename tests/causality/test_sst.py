@@ -1,0 +1,120 @@
+"""Tests for Signature Set Tuples."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.causality.sst import SignatureSetTuple
+from repro.waitgraph.aggregate import AwgNode, HARDWARE, RUNNING, WAITING
+
+
+def waiting(wait_sig, unwait_sig):
+    return AwgNode(WAITING, wait_sig=wait_sig, unwait_sig=unwait_sig)
+
+
+def running(sig):
+    return AwgNode(RUNNING, run_sig=sig)
+
+
+def hardware(sig="Hardware!Service"):
+    return AwgNode(HARDWARE, run_sig=sig)
+
+
+class TestFromSegment:
+    def test_empty_segment(self):
+        sst = SignatureSetTuple.from_segment([])
+        assert sst.size == 0
+
+    def test_motivating_example_shape(self):
+        # The §2.3 discovered pattern from the BrowserTabCreate case.
+        segment = [
+            waiting("fv.sys!QueryFileTable", "fv.sys!QueryFileTable"),
+            waiting("fs.sys!AcquireMDU", "fs.sys!AcquireMDU"),
+            running("se.sys!ReadDecrypt"),
+            hardware("Hardware!DiskService"),
+        ]
+        sst = SignatureSetTuple.from_segment(segment)
+        assert sst.wait_signatures == {
+            "fv.sys!QueryFileTable", "fs.sys!AcquireMDU",
+        }
+        assert sst.unwait_signatures == {
+            "fv.sys!QueryFileTable", "fs.sys!AcquireMDU",
+        }
+        assert sst.running_signatures == {
+            "se.sys!ReadDecrypt", "Hardware!DiskService",
+        }
+
+    def test_duplicate_signatures_merge(self):
+        segment = [waiting("a!b", "c!d"), waiting("a!b", "c!d")]
+        sst = SignatureSetTuple.from_segment(segment)
+        assert len(sst.wait_signatures) == 1
+
+
+class TestContainment:
+    def make(self, waits=(), unwaits=(), runnings=()):
+        return SignatureSetTuple(
+            frozenset(waits), frozenset(unwaits), frozenset(runnings)
+        )
+
+    def test_contains_subset(self):
+        big = self.make({"a!1", "b!2"}, {"c!3"}, {"d!4"})
+        small = self.make({"a!1"}, set(), {"d!4"})
+        assert big.contains(small)
+        assert not small.contains(big)
+
+    def test_contains_reflexive(self):
+        sst = self.make({"a!1"}, {"b!2"}, set())
+        assert sst.contains(sst)
+
+    def test_contains_empty(self):
+        assert self.make().contains(self.make())
+        assert self.make({"a!1"}).contains(self.make())
+
+    def test_sets_are_componentwise(self):
+        # A wait signature does not satisfy a running-set requirement.
+        has_wait = self.make(waits={"x!y"})
+        needs_running = self.make(runnings={"x!y"})
+        assert not has_wait.contains(needs_running)
+
+    @given(
+        st.sets(st.sampled_from(["a!1", "b!2", "c!3", "d!4"])),
+        st.sets(st.sampled_from(["a!1", "b!2", "c!3", "d!4"])),
+    )
+    def test_containment_matches_set_inclusion(self, first, second):
+        sst_a = self.make(first, first, first)
+        sst_b = self.make(second, second, second)
+        assert sst_a.contains(sst_b) == (second <= first)
+
+
+class TestRendering:
+    def test_render_shows_all_sets(self):
+        sst = SignatureSetTuple(
+            frozenset({"fv.sys!Q"}), frozenset({"fs.sys!A"}), frozenset()
+        )
+        text = sst.render()
+        assert "wait signatures" in text
+        assert "fv.sys!Q" in text
+        assert "fs.sys!A" in text
+
+    def test_render_sorted_deterministic(self):
+        sst = SignatureSetTuple(
+            frozenset({"b!2", "a!1"}), frozenset(), frozenset()
+        )
+        assert "{a!1, b!2}" in sst.render()
+
+    def test_sort_key_total_order(self):
+        a = SignatureSetTuple(frozenset({"a!1"}), frozenset(), frozenset())
+        b = SignatureSetTuple(frozenset({"b!1"}), frozenset(), frozenset())
+        assert sorted([b, a], key=lambda s: s.sort_key())[0] == a
+
+    def test_all_signatures_union(self):
+        sst = SignatureSetTuple(
+            frozenset({"a!1"}), frozenset({"b!2"}), frozenset({"c!3"})
+        )
+        assert sst.all_signatures == {"a!1", "b!2", "c!3"}
+        assert sst.size == 3
+
+    def test_hashable_and_equal(self):
+        a = SignatureSetTuple(frozenset({"a!1"}), frozenset(), frozenset())
+        b = SignatureSetTuple(frozenset({"a!1"}), frozenset(), frozenset())
+        assert a == b
+        assert len({a, b}) == 1

@@ -1,0 +1,86 @@
+"""Tests for threshold suggestion."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.causality.thresholds import (
+    suggest_for_corpus,
+    suggest_for_instances,
+    suggest_thresholds,
+)
+from repro.errors import AnalysisError
+from tests.conftest import make_event, make_stream
+
+
+class TestSuggestThresholds:
+    def test_basic_quantiles(self):
+        durations = list(range(1, 101))  # 1..100
+        suggestion = suggest_thresholds(durations, "S")
+        assert suggestion.t_fast == 41
+        assert suggestion.t_slow >= 71
+        assert suggestion.sample_size == 100
+
+    def test_gap_enforced_on_tight_distribution(self):
+        durations = [100] * 50 + [101] * 50
+        suggestion = suggest_thresholds(durations, "S")
+        assert suggestion.t_slow >= suggestion.t_fast * 1.5
+
+    def test_needs_enough_samples(self):
+        with pytest.raises(AnalysisError, match="at least 10"):
+            suggest_thresholds([1, 2, 3], "S")
+
+    def test_quantile_validation(self):
+        with pytest.raises(AnalysisError):
+            suggest_thresholds(list(range(100)), "S",
+                               fast_quantile=0.8, slow_quantile=0.5)
+
+    def test_fractions_reported(self):
+        durations = list(range(1, 101))
+        suggestion = suggest_thresholds(durations, "S")
+        assert 0.0 < suggestion.fast_fraction < 1.0
+        assert 0.0 <= suggestion.slow_fraction < 1.0
+
+    @given(st.lists(st.integers(1, 10**7), min_size=10, max_size=200))
+    def test_invariants_hold_for_any_distribution(self, durations):
+        suggestion = suggest_thresholds(durations, "S")
+        assert suggestion.t_fast < suggestion.t_slow
+        assert suggestion.gap > 0
+        assert suggestion.t_fast >= 1
+
+
+class TestInstanceHelpers:
+    def build_instances(self, durations, scenario="S"):
+        stream = make_stream(events=[make_event(cost=100_000_000)])
+        return [
+            stream.add_instance(scenario, tid=1, t0=0, t1=duration)
+            for duration in durations
+        ]
+
+    def test_suggest_for_instances(self):
+        instances = self.build_instances(list(range(1, 51)))
+        suggestion = suggest_for_instances(instances)
+        assert suggestion.scenario == "S"
+        assert suggestion.sample_size == 50
+
+    def test_rejects_empty(self):
+        with pytest.raises(AnalysisError):
+            suggest_for_instances([])
+
+    def test_rejects_mixed_scenarios(self):
+        mixed = self.build_instances([10] * 10, "A") + self.build_instances(
+            [20] * 10, "B"
+        )
+        with pytest.raises(AnalysisError, match="multiple scenarios"):
+            suggest_for_instances(mixed)
+
+    def test_suggest_for_corpus(self, small_corpus):
+        suggestions = suggest_for_corpus(small_corpus)
+        assert suggestions
+        for suggestion in suggestions:
+            assert suggestion.t_fast < suggestion.t_slow
+            assert suggestion.sample_size >= 10
+
+    def test_min_samples_filter(self, small_corpus):
+        strict = suggest_for_corpus(small_corpus, min_samples=10**6)
+        assert strict == []

@@ -1,0 +1,104 @@
+"""Shared fixtures: hand-crafted streams and small simulated corpora."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings as hypothesis_settings
+
+from repro.sim.corpus import CorpusConfig, generate_corpus
+from repro.trace.events import Event, EventKind
+from repro.trace.stream import ThreadInfo, TraceStream
+
+# Property tests run simulations; wall-clock deadlines would flake on
+# loaded machines, so disable them globally.
+hypothesis_settings.register_profile("repro", deadline=None)
+hypothesis_settings.load_profile("repro")
+
+
+def make_event(
+    kind=EventKind.RUNNING,
+    stack=("app!Main",),
+    timestamp=0,
+    cost=1000,
+    tid=1,
+    seq=0,
+    wtid=None,
+    resource=None,
+):
+    """Build an event with convenient defaults."""
+    return Event(
+        kind=kind,
+        stack=tuple(stack),
+        timestamp=timestamp,
+        cost=cost,
+        tid=tid,
+        seq=seq,
+        wtid=wtid,
+        resource=resource,
+    )
+
+
+def make_stream(stream_id="test", events=(), threads=()):
+    """Build a stream from unordered events (renumbering seq)."""
+    return TraceStream.from_events(stream_id, events, threads)
+
+
+@pytest.fixture
+def simple_threads():
+    return [
+        ThreadInfo(tid=1, process="App", name="UI"),
+        ThreadInfo(tid=2, process="App", name="Worker"),
+        ThreadInfo(tid=3, process="Hardware", name="Disk"),
+    ]
+
+
+@pytest.fixture
+def propagation_stream(simple_threads):
+    """A hand-crafted stream with one propagation chain.
+
+    Thread 1 (UI) waits on a lock held by thread 2 (Worker); the worker
+    runs in a driver, waits on disk (thread 3), then releases.  The UI
+    thread's instance window covers the whole chain.
+    """
+    events = [
+        # UI runs briefly, then blocks on the lock from t=1000 to t=9000.
+        make_event(EventKind.RUNNING, ("App!Click", "fv.sys!QueryFileTable"),
+                   timestamp=0, cost=1000, tid=1),
+        make_event(EventKind.WAIT,
+                   ("App!Click", "fv.sys!QueryFileTable", "kernel!AcquireLock"),
+                   timestamp=1000, cost=8000, tid=1, resource="lock:ft"),
+        # Worker holds the lock: runs, waits on disk, runs, releases.
+        make_event(EventKind.RUNNING, ("App!Job", "fs.sys!Read"),
+                   timestamp=1000, cost=1000, tid=2),
+        make_event(EventKind.WAIT,
+                   ("App!Job", "fs.sys!Read", "kernel!WaitForHardware"),
+                   timestamp=2000, cost=5000, tid=2, resource="device:Disk"),
+        make_event(EventKind.HW_SERVICE, (), timestamp=2000, cost=5000, tid=3,
+                   resource="device:Disk"),
+        make_event(EventKind.UNWAIT, ("Hardware!DiskService",),
+                   timestamp=7000, cost=0, tid=3, wtid=2,
+                   resource="device:Disk"),
+        make_event(EventKind.RUNNING, ("App!Job", "fs.sys!Read"),
+                   timestamp=7000, cost=2000, tid=2),
+        make_event(EventKind.UNWAIT,
+                   ("App!Job", "fs.sys!Read", "kernel!ReleaseLock"),
+                   timestamp=9000, cost=0, tid=2, wtid=1, resource="lock:ft"),
+        # UI finishes its work.
+        make_event(EventKind.RUNNING, ("App!Click", "fv.sys!QueryFileTable"),
+                   timestamp=9000, cost=1000, tid=1),
+    ]
+    stream = make_stream("prop", events, simple_threads)
+    stream.add_instance("Click", tid=1, t0=0, t1=10_000)
+    return stream
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """A small deterministic corpus shared by integration-style tests."""
+    return generate_corpus(CorpusConfig(streams=4, seed=1234))
+
+
+@pytest.fixture(scope="session")
+def medium_corpus():
+    """A slightly larger corpus for evaluation-level tests."""
+    return generate_corpus(CorpusConfig(streams=8, seed=77))

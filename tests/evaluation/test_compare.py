@@ -1,0 +1,126 @@
+"""Tests for cross-corpus comparison."""
+
+import pytest
+
+from repro.causality.mining import ContrastPattern
+from repro.causality.sst import SignatureSetTuple
+from repro.errors import AnalysisError
+from repro.evaluation.compare import (
+    compare_impact,
+    compare_patterns,
+)
+from repro.impact.metrics import ImpactResult
+
+
+def pattern(tag, cost, count=1):
+    return ContrastPattern(
+        sst=SignatureSetTuple(frozenset({f"{tag}!f"}), frozenset(), frozenset()),
+        cost=cost,
+        count=count,
+        max_single=cost,
+        matched_meta_patterns=1,
+    )
+
+
+def impact(ia_wait=0.4, ia_run=0.02, d_scn=1_000_000):
+    d_wait = round(d_scn * ia_wait)
+    d_run = round(d_scn * ia_run)
+    return ImpactResult(
+        d_scn=d_scn,
+        d_wait=d_wait,
+        d_run=d_run,
+        d_waitdist=d_wait,
+        d_rundist=d_run,
+        graphs=10,
+        counted_waits=10,
+        distinct_waits=10,
+        patterns=("*.sys",),
+    )
+
+
+class TestComparePatterns:
+    def test_emerged_and_resolved(self):
+        baseline = [pattern("old", 100)]
+        current = [pattern("new", 200)]
+        comparison = compare_patterns(baseline, current)
+        assert [p.sst for p in comparison.emerged] == [current[0].sst]
+        assert [p.sst for p in comparison.resolved] == [baseline[0].sst]
+        assert comparison.has_regressions
+
+    def test_regressed(self):
+        baseline = [pattern("x", 100)]
+        current = [pattern("x", 500)]
+        comparison = compare_patterns(baseline, current)
+        assert len(comparison.regressed) == 1
+        assert comparison.regressed[0].ratio == 5.0
+        assert comparison.has_regressions
+
+    def test_improved(self):
+        baseline = [pattern("x", 500)]
+        current = [pattern("x", 100)]
+        comparison = compare_patterns(baseline, current)
+        assert len(comparison.improved) == 1
+        assert not comparison.has_regressions
+
+    def test_stable(self):
+        baseline = [pattern("x", 100)]
+        current = [pattern("x", 120)]
+        comparison = compare_patterns(baseline, current)
+        assert comparison.stable == 1
+        assert not comparison.has_regressions
+
+    def test_factor_validation(self):
+        with pytest.raises(AnalysisError):
+            compare_patterns([], [], regression_factor=1.0)
+
+    def test_emerged_sorted_by_impact(self):
+        current = [pattern("a", 10), pattern("b", 1000)]
+        comparison = compare_patterns([], current)
+        assert comparison.emerged[0].impact >= comparison.emerged[1].impact
+
+    def test_summary(self):
+        comparison = compare_patterns([pattern("x", 100)], [pattern("x", 100)])
+        assert "stable" in comparison.summary()
+
+    def test_zero_baseline_impact_counts_as_regression(self):
+        zero = pattern("x", 0)
+        nonzero = pattern("x", 100)
+        comparison = compare_patterns([zero], [nonzero])
+        assert comparison.regressed[0].ratio == float("inf")
+
+
+class TestCompareImpact:
+    def test_deltas(self):
+        delta = compare_impact(impact(ia_wait=0.3), impact(ia_wait=0.5))
+        assert delta.ia_wait_delta == pytest.approx(0.2)
+        assert "+20.0%" in delta.summary()
+
+    def test_negative_delta(self):
+        delta = compare_impact(impact(ia_run=0.05), impact(ia_run=0.01))
+        assert delta.ia_run_delta == pytest.approx(-0.04)
+
+
+class TestEndToEndComparison:
+    def test_lock_granularity_change_detected(self):
+        """Coarsening MDU locks should not *improve* things — the compare
+        tool run on two simulated 'builds' sees the movement."""
+        from repro.causality import CausalityAnalysis
+        from repro.sim.casestudy import T_FAST, T_SLOW, run_case_study
+
+        baseline_result = run_case_study(seed=5)
+        current_result = run_case_study(seed=6)
+        analysis = CausalityAnalysis(["*.sys"])
+        baseline = analysis.analyze(
+            baseline_result.instances, T_FAST, T_SLOW, "BrowserTabCreate"
+        )
+        current = analysis.analyze(
+            current_result.instances, T_FAST, T_SLOW, "BrowserTabCreate"
+        )
+        comparison = compare_patterns(baseline.patterns, current.patterns)
+        total = (
+            len(comparison.emerged)
+            + len(comparison.regressed)
+            + len(comparison.improved)
+            + comparison.stable
+        )
+        assert total >= 1

@@ -1,0 +1,79 @@
+"""Tests for coverage evaluation and the full study driver."""
+
+import pytest
+
+from repro.evaluation.coverage import evaluate_coverage
+from repro.evaluation.study import group_by_scenario, run_study
+from repro.causality.analyzer import CausalityAnalysis
+from repro.sim.workloads.registry import scenario_spec
+from repro.trace.signatures import ComponentFilter
+
+
+@pytest.fixture(scope="module")
+def study(medium_corpus):
+    return run_study(medium_corpus)
+
+
+class TestGrouping:
+    def test_group_by_scenario(self, medium_corpus):
+        grouped = group_by_scenario(medium_corpus)
+        assert grouped
+        for name, instances in grouped.items():
+            assert all(instance.scenario == name for instance in instances)
+
+
+class TestCoverage:
+    def test_coverage_on_real_report(self, medium_corpus):
+        grouped = group_by_scenario(medium_corpus)
+        name, instances = max(grouped.items(), key=lambda kv: len(kv[1]))
+        spec = scenario_spec(name)
+        analysis = CausalityAnalysis(["*.sys"])
+        report = analysis.analyze(instances, spec.t_fast, spec.t_slow, name)
+        coverage = evaluate_coverage(report, analysis.component_filter)
+        assert coverage.scenario == name
+        assert coverage.slow_instances == len(report.classes.slow)
+        assert 0.0 <= coverage.itc <= coverage.ttc
+        if coverage.driver_time:
+            assert 0.0 <= coverage.driver_cost_share <= 1.5
+            assert 0.0 <= coverage.non_optimizable_share
+
+    def test_itc_subset_of_ttc(self, study):
+        for scenario in study.scenarios.values():
+            assert scenario.coverage.itc_time <= scenario.coverage.ttc_time
+
+
+class TestStudy:
+    def test_impact_shape(self, study):
+        impact = study.impact
+        assert impact.ia_run < impact.ia_wait
+        assert 0 < impact.ia_wait < 1
+        assert impact.wait_multiplicity >= 1.0
+        assert impact.ia_opt >= 0.0
+
+    def test_all_tables_have_rows(self, study):
+        assert study.table1_rows()
+        assert study.table2_rows()
+        assert study.table3_rows()
+        assert study.table4_rows()
+
+    def test_table1_counts_consistent(self, study):
+        for name, total, fast, slow in study.table1_rows():
+            assert fast + slow <= total
+            classes = study.scenarios[name].report.classes
+            assert total == classes.total
+
+    def test_table3_coverage_monotone(self, study):
+        for name, count, top10, top20, top30 in study.table3_rows():
+            assert top10 <= top20 + 1e-9
+            assert top20 <= top30 + 1e-9
+
+    def test_ranking_coverage_front_loaded(self, study):
+        """Top 30% of patterns must cover well over 30% of the time."""
+        rows = [row for row in study.table3_rows() if row[1] >= 10]
+        if rows:
+            average_top30 = sum(row[4] for row in rows) / len(rows)
+            assert average_top30 > 0.4
+
+    def test_scenario_subset(self, medium_corpus):
+        result = run_study(medium_corpus, scenarios=["MenuDisplay"])
+        assert set(result.scenarios) <= {"MenuDisplay"}

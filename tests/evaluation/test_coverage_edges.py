@@ -1,0 +1,42 @@
+"""Coverage edge cases: empty slow classes, zero denominators."""
+
+from repro.causality.analyzer import CausalityAnalysis
+from repro.evaluation.coverage import CoverageResult, evaluate_coverage
+from repro.trace.signatures import ComponentFilter
+from tests.conftest import make_event, make_stream
+
+
+class TestEmptySlowClass:
+    def test_no_slow_instances(self):
+        stream = make_stream(events=[make_event(cost=10_000_000)])
+        instances = [
+            stream.add_instance("S", tid=1, t0=0, t1=10) for _ in range(3)
+        ]
+        analysis = CausalityAnalysis(["*.sys"])
+        report = analysis.analyze(instances, 100, 300, scenario="S")
+        coverage = evaluate_coverage(report, analysis.component_filter)
+        assert coverage.slow_instances == 0
+        assert coverage.itc == 0.0
+        assert coverage.ttc == 0.0
+        assert coverage.driver_cost_share == 0.0
+        assert coverage.non_optimizable_share == 0.0
+
+
+class TestZeroDenominators:
+    def test_result_properties_safe(self):
+        result = CoverageResult(
+            scenario="S",
+            slow_instances=0,
+            slow_total_time=0,
+            distinct_driver_time=0,
+            driver_time=0,
+            itc_time=0,
+            ttc_time=0,
+            reduced_hw_time=0,
+            pattern_count=0,
+            high_impact_count=0,
+        )
+        assert result.itc == 0.0
+        assert result.ttc == 0.0
+        assert result.driver_cost_share == 0.0
+        assert result.non_optimizable_share == 0.0

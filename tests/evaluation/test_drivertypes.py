@@ -1,0 +1,76 @@
+"""Tests for the driver-type taxonomy (Table 4)."""
+
+from collections import Counter
+
+from repro.causality.mining import ContrastPattern
+from repro.causality.sst import SignatureSetTuple
+from repro.evaluation.drivertypes import (
+    DRIVER_TYPE_ORDER,
+    DRIVER_TYPES,
+    categorize_top_patterns,
+    driver_modules,
+    driver_type_of,
+    types_in_sst,
+)
+
+
+def pattern_with(signatures, cost=100):
+    return ContrastPattern(
+        sst=SignatureSetTuple(frozenset(signatures), frozenset(), frozenset()),
+        cost=cost,
+        count=1,
+        max_single=cost,
+        matched_meta_patterns=1,
+    )
+
+
+class TestTaxonomy:
+    def test_every_type_in_column_order(self):
+        assert set(DRIVER_TYPES.values()) <= set(DRIVER_TYPE_ORDER)
+
+    def test_driver_type_of_known(self):
+        assert driver_type_of("fs.sys") == "FileSystem/GeneralStorage"
+        assert driver_type_of("av.sys") == "FileSystemFilter"
+        assert driver_type_of("se.sys") == "StorageEncryption"
+
+    def test_driver_type_of_case_insensitive(self):
+        assert driver_type_of("FS.SYS") == "FileSystem/GeneralStorage"
+
+    def test_driver_type_of_unknown(self):
+        assert driver_type_of("kernel") == ""
+        assert driver_type_of("unknown.sys") == ""
+
+
+class TestCategorization:
+    def test_types_in_sst(self):
+        sst = SignatureSetTuple(
+            frozenset({"fv.sys!Q"}),
+            frozenset({"fs.sys!A"}),
+            frozenset({"se.sys!D", "kernel!X"}),
+        )
+        assert types_in_sst(sst) == {
+            "FileSystemFilter",
+            "FileSystem/GeneralStorage",
+            "StorageEncryption",
+        }
+
+    def test_categorize_counts_patterns_not_signatures(self):
+        patterns = [
+            pattern_with({"fs.sys!A", "fs.sys!B"}),  # one pattern, one type
+            pattern_with({"fv.sys!Q"}),
+        ]
+        counts = categorize_top_patterns(patterns)
+        assert counts["FileSystem/GeneralStorage"] == 1
+        assert counts["FileSystemFilter"] == 1
+
+    def test_top_n_respected(self):
+        patterns = [pattern_with({"fs.sys!A"}) for _ in range(15)]
+        counts = categorize_top_patterns(patterns, top_n=10)
+        assert counts["FileSystem/GeneralStorage"] == 10
+
+    def test_empty(self):
+        assert categorize_top_patterns([]) == Counter()
+
+    def test_driver_modules(self):
+        modules = driver_modules({"fs.sys!A", "kernel!B", "net.sys!C"})
+        assert modules == {"fs.sys", "net.sys"}

@@ -1,0 +1,55 @@
+"""Tests for corpus summary statistics."""
+
+from repro.evaluation.statistics import (
+    ScenarioDurationStats,
+    percentile,
+    summarize_corpus,
+)
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 0.5) == 0
+
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 0.5) == 3
+
+    def test_extremes(self):
+        values = list(range(100))
+        assert percentile(values, 0.0) == 0
+        assert percentile(values, 0.99) == 99
+
+
+class TestScenarioDurationStats:
+    def test_from_durations(self):
+        stats = ScenarioDurationStats.from_durations("S", [10, 20, 30, 40])
+        assert stats.count == 4
+        assert stats.p50 == 30
+        assert stats.maximum == 40
+
+    def test_empty(self):
+        stats = ScenarioDurationStats.from_durations("S", [])
+        assert stats.count == 0
+        assert stats.maximum == 0
+
+
+class TestSummarize:
+    def test_on_corpus(self, small_corpus):
+        stats = summarize_corpus(small_corpus)
+        assert stats.streams == len(small_corpus)
+        assert stats.events == sum(len(s.events) for s in small_corpus)
+        assert stats.instances == sum(
+            len(s.instances) for s in small_corpus
+        )
+        assert stats.instances_per_stream > 1
+        assert stats.event_kinds["running"] > 0
+        assert stats.event_kinds["wait"] == stats.event_kinds["unwait"]
+        assert "Browser" in stats.processes or "App" in stats.processes
+        for duration_stats in stats.scenario_durations.values():
+            assert duration_stats.p10 <= duration_stats.p50 <= duration_stats.p90
+            assert duration_stats.p90 <= duration_stats.maximum
+
+    def test_empty_corpus(self):
+        stats = summarize_corpus([])
+        assert stats.streams == 0
+        assert stats.instances_per_stream == 0.0

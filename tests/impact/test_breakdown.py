@@ -1,0 +1,102 @@
+"""Tests for the per-module impact breakdown."""
+
+from repro.impact.analyzer import ImpactAnalysis
+from repro.impact.breakdown import ImpactBreakdown, breakdown_by_module
+from repro.trace.events import EventKind
+from repro.trace.signatures import ComponentFilter
+from repro.waitgraph.builder import build_wait_graph
+from tests.conftest import make_event, make_stream
+
+
+def chain_instance(stream_id="s"):
+    """UI waits in fv.sys; holder waits in fs.sys below it."""
+    events = [
+        make_event(EventKind.WAIT,
+                   ("App!X", "fv.sys!Query", "kernel!AcquireLock"),
+                   timestamp=0, cost=9_000, tid=1),
+        make_event(EventKind.WAIT,
+                   ("App!Y", "fs.sys!Read", "kernel!WaitForHardware"),
+                   timestamp=0, cost=8_000, tid=2),
+        make_event(EventKind.RUNNING, ("App!Y", "fs.sys!Read"),
+                   timestamp=8_000, cost=1_000, tid=2),
+        make_event(EventKind.UNWAIT, ("App!Z",), timestamp=8_000,
+                   cost=0, tid=3, wtid=2),
+        make_event(EventKind.UNWAIT, ("App!Y", "fs.sys!Read"),
+                   timestamp=9_000, cost=0, tid=2, wtid=1),
+    ]
+    stream = make_stream(stream_id, events)
+    return stream.add_instance("S", tid=1, t0=0, t1=9_000)
+
+
+class TestPerModuleCounting:
+    def test_each_module_counts_its_topmost_wait(self):
+        breakdown = ImpactBreakdown()
+        breakdown.add_graph(build_wait_graph(chain_instance()))
+        fv = breakdown.modules["fv.sys"]
+        fs = breakdown.modules["fs.sys"]
+        # fv counts the outer wait; fs counts the *inner* wait (its own
+        # topmost), even though the single-scope *.sys analysis would
+        # have stopped at the outer one.
+        assert fv.wait_time == 9_000
+        assert fs.wait_time == 8_000
+        assert fs.run_time == 1_000
+
+    def test_nested_same_module_not_double_counted(self):
+        events = [
+            make_event(EventKind.WAIT,
+                       ("App!X", "fv.sys!Query", "kernel!AcquireLock"),
+                       timestamp=0, cost=9_000, tid=1),
+            make_event(EventKind.WAIT,
+                       ("App!Y", "fv.sys!Other", "kernel!AcquireLock"),
+                       timestamp=0, cost=8_000, tid=2),
+            make_event(EventKind.UNWAIT, ("App!Z",), timestamp=8_000,
+                       cost=0, tid=3, wtid=2),
+            make_event(EventKind.UNWAIT, ("App!Y",), timestamp=9_000,
+                       cost=0, tid=2, wtid=1),
+        ]
+        stream = make_stream(events=events)
+        instance = stream.add_instance("S", tid=1, t0=0, t1=9_000)
+        breakdown = ImpactBreakdown()
+        breakdown.add_graph(build_wait_graph(instance))
+        assert breakdown.modules["fv.sys"].wait_time == 9_000
+
+    def test_distinct_wait_dedup_across_graphs(self):
+        instance = chain_instance()
+        graph = build_wait_graph(instance)
+        breakdown = ImpactBreakdown()
+        breakdown.add_graph(graph)
+        breakdown.add_graph(graph)
+        fv = breakdown.modules["fv.sys"]
+        assert fv.wait_time == 18_000
+        assert fv.distinct_wait_time == 9_000
+        assert fv.wait_multiplicity == 2.0
+
+    def test_scenarios_recorded(self):
+        breakdown = ImpactBreakdown()
+        breakdown.add_graph(build_wait_graph(chain_instance()))
+        assert breakdown.modules["fs.sys"].scenarios == {"S"}
+
+
+class TestOnCorpus:
+    def test_breakdown_consistent_with_single_scope(self, small_corpus):
+        """A module's breakdown wait time equals a dedicated single-module
+        impact analysis."""
+        breakdown = breakdown_by_module(small_corpus)
+        heaviest = breakdown.ranked()[0]
+        single = ImpactAnalysis([heaviest.module]).analyze_corpus(small_corpus)
+        assert heaviest.wait_time == single.d_wait
+        assert heaviest.distinct_wait_time == single.d_waitdist
+
+    def test_ranked_order(self, small_corpus):
+        breakdown = breakdown_by_module(small_corpus)
+        ranked = breakdown.ranked()
+        assert len(ranked) >= 3
+        waits = [entry.wait_time for entry in ranked]
+        assert waits == sorted(waits, reverse=True)
+
+    def test_wait_share(self, small_corpus):
+        breakdown = breakdown_by_module(small_corpus)
+        heaviest = breakdown.ranked()[0]
+        share = breakdown.wait_share_of(heaviest.module)
+        assert 0 < share
+        assert breakdown.wait_share_of("nope.sys") == 0.0

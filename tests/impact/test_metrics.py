@@ -1,0 +1,133 @@
+"""Tests for impact-analysis metric accumulation."""
+
+from repro.impact.metrics import ImpactAccumulator
+from repro.trace.events import EventKind
+from repro.trace.signatures import ALL_DRIVERS, ComponentFilter
+from repro.trace.stream import ThreadInfo
+from repro.waitgraph.builder import build_wait_graph
+from tests.conftest import make_event, make_stream
+
+
+def single_wait_instance(stream_id="s", driver_wait=True):
+    stack = (
+        ("App!X", "fv.sys!Query", "kernel!AcquireLock")
+        if driver_wait
+        else ("App!X", "kernel!AcquireLock")
+    )
+    events = [
+        make_event(EventKind.RUNNING, ("App!X",), timestamp=0, cost=1_000, tid=1),
+        make_event(EventKind.WAIT, stack, timestamp=1_000, cost=4_000, tid=1),
+        make_event(EventKind.UNWAIT, ("App!Y",), timestamp=5_000, cost=0,
+                   tid=2, wtid=1),
+    ]
+    stream = make_stream(stream_id, events)
+    return stream.add_instance("S", tid=1, t0=0, t1=5_000)
+
+
+class TestBasicCounting:
+    def test_d_scn_is_top_level_sum(self):
+        accumulator = ImpactAccumulator(ALL_DRIVERS)
+        accumulator.add_graph(build_wait_graph(single_wait_instance()))
+        assert accumulator.d_scn == 5_000
+
+    def test_driver_wait_counted(self):
+        accumulator = ImpactAccumulator(ALL_DRIVERS)
+        accumulator.add_graph(build_wait_graph(single_wait_instance()))
+        assert accumulator.d_wait == 4_000
+        assert accumulator.counted_waits == 1
+
+    def test_non_driver_wait_not_counted(self):
+        accumulator = ImpactAccumulator(ALL_DRIVERS)
+        accumulator.add_graph(
+            build_wait_graph(single_wait_instance(driver_wait=False))
+        )
+        assert accumulator.d_wait == 0
+
+    def test_nested_driver_wait_not_double_counted(self):
+        """A driver wait under a counted driver wait adds nothing."""
+        events = [
+            make_event(EventKind.WAIT,
+                       ("App!X", "fv.sys!Query", "kernel!AcquireLock"),
+                       timestamp=0, cost=9_000, tid=1),
+            make_event(EventKind.WAIT,
+                       ("App!Y", "fs.sys!Read", "kernel!WaitForHardware"),
+                       timestamp=0, cost=8_000, tid=2),
+            make_event(EventKind.UNWAIT, ("App!Z",), timestamp=8_000,
+                       cost=0, tid=3, wtid=2),
+            make_event(EventKind.UNWAIT, ("App!Y", "fs.sys!Read"),
+                       timestamp=9_000, cost=0, tid=2, wtid=1),
+        ]
+        stream = make_stream("s", events)
+        instance = stream.add_instance("S", tid=1, t0=0, t1=9_000)
+        accumulator = ImpactAccumulator(ALL_DRIVERS)
+        accumulator.add_graph(build_wait_graph(instance))
+        assert accumulator.d_wait == 9_000  # outer only
+
+    def test_driver_wait_under_non_driver_wait_counted(self):
+        events = [
+            make_event(EventKind.WAIT, ("App!X", "kernel!WaitForObject"),
+                       timestamp=0, cost=9_000, tid=1),
+            make_event(EventKind.WAIT,
+                       ("Svc!Y", "fs.sys!Read", "kernel!WaitForHardware"),
+                       timestamp=0, cost=8_000, tid=2),
+            make_event(EventKind.UNWAIT, ("App!Z",), timestamp=8_000,
+                       cost=0, tid=3, wtid=2),
+            make_event(EventKind.UNWAIT, ("Svc!Y",), timestamp=9_000,
+                       cost=0, tid=2, wtid=1),
+        ]
+        stream = make_stream("s", events)
+        instance = stream.add_instance("S", tid=1, t0=0, t1=9_000)
+        accumulator = ImpactAccumulator(ALL_DRIVERS)
+        accumulator.add_graph(build_wait_graph(instance))
+        assert accumulator.d_wait == 8_000  # inner driver wait
+
+    def test_running_events_counted_when_matching(self, propagation_stream):
+        accumulator = ImpactAccumulator(ALL_DRIVERS)
+        accumulator.add_graph(
+            build_wait_graph(propagation_stream.instances[0])
+        )
+        # UI driver runnings (1000+1000) + worker fs runnings (1000+2000).
+        assert accumulator.d_run == 5_000
+
+
+class TestDistinctWaits:
+    def test_same_graph_twice_shares_waits(self):
+        instance = single_wait_instance()
+        graph = build_wait_graph(instance)
+        accumulator = ImpactAccumulator(ALL_DRIVERS)
+        accumulator.add_graph(graph)
+        accumulator.add_graph(graph)
+        assert accumulator.d_wait == 8_000
+        assert accumulator.d_waitdist == 4_000
+        result = accumulator.result()
+        assert result.wait_multiplicity == 2.0
+
+    def test_different_streams_distinct(self):
+        accumulator = ImpactAccumulator(ALL_DRIVERS)
+        accumulator.add_graph(build_wait_graph(single_wait_instance("a")))
+        accumulator.add_graph(build_wait_graph(single_wait_instance("b")))
+        assert accumulator.d_wait == 8_000
+        assert accumulator.d_waitdist == 8_000
+
+
+class TestResultProperties:
+    def test_ratios(self):
+        accumulator = ImpactAccumulator(ALL_DRIVERS)
+        accumulator.add_graph(build_wait_graph(single_wait_instance()))
+        result = accumulator.result()
+        assert result.ia_wait == 4_000 / 5_000
+        assert result.ia_run == 0.0
+        assert result.ia_opt == 0.0
+        assert "IA_wait" in result.summary()
+
+    def test_empty_result_is_zero(self):
+        result = ImpactAccumulator(ALL_DRIVERS).result()
+        assert result.ia_wait == 0.0
+        assert result.ia_run == 0.0
+        assert result.ia_opt == 0.0
+        assert result.wait_multiplicity == 0.0
+
+    def test_patterns_recorded(self):
+        component = ComponentFilter(["fv.sys"])
+        result = ImpactAccumulator(component).result()
+        assert result.patterns == ("fv.sys",)

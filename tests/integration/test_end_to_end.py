@@ -1,0 +1,86 @@
+"""End-to-end integration: simulate -> validate -> serialize -> analyze."""
+
+import pytest
+
+from repro.baselines import analyze_lock_contention, profile_corpus
+from repro.causality import CausalityAnalysis
+from repro.evaluation import run_study
+from repro.impact import ImpactAnalysis
+from repro.sim.workloads.registry import scenario_spec
+from repro.trace import (
+    ALL_DRIVERS,
+    dumps_stream,
+    loads_stream,
+    validate_stream,
+)
+from repro.waitgraph import aggregate_wait_graphs, build_wait_graph
+
+
+class TestPipeline:
+    def test_full_pipeline_on_serialized_corpus(self, small_corpus):
+        """The analyses produce identical results on round-tripped traces."""
+        restored = [loads_stream(dumps_stream(s)) for s in small_corpus]
+        for stream in restored:
+            validate_stream(stream)
+        original = ImpactAnalysis(["*.sys"]).analyze_corpus(small_corpus)
+        reloaded = ImpactAnalysis(["*.sys"]).analyze_corpus(restored)
+        assert original.d_scn == reloaded.d_scn
+        assert original.d_wait == reloaded.d_wait
+        assert original.d_waitdist == reloaded.d_waitdist
+
+    def test_paper_shape_holds(self, medium_corpus):
+        """§5.1 qualitative findings on the synthetic corpus."""
+        impact = ImpactAnalysis(["*.sys"]).analyze_corpus(medium_corpus)
+        # Drivers dominate wait time, not run time.
+        assert impact.ia_wait > 0.2
+        assert impact.ia_run < impact.ia_wait / 3
+        # Cost propagation shares waits across instances.
+        assert impact.wait_multiplicity > 1.0
+        assert 0 < impact.ia_opt < impact.ia_wait
+
+    def test_causality_finds_driver_patterns(self, medium_corpus):
+        grouped = {}
+        for stream in medium_corpus:
+            for instance in stream.instances:
+                grouped.setdefault(instance.scenario, []).append(instance)
+        name, instances = max(grouped.items(), key=lambda kv: len(kv[1]))
+        spec = scenario_spec(name)
+        report = CausalityAnalysis(["*.sys"]).analyze(
+            instances, spec.t_fast, spec.t_slow, scenario=name
+        )
+        if report.classes.slow:
+            assert report.patterns
+            top = report.patterns[0]
+            assert any(
+                signature.split("!")[0].endswith(".sys")
+                for signature in top.sst.all_signatures
+            )
+
+    def test_baselines_and_core_agree_on_cpu(self, small_corpus):
+        """The profiler's driver CPU share matches IA_run to first order
+        (both count the same running samples; the graph view may count a
+        shared sample more than once)."""
+        profile = profile_corpus(small_corpus)
+        cpu_share = profile.component_cpu_share(ALL_DRIVERS)
+        impact = ImpactAnalysis(["*.sys"]).analyze_corpus(small_corpus)
+        assert cpu_share < 0.3
+        assert impact.ia_run < 0.3
+
+    def test_lock_baseline_sees_simulated_locks(self, small_corpus):
+        analysis = analyze_lock_contention(small_corpus)
+        assert analysis.total_wait >= 0
+
+    def test_awg_aggregates_whole_corpus_scenario(self, small_corpus):
+        instances = [
+            instance
+            for stream in small_corpus
+            for instance in stream.instances
+        ]
+        graphs = [build_wait_graph(instance) for instance in instances[:40]]
+        awg = aggregate_wait_graphs(graphs, ALL_DRIVERS)
+        assert awg.source_graphs == len(graphs)
+
+    @pytest.mark.slow
+    def test_run_study_smoke(self, medium_corpus):
+        result = run_study(medium_corpus)
+        assert result.scenarios

@@ -1,0 +1,111 @@
+"""Property-based tests over randomized simulations.
+
+These drive the engine with randomized-but-well-formed thread programs
+and assert the global invariants every trace must satisfy: validity
+(every wait paired), time monotonicity, cost conservation, and Wait Graph
+construction termination.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.devices import QueuedDevice
+from repro.sim.engine import Engine
+from repro.sim.locks import Lock
+from repro.sim.tracer import Tracer
+from repro.trace.events import EventKind
+from repro.trace.validate import collect_violations
+from repro.waitgraph.builder import build_wait_graph
+
+# One action per step: (kind, argument)
+action = st.one_of(
+    st.tuples(st.just("compute"), st.integers(1, 5_000)),
+    st.tuples(st.just("lock"), st.integers(0, 2)),
+    st.tuples(st.just("io"), st.integers(1, 5_000)),
+    st.tuples(st.just("delay"), st.integers(1, 3_000)),
+)
+program_strategy = st.lists(action, min_size=1, max_size=8)
+
+
+def run_random_simulation(programs):
+    tracer = Tracer("random")
+    engine = Engine(cores=2, tracer=tracer)
+    locks = [Lock(f"lock{i}") for i in range(3)]
+    disk = QueuedDevice(engine, "Disk")
+
+    def make_program(actions, index):
+        def program(ctx):
+            with ctx.frame(f"drv{index}.sys!Work"):
+                with ctx.scenario(f"S{index}"):
+                    for kind, argument in actions:
+                        if kind == "compute":
+                            yield from ctx.compute(argument)
+                        elif kind == "lock":
+                            lock = locks[argument]
+                            yield from ctx.acquire(lock)
+                            yield from ctx.compute(100)
+                            yield from ctx.release(lock)
+                        elif kind == "io":
+                            yield from ctx.hardware(disk, argument)
+                        elif kind == "delay":
+                            yield from ctx.delay(argument)
+
+        return program
+
+    for index, actions in enumerate(programs):
+        engine.spawn(make_program(actions, index), "App", f"T{index}")
+    engine.run()
+    return tracer.finalize()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(program_strategy, min_size=1, max_size=4))
+def test_random_simulations_produce_valid_traces(programs):
+    stream = run_random_simulation(programs)
+    assert collect_violations(stream) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(program_strategy, min_size=1, max_size=4))
+def test_unwaits_always_follow_their_waits(programs):
+    stream = run_random_simulation(programs)
+    for event in stream.events_of_kind(EventKind.WAIT):
+        unwaits = [
+            candidate
+            for candidate in stream.unwaits_targeting(event.tid)
+            if candidate.timestamp == event.end
+        ]
+        assert unwaits, "wait without closing unwait"
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(program_strategy, min_size=1, max_size=4))
+def test_wait_graphs_always_build(programs):
+    stream = run_random_simulation(programs)
+    for instance in stream.instances:
+        graph = build_wait_graph(instance)
+        # Traversal terminates, dedups, and stays within the stream.
+        events = list(graph.events())
+        assert len(events) == len({event.seq for event in events})
+        for event in events:
+            assert 0 <= event.seq < len(stream.events)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(program_strategy, min_size=1, max_size=3))
+def test_running_time_is_conserved(programs):
+    """Total RUNNING cost equals the computed durations requested."""
+    expected = 0
+    for actions in programs:
+        for kind, argument in actions:
+            if kind == "compute":
+                expected += argument
+            elif kind == "lock":
+                expected += 100
+    stream = run_random_simulation(programs)
+    total = sum(
+        event.cost for event in stream.events_of_kind(EventKind.RUNNING)
+    )
+    assert total == expected

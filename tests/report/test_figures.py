@@ -1,0 +1,63 @@
+"""Tests for Wait Graph / AWG rendering."""
+
+from repro.report.figures import (
+    awg_to_dot,
+    render_awg,
+    render_wait_graph,
+    wait_graph_to_dot,
+)
+from repro.trace.signatures import ALL_DRIVERS
+from repro.waitgraph.aggregate import aggregate_wait_graphs
+from repro.waitgraph.builder import build_wait_graph
+
+
+class TestWaitGraphRendering:
+    def test_render_contains_chain(self, propagation_stream):
+        graph = build_wait_graph(propagation_stream.instances[0])
+        text = render_wait_graph(graph)
+        assert "Click" in text
+        assert "fv.sys!QueryFileTable" in text.replace("kernel!AcquireLock", "")
+        assert "wait" in text
+        assert "hw" in text
+
+    def test_render_respects_max_lines(self, propagation_stream):
+        graph = build_wait_graph(propagation_stream.instances[0])
+        text = render_wait_graph(graph, max_lines=2)
+        assert "truncated" in text
+
+    def test_dot_export(self, propagation_stream):
+        graph = build_wait_graph(propagation_stream.instances[0])
+        dot = wait_graph_to_dot(graph)
+        assert dot.startswith("digraph")
+        assert "->" in dot
+        assert dot.rstrip().endswith("}")
+
+
+class TestAwgRendering:
+    def test_render_awg(self, propagation_stream):
+        graph = build_wait_graph(propagation_stream.instances[0])
+        awg = aggregate_wait_graphs([graph], ALL_DRIVERS, reduce_hw=False)
+        text = render_awg(awg)
+        assert "AggregatedWaitGraph" in text
+        assert "->" in text
+        assert "N=1" in text
+
+    def test_render_awg_min_cost_elides(self, propagation_stream):
+        graph = build_wait_graph(propagation_stream.instances[0])
+        awg = aggregate_wait_graphs([graph], ALL_DRIVERS, reduce_hw=False)
+        full = render_awg(awg)
+        elided = render_awg(awg, min_cost=10**9)
+        assert len(elided) < len(full)
+
+    def test_awg_dot(self, propagation_stream):
+        graph = build_wait_graph(propagation_stream.instances[0])
+        awg = aggregate_wait_graphs([graph], ALL_DRIVERS, reduce_hw=False)
+        dot = awg_to_dot(awg)
+        assert dot.startswith("digraph")
+        assert "C=" in dot
+
+    def test_render_on_simulated_data(self, small_corpus):
+        stream = small_corpus[0]
+        graphs = [build_wait_graph(i) for i in stream.instances[:5]]
+        awg = aggregate_wait_graphs(graphs, ALL_DRIVERS)
+        assert render_awg(awg)

@@ -1,0 +1,55 @@
+"""Tests for networkx export of graph structures."""
+
+import networkx as nx
+
+from repro.report.graphs import (
+    awg_to_networkx,
+    propagation_hubs,
+    wait_graph_to_networkx,
+)
+from repro.trace.signatures import ALL_DRIVERS
+from repro.waitgraph.aggregate import aggregate_wait_graphs
+from repro.waitgraph.builder import build_wait_graph
+
+
+class TestWaitGraphExport:
+    def test_nodes_and_edges(self, propagation_stream):
+        graph = build_wait_graph(propagation_stream.instances[0])
+        dag = wait_graph_to_networkx(graph)
+        assert dag.number_of_nodes() == graph.node_count()
+        assert nx.is_directed_acyclic_graph(dag)
+        assert dag.graph["scenario"] == "Click"
+        assert set(dag.graph["roots"]) <= set(dag.nodes)
+
+    def test_node_attributes(self, propagation_stream):
+        graph = build_wait_graph(propagation_stream.instances[0])
+        dag = wait_graph_to_networkx(graph)
+        root = dag.graph["roots"][0]
+        attrs = dag.nodes[root]
+        assert {"kind", "cost", "tid", "frame"} <= set(attrs)
+
+    def test_propagation_hubs(self, propagation_stream):
+        graph = build_wait_graph(propagation_stream.instances[0])
+        hubs = propagation_hubs(graph, top=3)
+        assert hubs
+        # The chokepoint is the worker's activity inside the lock wait.
+        events = [event for event, _ in hubs]
+        assert any(event.tid == 2 for event in events)
+
+
+class TestAwgExport:
+    def test_structure_preserved(self, propagation_stream):
+        graph = build_wait_graph(propagation_stream.instances[0])
+        awg = aggregate_wait_graphs([graph], ALL_DRIVERS, reduce_hw=False)
+        dag = awg_to_networkx(awg)
+        assert dag.number_of_nodes() == awg.node_count()
+        assert nx.is_directed_acyclic_graph(dag)
+        assert dag.graph["source_graphs"] == 1
+
+    def test_attributes(self, propagation_stream):
+        graph = build_wait_graph(propagation_stream.instances[0])
+        awg = aggregate_wait_graphs([graph], ALL_DRIVERS, reduce_hw=False)
+        dag = awg_to_networkx(awg)
+        for _, attrs in dag.nodes(data=True):
+            assert attrs["count"] >= 1
+            assert attrs["status"] in ("waiting", "running", "hardware")

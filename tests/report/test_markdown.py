@@ -1,0 +1,46 @@
+"""Tests for markdown report generation."""
+
+import pytest
+
+from repro.evaluation.study import run_study
+from repro.report.markdown import save_study_markdown, study_to_markdown
+
+
+@pytest.fixture(scope="module")
+def small_study(request):
+    small_corpus = request.getfixturevalue("small_corpus")
+    return run_study(small_corpus)
+
+
+class TestMarkdown:
+    def test_contains_all_sections(self, small_study):
+        markdown = study_to_markdown(small_study)
+        assert "# Performance comprehension report" in markdown
+        assert "## Impact analysis" in markdown
+        assert "## Scenarios and contrast classes" in markdown
+        assert "## Coverages and ranking" in markdown
+        assert "## Driver types in top-10 patterns" in markdown
+        assert "IA_wait" in markdown
+
+    def test_tables_are_valid_markdown(self, small_study):
+        markdown = study_to_markdown(small_study)
+        for line in markdown.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+    def test_patterns_rendered_when_present(self, small_study):
+        markdown = study_to_markdown(small_study, top_patterns=2)
+        if any(
+            study.report.patterns
+            for study in small_study.scenarios.values()
+        ):
+            assert "wait signatures" in markdown
+
+    def test_custom_title(self, small_study):
+        markdown = study_to_markdown(small_study, title="Build 42 vs 41")
+        assert markdown.startswith("# Build 42 vs 41")
+
+    def test_save(self, small_study, tmp_path):
+        path = tmp_path / "report.md"
+        save_study_markdown(small_study, str(path))
+        assert path.read_text().startswith("#")

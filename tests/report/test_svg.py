@@ -1,0 +1,61 @@
+"""Tests for SVG rendering of Aggregated Wait Graphs."""
+
+import xml.etree.ElementTree as ET
+
+from repro.report.svg import awg_to_svg, save_awg_svg
+from repro.trace.signatures import ALL_DRIVERS
+from repro.waitgraph.aggregate import aggregate_wait_graphs
+from repro.waitgraph.builder import build_wait_graph
+
+
+def build_awg(propagation_stream):
+    graph = build_wait_graph(propagation_stream.instances[0])
+    return aggregate_wait_graphs([graph], ALL_DRIVERS, reduce_hw=False)
+
+
+class TestSvgRendering:
+    def test_is_well_formed_xml(self, propagation_stream):
+        svg = awg_to_svg(build_awg(propagation_stream))
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_contains_node_boxes_and_labels(self, propagation_stream):
+        awg = build_awg(propagation_stream)
+        svg = awg_to_svg(awg)
+        assert svg.count("<rect") >= awg.node_count()  # boxes + background
+        assert "fv.sys!Query" in svg
+        assert "C=" in svg
+
+    def test_edges_drawn(self, propagation_stream):
+        svg = awg_to_svg(build_awg(propagation_stream))
+        assert "<line" in svg
+        assert "marker-end" in svg
+
+    def test_min_cost_elides(self, propagation_stream):
+        awg = build_awg(propagation_stream)
+        full = awg_to_svg(awg)
+        elided = awg_to_svg(awg, min_cost=10**9)
+        assert len(elided) < len(full)
+
+    def test_custom_title_escaped(self, propagation_stream):
+        svg = awg_to_svg(build_awg(propagation_stream), title="a <b> & c")
+        assert "a &lt;b&gt; &amp; c" in svg
+
+    def test_save_to_file(self, propagation_stream, tmp_path):
+        path = tmp_path / "awg.svg"
+        save_awg_svg(build_awg(propagation_stream), str(path))
+        assert path.read_text().startswith("<svg")
+
+    def test_empty_awg(self):
+        from repro.trace.signatures import ALL_DRIVERS
+        from repro.waitgraph.aggregate import AggregatedWaitGraph
+
+        svg = awg_to_svg(AggregatedWaitGraph(ALL_DRIVERS))
+        ET.fromstring(svg)
+
+    def test_on_simulated_corpus(self, small_corpus):
+        stream = small_corpus[0]
+        graphs = [build_wait_graph(i) for i in stream.instances[:10]]
+        awg = aggregate_wait_graphs(graphs, ALL_DRIVERS)
+        svg = awg_to_svg(awg, min_cost=1000)
+        ET.fromstring(svg)

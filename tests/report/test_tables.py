@@ -1,0 +1,56 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.report.tables import Table, fmt_pct, fmt_ratio, fmt_us
+
+
+class TestFormatters:
+    def test_fmt_pct(self):
+        assert fmt_pct(0.364) == "36.4%"
+        assert fmt_pct(0.5, digits=0) == "50%"
+
+    def test_fmt_ratio(self):
+        assert fmt_ratio(3.5) == "3.50"
+
+    def test_fmt_us(self):
+        assert fmt_us(500) == "500us"
+        assert fmt_us(4_730_000) == "4.73s"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(["Scenario", "ITC"], title="Table 2")
+        table.add_row("BrowserTabCreate", "23.1%")
+        table.add_row("Menu", "39.2%")
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Table 2"
+        assert "Scenario" in lines[1]
+        # Columns align: 'ITC' starts at the same offset in all rows.
+        offset = lines[1].index("ITC")
+        assert lines[3][offset:].startswith("23.1%")
+        assert lines[4][offset:].startswith("39.2%")
+
+    def test_wrong_cell_count_rejected(self):
+        table = Table(["A", "B"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_separator(self):
+        table = Table(["A"])
+        table.add_row("x")
+        table.add_separator()
+        table.add_row("y")
+        lines = table.render().splitlines()
+        assert any(set(line.strip()) == {"-"} for line in lines[3:])
+
+    def test_str(self):
+        table = Table(["A"])
+        table.add_row("x")
+        assert str(table) == table.render()
+
+    def test_non_string_cells_coerced(self):
+        table = Table(["A", "B"])
+        table.add_row(42, 3.14)
+        assert "42" in table.render()

@@ -1,0 +1,90 @@
+"""Tests for the deterministic paper case studies."""
+
+import pytest
+
+from repro.causality import CausalityAnalysis
+from repro.sim.casestudy import (
+    HARDFAULT_SCENARIO,
+    HARDFAULT_T_FAST,
+    HARDFAULT_T_SLOW,
+    SCENARIO,
+    T_FAST,
+    T_SLOW,
+    run_case_study,
+    run_hardfault_case,
+)
+from repro.trace.signatures import module_of
+from repro.trace.validate import validate_stream
+from repro.units import MILLISECONDS, SECONDS
+
+
+@pytest.fixture(scope="module")
+def figure1():
+    return run_case_study()
+
+
+@pytest.fixture(scope="module")
+def hardfault():
+    return run_hardfault_case()
+
+
+class TestFigure1Case:
+    def test_trace_is_valid(self, figure1):
+        validate_stream(figure1.stream)
+
+    def test_one_slow_many_fast(self, figure1):
+        assert figure1.slow_instance.duration > 800 * MILLISECONDS
+        assert len(figure1.fast_instances) >= 5
+
+    def test_six_thread_cast_present(self, figure1):
+        labels = {info.label for info in figure1.stream.threads.values()}
+        assert "Browser/UI" in labels
+        assert "Browser/W0" in labels
+        assert "Browser/W1" in labels
+        assert "AntiVirus/W0" in labels
+        assert "ConfigMgr/W0" in labels
+
+    def test_section23_pattern_discovered(self, figure1):
+        report = CausalityAnalysis(["*.sys"]).analyze(
+            figure1.instances, T_FAST, T_SLOW, scenario=SCENARIO
+        )
+        top = report.patterns[0]
+        assert "fv.sys!QueryFileTable" in top.sst.wait_signatures
+        assert "fs.sys!AcquireMDU" in top.sst.wait_signatures
+        assert top.is_high_impact(T_SLOW)
+
+    def test_deterministic(self):
+        first = run_case_study(iterations=7, seed=9)
+        second = run_case_study(iterations=7, seed=9)
+        assert first.slow_instance.duration == second.slow_instance.duration
+
+
+class TestHardFaultCase:
+    def test_trace_is_valid(self, hardfault):
+        validate_stream(hardfault.stream)
+
+    def test_multi_second_hang(self, hardfault):
+        assert hardfault.slow_instance.duration > 2 * SECONDS
+        assert len(hardfault.fast_instances) >= 4
+
+    def test_pattern_joins_graphics_and_storage(self, hardfault):
+        report = CausalityAnalysis(["*.sys"]).analyze(
+            hardfault.instances,
+            HARDFAULT_T_FAST,
+            HARDFAULT_T_SLOW,
+            scenario=HARDFAULT_SCENARIO,
+        )
+        assert report.patterns
+        modules = set()
+        for pattern in report.patterns:
+            modules |= {module_of(s) for s in pattern.sst.all_signatures}
+        assert "graphics.sys" in modules
+        assert {"fs.sys", "se.sys"} & modules
+
+    def test_pager_thread_did_the_read(self, hardfault):
+        pagers = [
+            info
+            for info in hardfault.stream.threads.values()
+            if info.name.startswith("Pager")
+        ]
+        assert pagers

@@ -1,0 +1,84 @@
+"""Tests for corpus generation."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.corpus import (
+    CorpusConfig,
+    DEFAULT_SCENARIO_WEIGHTS,
+    draw_machine_config,
+    generate_corpus,
+    generate_stream,
+)
+from repro.trace.validate import validate_stream
+
+
+class TestCorpusConfig:
+    def test_defaults_valid(self):
+        CorpusConfig().validate()
+
+    def test_needs_streams(self):
+        with pytest.raises(ConfigError):
+            CorpusConfig(streams=0).validate()
+
+    def test_unknown_scenarios_rejected(self):
+        with pytest.raises(ConfigError, match="unknown"):
+            CorpusConfig(scenarios=("Nope",)).validate()
+
+    def test_workloads_per_stream_must_fit(self):
+        with pytest.raises(ConfigError):
+            CorpusConfig(workloads_per_stream=(5, 99)).validate()
+
+    def test_weights_cover_all_scenarios(self):
+        assert set(DEFAULT_SCENARIO_WEIGHTS) == set(CorpusConfig().scenarios)
+
+
+class TestMachineConfigDraw:
+    def test_draw_is_valid(self):
+        rng = random.Random(3)
+        for _ in range(50):
+            draw_machine_config(rng).validate()
+
+    def test_draw_spans_disk_tiers(self):
+        rng = random.Random(3)
+        medians = {draw_machine_config(rng).disk_read_median_us for _ in range(60)}
+        assert min(medians) < 1_500       # some SSDs
+        assert max(medians) > 6_000       # some HDDs
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        config = CorpusConfig(streams=1, seed=99)
+        first = generate_stream(0, config)
+        second = generate_stream(0, config)
+        assert first.events == second.events
+        assert len(first.instances) == len(second.instances)
+
+    def test_different_indexes_differ(self):
+        config = CorpusConfig(streams=2, seed=99)
+        assert generate_stream(0, config).events != generate_stream(1, config).events
+
+    def test_streams_are_valid(self, small_corpus):
+        for stream in small_corpus:
+            validate_stream(stream)
+
+    def test_streams_have_instances_and_threads(self, small_corpus):
+        for stream in small_corpus:
+            assert stream.instances
+            assert len(stream.threads) > 5
+
+    def test_corpus_size(self, small_corpus):
+        assert len(small_corpus) == 4
+
+    def test_scenarios_subset_respected(self):
+        config = CorpusConfig(
+            streams=1,
+            seed=5,
+            scenarios=("MenuDisplay", "AppAccessControl"),
+            workloads_per_stream=(2, 2),
+        )
+        stream = generate_stream(0, config)
+        names = {instance.scenario for instance in stream.instances}
+        assert names <= {"MenuDisplay", "AppAccessControl"}

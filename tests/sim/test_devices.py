@@ -1,0 +1,63 @@
+"""Tests for hardware device models."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.devices import QueuedDevice
+from repro.sim.engine import Engine
+from repro.sim.tracer import Tracer
+
+
+def make_device(capacity=1):
+    engine = Engine(tracer=Tracer("t"))
+    return QueuedDevice(engine, "Disk", capacity=capacity)
+
+
+class TestQueuedDevice:
+    def test_requires_capacity(self):
+        engine = Engine(tracer=Tracer("t"))
+        with pytest.raises(SimulationError):
+            QueuedDevice(engine, "Bad", capacity=0)
+
+    def test_idle_device_serves_immediately(self):
+        device = make_device()
+        assert device.service_window(100, 50) == (100, 150)
+
+    def test_busy_device_queues(self):
+        device = make_device()
+        device.service_window(0, 1_000)
+        start, end = device.service_window(500, 200)
+        assert start == 1_000
+        assert end == 1_200
+
+    def test_parallel_servers(self):
+        device = make_device(capacity=2)
+        assert device.service_window(0, 1_000) == (0, 1_000)
+        assert device.service_window(0, 1_000) == (0, 1_000)
+        # Third request queues behind the earliest-free server.
+        assert device.service_window(0, 500) == (1_000, 1_500)
+
+    def test_negative_duration_rejected(self):
+        device = make_device()
+        with pytest.raises(SimulationError):
+            device.service_window(0, -1)
+
+    def test_statistics(self):
+        device = make_device()
+        device.service_window(0, 100)
+        device.service_window(0, 200)
+        assert device.request_count == 2
+        assert device.total_service_time == 300
+
+    def test_pseudo_thread_registered(self):
+        tracer = Tracer("t")
+        engine = Engine(tracer=tracer)
+        device = QueuedDevice(engine, "Gpu")
+        stream = tracer.finalize()
+        info = stream.thread_info(device.pseudo_tid)
+        assert info.process == "Hardware"
+        assert info.name == "Gpu"
+
+    def test_completion_stack_names_device(self):
+        device = make_device()
+        assert device.completion_stack == ("Hardware!DiskService",)

@@ -1,0 +1,81 @@
+"""Tests for random-duration helpers."""
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.distributions import (
+    bernoulli,
+    exponential_us,
+    lognormal_us,
+    pareto_us,
+    skewed_file_id,
+    uniform_us,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = random.Random(5)
+        b = random.Random(5)
+        assert [lognormal_us(a, 1_000) for _ in range(10)] == [
+            lognormal_us(b, 1_000) for _ in range(10)
+        ]
+
+
+class TestBounds:
+    @given(st.integers(0, 2**31), st.floats(1, 1e6), st.floats(0.01, 2))
+    def test_lognormal_positive(self, seed, median, sigma):
+        rng = random.Random(seed)
+        assert lognormal_us(rng, median, sigma) >= 1
+
+    @given(st.integers(0, 2**31), st.floats(1, 1e5), st.floats(1, 1e5))
+    def test_uniform_within_bounds(self, seed, low, high):
+        rng = random.Random(seed)
+        low, high = min(low, high), max(low, high)
+        value = uniform_us(rng, low, high)
+        assert 1 <= value <= round(high) + 1
+
+    @given(st.integers(0, 2**31))
+    def test_exponential_positive(self, seed):
+        rng = random.Random(seed)
+        assert exponential_us(rng, 1_000) >= 1
+
+    @given(st.integers(0, 2**31))
+    def test_pareto_capped(self, seed):
+        rng = random.Random(seed)
+        assert 1 <= pareto_us(rng, 100, cap_us=5_000) <= 5_000
+
+    def test_bernoulli_extremes(self):
+        rng = random.Random(1)
+        assert not bernoulli(rng, 0.0)
+        assert bernoulli(rng, 1.0)
+
+    @given(st.integers(0, 2**31))
+    def test_skewed_file_id_in_range(self, seed):
+        rng = random.Random(seed)
+        value = skewed_file_id(rng, hot_prob=0.5, hot_set=8, cold_range=100)
+        assert 0 <= value < 100
+
+    def test_skewed_file_id_is_skewed(self):
+        rng = random.Random(7)
+        samples = [
+            skewed_file_id(rng, hot_prob=0.7, hot_set=4, cold_range=1 << 20)
+            for _ in range(2_000)
+        ]
+        hot = sum(1 for value in samples if value < 4)
+        assert hot / len(samples) > 0.6
+
+
+class TestStatisticalShape:
+    def test_lognormal_median_roughly_right(self):
+        rng = random.Random(11)
+        samples = sorted(lognormal_us(rng, 10_000, 0.5) for _ in range(4_001))
+        median = samples[len(samples) // 2]
+        assert 8_000 < median < 12_500
+
+    def test_pareto_has_heavy_tail(self):
+        rng = random.Random(11)
+        samples = [pareto_us(rng, 100, alpha=1.5, cap_us=10**9) for _ in range(4_000)]
+        assert max(samples) > 20 * 100

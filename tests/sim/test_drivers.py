@@ -1,0 +1,314 @@
+"""Tests for the device-driver models (running on a real Machine)."""
+
+import pytest
+
+from repro.sim.machine import Machine, MachineConfig
+from repro.trace.events import EventKind
+from repro.trace.signatures import module_of
+
+
+def run_program(program, config=None, until=None):
+    machine = Machine("test", config or MachineConfig(seed=5))
+    machine.spawn(program(machine), "App", "Main")
+    return machine.run_and_trace(until=until), machine
+
+
+def modules_seen(stream):
+    modules = set()
+    for event in stream.events:
+        for frame in event.stack:
+            modules.add(module_of(frame))
+    return modules
+
+
+class TestStorageStack:
+    def test_uncached_read_reaches_disk_through_encryption(self):
+        def program(machine):
+            def inner(ctx):
+                with ctx.frame("App!Work"):
+                    yield from machine.fs.read_file(ctx, 1, cached=False)
+
+            return inner
+
+        stream, machine = run_program(program)
+        modules = modules_seen(stream)
+        assert "fs.sys" in modules
+        assert "se.sys" in modules
+        assert machine.disk.request_count == 1
+
+    def test_cached_read_skips_disk(self):
+        def program(machine):
+            def inner(ctx):
+                with ctx.frame("App!Work"):
+                    yield from machine.fs.read_file(ctx, 1, cached=True)
+
+            return inner
+
+        stream, machine = run_program(program)
+        assert machine.disk.request_count == 0
+
+    def test_plain_storage_when_encryption_disabled(self):
+        config = MachineConfig(seed=5, encryption_enabled=False)
+
+        def program(machine):
+            def inner(ctx):
+                with ctx.frame("App!Work"):
+                    yield from machine.fs.read_file(ctx, 1)
+
+            return inner
+
+        stream, _ = run_program(program, config)
+        modules = modules_seen(stream)
+        assert "stor.sys" in modules
+        assert "se.sys" not in modules
+
+    def test_write_reaches_disk(self):
+        def program(machine):
+            def inner(ctx):
+                with ctx.frame("App!Work"):
+                    yield from machine.fs.write_file(ctx, 1)
+
+            return inner
+
+        _, machine = run_program(program)
+        assert machine.disk.request_count == 1
+
+    def test_decrypt_compute_emitted(self):
+        def program(machine):
+            def inner(ctx):
+                with ctx.frame("App!Work"):
+                    yield from machine.fs.read_file(ctx, 1, cached=False)
+
+            return inner
+
+        stream, _ = run_program(program)
+        leaves = {
+            event.leaf
+            for event in stream.events_of_kind(EventKind.RUNNING)
+        }
+        assert "se.sys!Decrypt" in leaves
+
+    def test_mdu_contention_propagates(self):
+        """Two threads reading the same file contend the same MDU lock."""
+        machine = Machine("test", MachineConfig(seed=5))
+
+        def reader(ctx):
+            with ctx.frame("App!Work"):
+                yield from machine.fs.read_file(ctx, 7, cached=False)
+
+        machine.spawn(reader, "App", "A")
+        machine.spawn(reader, "App", "B", start_at=100)
+        stream = machine.run_and_trace()
+        waits = stream.events_of_kind(EventKind.WAIT)
+        lock_waits = [
+            event for event in waits
+            if event.resource and event.resource.startswith("lock:fs.sys/MDU")
+        ]
+        assert len(lock_waits) == 1
+        assert "fs.sys!AcquireMDU" in lock_waits[0].stack
+
+    def test_query_metadata_no_storage(self):
+        def program(machine):
+            def inner(ctx):
+                with ctx.frame("App!Work"):
+                    yield from machine.fs.query_metadata(ctx, 3)
+
+            return inner
+
+        _, machine = run_program(program)
+        assert machine.disk.request_count == 0
+
+    def test_mdu_lock_count_validation(self):
+        from repro.sim.drivers import FileSystemDriver
+
+        with pytest.raises(ValueError):
+            FileSystemDriver(storage=None, rng=None, mdu_lock_count=0)
+
+
+class TestFilterDrivers:
+    def test_fv_resolve_calls_fs(self):
+        def program(machine):
+            def inner(ctx):
+                with ctx.frame("App!Work"):
+                    yield from machine.fv.query_file_table(
+                        ctx, 1, resolve=True, cached=False
+                    )
+
+            return inner
+
+        stream, machine = run_program(program)
+        assert "fv.sys" in modules_seen(stream)
+        assert machine.disk.request_count == 1
+        # IoCallDriver connects the two drivers on some stack.
+        assert any(
+            "kernel!IoCallDriver" in event.stack for event in stream.events
+        )
+
+    def test_fv_no_resolve_skips_fs(self):
+        def program(machine):
+            def inner(ctx):
+                with ctx.frame("App!Work"):
+                    yield from machine.fv.query_file_table(ctx, 1, resolve=False)
+
+            return inner
+
+        _, machine = run_program(program)
+        assert machine.disk.request_count == 0
+
+    def test_av_scan_serializes_on_database_lock(self):
+        machine = Machine("test", MachineConfig(seed=5, av_database_miss_rate=0.0))
+
+        def scanner(ctx):
+            with ctx.frame("AV!Scan"):
+                yield from machine.av.scan_file(ctx, 1)
+
+        machine.spawn(scanner, "AV", "A")
+        machine.spawn(scanner, "AV", "B", start_at=10)
+        stream = machine.run_and_trace()
+        db_waits = [
+            event
+            for event in stream.events_of_kind(EventKind.WAIT)
+            if event.resource == "lock:av.sys/SignatureDatabase"
+        ]
+        assert len(db_waits) == 1
+
+    def test_disk_protection_gate_blocks_reads(self):
+        config = MachineConfig(seed=5, disk_protection_enabled=True)
+        machine = Machine("test", config)
+
+        def protector(ctx):
+            with ctx.frame("System!Monitor"):
+                yield from machine.dp.engage(ctx, 50_000)
+
+        def reader(ctx):
+            with ctx.frame("App!Work"):
+                yield from machine.fs.read_file(ctx, 1, cached=False)
+
+        machine.spawn(protector, "System", "Dp")
+        machine.spawn(reader, "App", "A", start_at=1_000)
+        stream = machine.run_and_trace()
+        gate_waits = [
+            event
+            for event in stream.events_of_kind(EventKind.WAIT)
+            if event.resource == "lock:dp.sys/MotionGate"
+        ]
+        assert len(gate_waits) == 1
+        assert gate_waits[0].cost > 40_000
+
+    def test_backup_pass_reads_files(self):
+        def program(machine):
+            def inner(ctx):
+                with ctx.frame("Backup!Sweep"):
+                    yield from machine.bkup.backup_pass(ctx, [1, 2, 3])
+
+            return inner
+
+        stream, machine = run_program(program)
+        assert machine.disk.request_count == 3
+        assert "bkup.sys" in modules_seen(stream)
+
+    def test_iocache_lookup(self):
+        def program(machine):
+            def inner(ctx):
+                with ctx.frame("App!Work"):
+                    yield from machine.iocache.lookup(ctx)
+
+            return inner
+
+        stream, _ = run_program(program)
+        assert "iocache.sys" in modules_seen(stream)
+
+
+class TestPeripheralDrivers:
+    def test_network_transfer_uses_network_device(self):
+        def program(machine):
+            def inner(ctx):
+                with ctx.frame("App!Fetch"):
+                    yield from machine.net.transfer(ctx)
+
+            return inner
+
+        stream, machine = run_program(program)
+        assert machine.network.request_count == 1
+        assert "net.sys" in modules_seen(stream)
+
+    def test_network_wait_resolved_by_protocol_dpc(self):
+        """The caller blocks in net.sys!Receive; a DPC thread with
+        net.sys!ProtocolReceive frames performs the NIC wait and the
+        protocol processing — so network delays appear as propagated
+        driver behaviour, not a bare hardware leaf."""
+
+        def program(machine):
+            def inner(ctx):
+                with ctx.frame("App!Fetch"):
+                    yield from machine.net.transfer(ctx)
+
+            return inner
+
+        stream, machine = run_program(program)
+        waits = stream.events_of_kind(EventKind.WAIT)
+        receive_waits = [
+            event for event in waits if "net.sys!Receive" in event.stack
+        ]
+        assert len(receive_waits) == 1
+        dpc_threads = [
+            info for info in stream.threads.values()
+            if info.name.startswith("NetDpc")
+        ]
+        assert len(dpc_threads) == 1
+        dpc_waits = [
+            event for event in waits
+            if "net.sys!ProtocolReceive" in event.stack
+        ]
+        assert len(dpc_waits) == 1
+
+    def test_render_holds_gpu_lock_across_hardware(self):
+        machine = Machine("test", MachineConfig(seed=5))
+
+        def renderer(ctx):
+            with ctx.frame("App!Paint"):
+                yield from machine.graphics.render(ctx)
+
+        machine.spawn(renderer, "App", "A")
+        machine.spawn(renderer, "App", "B", start_at=10)
+        stream = machine.run_and_trace()
+        gpu_waits = [
+            event
+            for event in stream.events_of_kind(EventKind.WAIT)
+            if event.resource == "lock:graphics.sys/GpuContext"
+        ]
+        assert len(gpu_waits) == 1
+
+    def test_mouse_is_cpu_only(self):
+        def program(machine):
+            def inner(ctx):
+                yield from machine.mouse.process_input(ctx)
+
+            return inner
+
+        stream, machine = run_program(program)
+        assert machine.disk.request_count == 0
+        assert all(
+            event.kind is EventKind.RUNNING for event in stream.events
+        )
+
+    def test_acpi_power_transition_blocks_queries(self):
+        machine = Machine("test", MachineConfig(seed=5))
+
+        def transitioner(ctx):
+            with ctx.frame("System!Power"):
+                yield from machine.acpi.power_transition(ctx, 20_000)
+
+        def querier(ctx):
+            with ctx.frame("App!Check"):
+                yield from machine.acpi.query_power_state(ctx)
+
+        machine.spawn(transitioner, "System", "P")
+        machine.spawn(querier, "App", "Q", start_at=1_000)
+        stream = machine.run_and_trace()
+        firmware_waits = [
+            event
+            for event in stream.events_of_kind(EventKind.WAIT)
+            if event.resource == "lock:acpi.sys/Firmware"
+        ]
+        assert len(firmware_waits) == 1

@@ -1,0 +1,375 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.devices import QueuedDevice
+from repro.sim.engine import Compute, Engine
+from repro.sim.locks import Lock, Mailbox, SimEvent
+from repro.sim.tracer import Tracer
+from repro.trace.events import EventKind
+
+
+def traced_engine(cores=4):
+    tracer = Tracer("t")
+    return Engine(cores=cores, tracer=tracer), tracer
+
+
+class TestTimeAndScheduling:
+    def test_engine_requires_cores(self):
+        with pytest.raises(SimulationError):
+            Engine(cores=0)
+
+    def test_cannot_schedule_in_past(self):
+        engine = Engine()
+        engine.now = 100
+        with pytest.raises(SimulationError):
+            engine.at(50, lambda: None)
+
+    def test_compute_advances_time(self):
+        engine, _ = traced_engine()
+
+        def program(ctx):
+            yield from ctx.compute(5_000)
+
+        engine.spawn(program, "P", "T")
+        engine.run()
+        assert engine.now == 5_000
+
+    def test_delay_is_untraced(self):
+        engine, tracer = traced_engine()
+
+        def program(ctx):
+            yield from ctx.delay(9_000)
+
+        engine.spawn(program, "P", "T")
+        engine.run()
+        assert engine.now == 9_000
+        assert tracer.finalize().events == []
+
+    def test_run_until_stops_early(self):
+        engine, _ = traced_engine()
+
+        def program(ctx):
+            yield from ctx.delay(50_000)
+
+        engine.spawn(program, "P", "T")
+        engine.run(until=10_000)
+        assert engine.now == 10_000
+
+    def test_start_at(self):
+        engine, tracer = traced_engine()
+
+        def program(ctx):
+            yield from ctx.compute(1_000)
+
+        engine.spawn(program, "P", "T", start_at=7_000)
+        engine.run()
+        stream = tracer.finalize()
+        assert stream.events[0].timestamp == 7_000
+
+
+class TestCpuCores:
+    def test_single_core_serializes(self):
+        engine, tracer = traced_engine(cores=1)
+
+        def program(ctx):
+            with ctx.frame("app!Work"):
+                yield from ctx.compute(3_000)
+
+        engine.spawn(program, "P", "A")
+        engine.spawn(program, "P", "B")
+        engine.run()
+        assert engine.now == 6_000
+        running = tracer.finalize().events_of_kind(EventKind.RUNNING)
+        # Slices from the two threads never overlap on one core.
+        spans = sorted((event.timestamp, event.end) for event in running)
+        for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+            assert start_b >= end_a
+
+    def test_two_cores_parallel(self):
+        engine, _ = traced_engine(cores=2)
+
+        def program(ctx):
+            with ctx.frame("app!Work"):
+                yield from ctx.compute(3_000)
+
+        engine.spawn(program, "P", "A")
+        engine.spawn(program, "P", "B")
+        engine.run()
+        assert engine.now == 3_000
+
+    def test_zero_compute_is_noop(self):
+        engine, tracer = traced_engine()
+
+        def program(ctx):
+            yield from ctx.compute(0)
+
+        engine.spawn(program, "P", "T")
+        engine.run()
+        assert tracer.finalize().events == []
+
+
+class TestLocks:
+    def test_fifo_ordering(self):
+        engine, tracer = traced_engine()
+        lock = Lock("L")
+        order = []
+
+        def program(name, hold):
+            def inner(ctx):
+                with ctx.frame("app!Crit"):
+                    yield from ctx.acquire(lock)
+                    order.append(name)
+                    yield from ctx.compute(hold)
+                    yield from ctx.release(lock)
+
+            return inner
+
+        engine.spawn(program("a", 1_000), "P", "A", start_at=0)
+        engine.spawn(program("b", 1_000), "P", "B", start_at=10)
+        engine.spawn(program("c", 1_000), "P", "C", start_at=20)
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_contention_emits_wait_unwait_pair(self):
+        engine, tracer = traced_engine()
+        lock = Lock("L")
+
+        def program(ctx):
+            with ctx.frame("fs.sys!Read"):
+                yield from ctx.acquire(lock)
+                yield from ctx.compute(2_000)
+                yield from ctx.release(lock)
+
+        engine.spawn(program, "P", "A")
+        engine.spawn(program, "P", "B", start_at=100)
+        engine.run()
+        stream = tracer.finalize()
+        waits = stream.events_of_kind(EventKind.WAIT)
+        unwaits = stream.events_of_kind(EventKind.UNWAIT)
+        assert len(waits) == 1
+        assert len(unwaits) == 1
+        assert waits[0].cost == 1_900
+        assert unwaits[0].wtid == waits[0].tid
+        assert unwaits[0].timestamp == waits[0].end
+        assert "kernel!AcquireLock" in waits[0].stack
+        assert "kernel!ReleaseLock" in unwaits[0].stack
+
+    def test_uncontended_acquire_emits_nothing(self):
+        engine, tracer = traced_engine()
+        lock = Lock("L")
+
+        def program(ctx):
+            with ctx.frame("app!X"):
+                yield from ctx.acquire(lock)
+                yield from ctx.release(lock)
+
+        engine.spawn(program, "P", "A")
+        engine.run()
+        assert tracer.finalize().events == []
+
+    def test_release_not_held_raises(self):
+        engine, _ = traced_engine()
+        lock = Lock("L")
+
+        def program(ctx):
+            with ctx.frame("app!X"):
+                yield from ctx.release(lock)
+
+        engine.spawn(program, "P", "A")
+        with pytest.raises(SimulationError, match="does not hold"):
+            engine.run()
+
+    def test_deadlock_detected(self):
+        engine, _ = traced_engine()
+        lock_a, lock_b = Lock("A"), Lock("B")
+
+        def program(first, second):
+            def inner(ctx):
+                with ctx.frame("app!X"):
+                    yield from ctx.acquire(first)
+                    yield from ctx.compute(1_000)
+                    yield from ctx.acquire(second)
+
+            return inner
+
+        engine.spawn(program(lock_a, lock_b), "P", "A")
+        engine.spawn(program(lock_b, lock_a), "P", "B")
+        with pytest.raises(DeadlockError, match="blocked threads"):
+            engine.run()
+
+    def test_bounded_run_tolerates_parked_threads(self):
+        engine, _ = traced_engine()
+        lock = Lock("L")
+
+        def program(ctx):
+            with ctx.frame("app!X"):
+                yield from ctx.acquire(lock)  # never released: parks forever
+
+        engine.spawn(program, "P", "A")
+        engine.spawn(program, "P", "B")
+        engine.run(until=1_000)  # must not raise
+        assert engine.now == 1_000
+
+
+class TestEventsAndMailboxes:
+    def test_wait_for_fire_passes_value(self):
+        engine, tracer = traced_engine()
+        event = SimEvent("E")
+        got = []
+
+        def waiter(ctx):
+            with ctx.frame("app!Wait"):
+                value = yield from ctx.wait_for(event)
+                got.append(value)
+
+        def firer(ctx):
+            with ctx.frame("app!Fire"):
+                yield from ctx.compute(1_000)
+                yield from ctx.fire(event, "payload")
+
+        engine.spawn(waiter, "P", "W")
+        engine.spawn(firer, "P", "F")
+        engine.run()
+        assert got == ["payload"]
+        waits = tracer.finalize().events_of_kind(EventKind.WAIT)
+        assert len(waits) == 1
+        assert waits[0].cost == 1_000
+
+    def test_wait_on_fired_event_returns_immediately(self):
+        engine, tracer = traced_engine()
+        event = SimEvent("E")
+        event.fire("early")
+        got = []
+
+        def waiter(ctx):
+            with ctx.frame("app!Wait"):
+                value = yield from ctx.wait_for(event)
+                got.append(value)
+
+        engine.spawn(waiter, "P", "W")
+        engine.run()
+        assert got == ["early"]
+        assert tracer.finalize().events == []
+
+    def test_fire_wakes_all_waiters(self):
+        engine, _ = traced_engine()
+        event = SimEvent("E")
+        woken = []
+
+        def waiter(name):
+            def inner(ctx):
+                with ctx.frame("app!Wait"):
+                    yield from ctx.wait_for(event)
+                    woken.append(name)
+
+            return inner
+
+        def firer(ctx):
+            with ctx.frame("app!Fire"):
+                yield from ctx.compute(100)
+                yield from ctx.fire(event)
+
+        engine.spawn(waiter("a"), "P", "A")
+        engine.spawn(waiter("b"), "P", "B")
+        engine.spawn(firer, "P", "F")
+        engine.run()
+        assert sorted(woken) == ["a", "b"]
+
+    def test_mailbox_take_blocks_until_post(self):
+        engine, tracer = traced_engine()
+        mailbox = Mailbox("M")
+        got = []
+
+        def taker(ctx):
+            with ctx.frame("svc!Loop"):
+                item = yield from ctx.take(mailbox)
+                got.append(item)
+
+        def poster(ctx):
+            with ctx.frame("app!Post"):
+                yield from ctx.compute(2_000)
+                yield from ctx.post(mailbox, 42)
+
+        engine.spawn(taker, "S", "T")
+        engine.spawn(poster, "P", "A")
+        engine.run()
+        assert got == [42]
+        waits = tracer.finalize().events_of_kind(EventKind.WAIT)
+        assert len(waits) == 1
+        assert "kernel!WaitForMessage" in waits[0].stack
+
+    def test_mailbox_preserves_fifo_order(self):
+        engine, _ = traced_engine()
+        mailbox = Mailbox("M")
+        got = []
+
+        def taker(ctx):
+            with ctx.frame("svc!Loop"):
+                for _ in range(3):
+                    item = yield from ctx.take(mailbox)
+                    got.append(item)
+
+        def poster(ctx):
+            with ctx.frame("app!Post"):
+                for value in (1, 2, 3):
+                    yield from ctx.post(mailbox, value)
+                    yield from ctx.compute(100)
+
+        engine.spawn(taker, "S", "T")
+        engine.spawn(poster, "P", "A")
+        engine.run()
+        assert got == [1, 2, 3]
+
+
+class TestSpawnAndHardware:
+    def test_spawn_returns_thread(self):
+        engine, _ = traced_engine()
+        seen = []
+
+        def child(ctx):
+            yield from ctx.compute(500)
+
+        def parent(ctx):
+            from repro.trace.stream import ThreadInfo
+
+            thread = yield from ctx.spawn(
+                ThreadInfo(tid=-1, process="P", name="Child"), child
+            )
+            seen.append(thread.info.name)
+
+        engine.spawn(parent, "P", "Parent")
+        engine.run()
+        assert seen == ["Child"]
+        assert engine.now == 500
+
+    def test_hardware_emits_wait_hw_unwait(self):
+        engine, tracer = traced_engine()
+        disk = QueuedDevice(engine, "Disk")
+
+        def program(ctx):
+            with ctx.frame("fs.sys!Read"):
+                yield from ctx.hardware(disk, 4_000)
+
+        engine.spawn(program, "P", "A")
+        engine.run()
+        stream = tracer.finalize()
+        kinds = [event.kind for event in stream.events]
+        assert EventKind.WAIT in kinds
+        assert EventKind.HW_SERVICE in kinds
+        assert EventKind.UNWAIT in kinds
+        hw = stream.events_of_kind(EventKind.HW_SERVICE)[0]
+        assert hw.cost == 4_000
+        unwait = stream.events_of_kind(EventKind.UNWAIT)[0]
+        assert unwait.tid == disk.pseudo_tid
+
+    def test_unknown_request_raises(self):
+        engine, _ = traced_engine()
+
+        def program(ctx):
+            yield "not-a-request"
+
+        engine.spawn(program, "P", "A")
+        with pytest.raises(SimulationError, match="unknown request"):
+            engine.run()

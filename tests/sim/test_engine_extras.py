@@ -1,0 +1,109 @@
+"""Additional engine edge cases: holding(), shutdown, nested frames."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.locks import Lock
+from repro.sim.tracer import Tracer
+from repro.trace.events import EventKind
+
+
+def traced_engine(cores=4):
+    tracer = Tracer("t")
+    return Engine(cores=cores, tracer=tracer), tracer
+
+
+class TestHolding:
+    def test_holding_releases_on_normal_exit(self):
+        engine, _ = traced_engine()
+        lock = Lock("L")
+
+        def body(ctx):
+            yield from ctx.compute(1_000)
+
+        def program(ctx):
+            with ctx.frame("app!X"):
+                yield from ctx.holding(lock, body(ctx))
+
+        engine.spawn(program, "P", "A")
+        engine.run()
+        assert lock.holder is None
+
+    def test_holding_releases_on_exception(self):
+        engine, _ = traced_engine()
+        lock = Lock("L")
+        errors = []
+
+        def body(ctx):
+            yield from ctx.compute(100)
+            raise RuntimeError("boom")
+
+        def program(ctx):
+            with ctx.frame("app!X"):
+                try:
+                    yield from ctx.holding(lock, body(ctx))
+                except RuntimeError as error:
+                    errors.append(error)
+
+        engine.spawn(program, "P", "A")
+        engine.run()
+        assert errors
+        assert lock.holder is None
+
+
+class TestShutdown:
+    def test_shutdown_clears_parked_threads(self):
+        engine, _ = traced_engine()
+        lock = Lock("L")
+
+        def program(ctx):
+            with ctx.frame("app!X"):
+                yield from ctx.acquire(lock)  # A holds, B parks forever
+
+        engine.spawn(program, "P", "A")
+        engine.spawn(program, "P", "B")
+        engine.run(until=1_000)
+        engine.shutdown()
+        assert engine._live_threads == {}
+
+    def test_shutdown_idempotent(self):
+        engine, _ = traced_engine()
+        engine.run()
+        engine.shutdown()
+        engine.shutdown()
+
+
+class TestFrames:
+    def test_nested_frames_restore_on_exit(self):
+        engine, tracer = traced_engine()
+        depths = []
+
+        def program(ctx):
+            with ctx.frame("a!1"):
+                with ctx.frame("b!2"):
+                    yield from ctx.compute(1_000)
+                depths.append(tuple(ctx.thread.stack))
+                yield from ctx.compute(1_000)
+
+        engine.spawn(program, "P", "A")
+        engine.run()
+        # After the inner with, only the root + a!1 remain.
+        assert depths == [("P!A", "a!1")]
+        stacks = {
+            event.stack
+            for event in tracer.finalize().events_of_kind(EventKind.RUNNING)
+        }
+        assert ("P!A", "a!1", "b!2") in stacks
+        assert ("P!A", "a!1") in stacks
+
+    def test_root_frame_is_process_and_name(self):
+        engine, tracer = traced_engine()
+
+        def program(ctx):
+            yield from ctx.compute(500)
+
+        engine.spawn(program, "Browser", "UI")
+        engine.run()
+        event = tracer.finalize().events[0]
+        assert event.stack == ("Browser!UI",)

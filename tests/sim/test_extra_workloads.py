@@ -1,0 +1,59 @@
+"""Tests for the extra (non-evaluation) scenarios and parallel generation."""
+
+import pytest
+
+from repro.sim.corpus import CorpusConfig, generate_corpus, generate_stream
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.workloads.extra import EXTRA_WORKLOAD_CLASSES
+from repro.sim.workloads.registry import (
+    EXTRA_SCENARIO_NAMES,
+    SCENARIO_NAMES,
+    scenario_spec,
+    workload_class,
+)
+from repro.units import SECONDS
+
+
+class TestRegistry:
+    def test_extras_not_in_selected_eight(self):
+        assert len(SCENARIO_NAMES) == 8
+        assert not set(EXTRA_SCENARIO_NAMES) & set(SCENARIO_NAMES)
+
+    def test_extras_resolvable(self):
+        for name in EXTRA_SCENARIO_NAMES:
+            assert workload_class(name).spec.name == name
+            assert scenario_spec(name).t_fast < scenario_spec(name).t_slow
+
+
+@pytest.mark.parametrize("cls", EXTRA_WORKLOAD_CLASSES)
+def test_extra_workload_produces_instances(cls):
+    machine = Machine(f"extra-{cls.spec.name}", MachineConfig(seed=21))
+    workload = cls(repeats=3, think_median_us=40_000, intensity=0.5)
+    workload.install(machine)
+    stream = machine.run_and_trace(until=30 * SECONDS)
+    own = [i for i in stream.instances if i.scenario == cls.spec.name]
+    assert len(own) >= 3
+    assert all(i.duration > 0 for i in own)
+
+
+class TestCorpusWithExtras:
+    def test_extras_allowed_in_config(self):
+        config = CorpusConfig(
+            streams=1,
+            seed=4,
+            scenarios=tuple(SCENARIO_NAMES) + tuple(EXTRA_SCENARIO_NAMES),
+            workloads_per_stream=(5, 8),
+        )
+        config.validate()
+        stream = generate_stream(0, config)
+        assert stream.instances
+
+
+class TestParallelGeneration:
+    def test_parallel_equals_serial(self):
+        config = CorpusConfig(streams=3, seed=17)
+        serial = generate_corpus(config)
+        parallel = generate_corpus(config, workers=3)
+        for a, b in zip(serial, parallel):
+            assert a.events == b.events
+            assert len(a.instances) == len(b.instances)

@@ -1,0 +1,39 @@
+"""Tests for the synchronization primitive state containers."""
+
+from repro.sim.locks import Lock, Mailbox, SimEvent
+
+
+class TestLock:
+    def test_initial_state(self):
+        lock = Lock("L")
+        assert lock.holder is None
+        assert not lock.contended
+
+    def test_contended_reflects_waiters(self):
+        lock = Lock("L")
+        lock.waiters.append(object())
+        assert lock.contended
+
+
+class TestSimEvent:
+    def test_initial_state(self):
+        event = SimEvent("E")
+        assert not event.fired
+        assert event.value is None
+
+    def test_fire_stores_value(self):
+        event = SimEvent("E")
+        event.fire({"answer": 42})
+        assert event.fired
+        assert event.value == {"answer": 42}
+
+
+class TestMailbox:
+    def test_len(self):
+        mailbox = Mailbox("M")
+        assert len(mailbox) == 0
+        mailbox.items.append("x")
+        assert len(mailbox) == 1
+
+    def test_repr_mentions_name(self):
+        assert "M" in repr(Mailbox("M"))

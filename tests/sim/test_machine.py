@@ -1,0 +1,98 @@
+"""Tests for machine assembly and configuration validation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.machine import Machine, MachineConfig
+
+
+class TestMachineConfig:
+    def test_defaults_valid(self):
+        MachineConfig().validate()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("cores", 0),
+            ("disk_capacity", 0),
+            ("network_capacity", 0),
+            ("mdu_lock_count", 0),
+            ("file_table_lock_count", 0),
+            ("hard_fault_rate", 1.5),
+            ("hard_fault_rate", -0.1),
+            ("av_database_miss_rate", 2.0),
+            ("network_congestion_rate", -1.0),
+            ("disk_read_median_us", 0),
+            ("sample_interval_us", 0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        from dataclasses import replace
+
+        config = replace(MachineConfig(), **{field: value})
+        with pytest.raises(ConfigError):
+            config.validate()
+
+    def test_with_seed(self):
+        config = MachineConfig(seed=1).with_seed(99)
+        assert config.seed == 99
+
+
+class TestMachineAssembly:
+    def test_default_assembly(self):
+        machine = Machine("m")
+        assert machine.fs is not None
+        assert machine.fv.fs is machine.fs
+        assert machine.storage.module == "se.sys"
+        assert machine.dp is None
+        assert machine.iocache is not None
+
+    def test_without_encryption(self):
+        machine = Machine("m", MachineConfig(encryption_enabled=False))
+        assert machine.storage.module == "stor.sys"
+
+    def test_with_disk_protection(self):
+        machine = Machine("m", MachineConfig(disk_protection_enabled=True))
+        assert machine.dp is not None
+        assert machine.fs.disk_protection is machine.dp
+
+    def test_without_io_cache(self):
+        machine = Machine("m", MachineConfig(io_cache_enabled=False))
+        assert machine.iocache is None
+
+    def test_lock_granularity_respected(self):
+        machine = Machine(
+            "m", MachineConfig(mdu_lock_count=7, file_table_lock_count=3)
+        )
+        assert len(machine.fs.mdu_locks) == 7
+        assert len(machine.fv.file_table_locks) == 3
+
+    def test_invalid_config_rejected_at_construction(self):
+        with pytest.raises(ConfigError):
+            Machine("m", MachineConfig(cores=0))
+
+    def test_run_and_trace_returns_stream(self):
+        machine = Machine("m", MachineConfig(seed=9))
+
+        def program(ctx):
+            with ctx.frame("App!X"):
+                yield from ctx.compute(1_000)
+
+        machine.spawn(program, "App", "Main")
+        stream = machine.run_and_trace(until=100_000)
+        assert stream.stream_id == "m"
+        assert len(stream.events) >= 1
+
+    def test_deterministic_given_seed(self):
+        def run_once():
+            machine = Machine("m", MachineConfig(seed=42))
+
+            def program(ctx):
+                with ctx.frame("App!X"):
+                    yield from machine.fs.read_file(ctx, 1)
+
+            machine.spawn(program, "App", "Main")
+            return machine.run_and_trace(until=1_000_000)
+
+        first, second = run_once(), run_once()
+        assert first.events == second.events

@@ -1,0 +1,71 @@
+"""Tests for pageable memory and hard faults."""
+
+from repro.sim.machine import Machine, MachineConfig
+from repro.trace.events import EventKind
+from repro.trace.signatures import module_of
+
+
+def run_touches(fault_rate, touches=5, seed=3):
+    config = MachineConfig(seed=seed, hard_fault_rate=fault_rate)
+    machine = Machine("test", config)
+    machine.memory.fault_rate = fault_rate
+
+    def program(ctx):
+        with ctx.frame("graphics.sys!InitializeSurface"):
+            for _ in range(touches):
+                yield from machine.memory.touch(ctx)
+
+    machine.spawn(program, "App", "Main")
+    return machine.run_and_trace(), machine
+
+
+class TestHardFaults:
+    def test_no_fault_costs_nothing(self):
+        stream, machine = run_touches(fault_rate=0.0)
+        assert machine.memory.fault_count == 0
+        assert machine.disk.request_count == 0
+        assert stream.events == []
+
+    def test_fault_spawns_pager_and_blocks(self):
+        stream, machine = run_touches(fault_rate=1.0, touches=1)
+        assert machine.memory.fault_count == 1
+        assert machine.disk.request_count == 1
+        waits = stream.events_of_kind(EventKind.WAIT)
+        # The faulting thread waits on the page-in completion.
+        fault_waits = [
+            event for event in waits if "kernel!PageFault" in event.stack
+        ]
+        assert len(fault_waits) == 1
+        # The pager thread runs the fs.sys paging path.
+        assert any(
+            "fs.sys!PagingRead" in event.stack for event in stream.events
+        )
+
+    def test_fault_wait_keeps_driver_frame(self):
+        # §5.2.4: the fault wait's stack shows the driver that faulted.
+        stream, _ = run_touches(fault_rate=1.0, touches=1)
+        fault_wait = next(
+            event
+            for event in stream.events_of_kind(EventKind.WAIT)
+            if "kernel!PageFault" in event.stack
+        )
+        assert "graphics.sys!InitializeSurface" in fault_wait.stack
+
+    def test_pager_threads_registered(self):
+        stream, _ = run_touches(fault_rate=1.0, touches=2)
+        pagers = [
+            info
+            for info in stream.threads.values()
+            if info.name.startswith("Pager")
+        ]
+        assert len(pagers) == 2
+        assert all(info.process == "System" for info in pagers)
+
+    def test_page_in_goes_through_encryption_when_enabled(self):
+        stream, _ = run_touches(fault_rate=1.0, touches=1)
+        modules = {
+            module_of(frame)
+            for event in stream.events
+            for frame in event.stack
+        }
+        assert "se.sys" in modules

@@ -1,0 +1,95 @@
+"""Tests for the service request factories."""
+
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.ops import (
+    fetch_resources,
+    flush_files,
+    open_virtual_files,
+    render_batch,
+    security_inspection,
+)
+from repro.trace.signatures import module_of
+
+
+def run_factory(factory_builder, config=None):
+    machine = Machine("ops", config or MachineConfig(seed=13))
+    factory = factory_builder(machine)
+
+    def program(ctx):
+        with ctx.frame("Test!Run"):
+            yield from factory(ctx)
+
+    machine.spawn(program, "Test", "T")
+    stream = machine.run_and_trace(until=60_000_000)
+    modules = {
+        module_of(frame)
+        for event in stream.events
+        for frame in event.stack
+    }
+    return stream, machine, modules
+
+
+class TestOpenVirtualFiles:
+    def test_goes_through_fv(self):
+        _, machine, modules = run_factory(
+            lambda m: open_virtual_files(m, [1, 2], resolve_prob=1.0,
+                                         cache_prob=0.0)
+        )
+        assert "fv.sys" in modules
+        assert machine.disk.request_count >= 2
+
+    def test_empty_list_is_noop_for_fv(self):
+        _, machine, modules = run_factory(
+            lambda m: open_virtual_files(m, [])
+        )
+        assert machine.disk.request_count == 0
+
+
+class TestFlushFiles:
+    def test_writes_through_fs(self):
+        _, machine, modules = run_factory(lambda m: flush_files(m, [1, 2, 3]))
+        assert "fs.sys" in modules
+        assert machine.disk.request_count == 3
+
+
+class TestSecurityInspection:
+    def test_uses_av_and_iocache(self):
+        _, _, modules = run_factory(
+            lambda m: security_inspection(m, 1, resolve_prob=0.0)
+        )
+        assert "av.sys" in modules
+        assert "iocache.sys" in modules
+
+    def test_without_iocache(self):
+        _, _, modules = run_factory(
+            lambda m: security_inspection(m, 1, resolve_prob=0.0),
+            config=MachineConfig(seed=13, io_cache_enabled=False),
+        )
+        assert "av.sys" in modules
+        assert "iocache.sys" not in modules
+
+
+class TestRenderBatch:
+    def test_renders_on_gpu(self):
+        _, machine, modules = run_factory(
+            lambda m: render_batch(m, 1.0, surface_prob=0.0)
+        )
+        assert "graphics.sys" in modules
+        assert machine.gpu.request_count == 1
+
+    def test_surface_path_can_fault(self):
+        config = MachineConfig(seed=13, hard_fault_rate=1.0)
+        _, machine, modules = run_factory(
+            lambda m: render_batch(m, 1.0, surface_prob=1.0), config
+        )
+        assert machine.memory.fault_count == 1
+        assert "fs.sys" in modules  # the pager's paging read
+
+
+class TestFetchResources:
+    def test_count_respected(self):
+        _, machine, modules = run_factory(
+            lambda m: fetch_resources(m, 3, 0.5, 1.0)
+        )
+        assert machine.network.request_count == 3
+        assert "net.sys" in modules

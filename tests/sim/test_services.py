@@ -1,0 +1,195 @@
+"""Tests for IPC worker services."""
+
+from repro.sim.engine import Engine
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.services import ScenarioWorkerService, WorkerService
+from repro.sim.tracer import Tracer
+from repro.trace.events import EventKind
+
+
+def make_service(workers=1):
+    tracer = Tracer("t")
+    engine = Engine(tracer=tracer)
+    service = WorkerService(engine, "Svc", workers=workers)
+    return engine, tracer, service
+
+
+class TestWorkerService:
+    def test_submit_blocks_until_handled(self):
+        engine, tracer, service = make_service()
+        done_at = []
+
+        def request(ctx):
+            yield from ctx.compute(5_000)
+
+        def client(ctx):
+            with ctx.frame("App!Main"):
+                yield from service.submit(ctx, request, "App!WaitForSvc")
+                done_at.append(ctx.now)
+
+        engine.spawn(client, "App", "C")
+        engine.run(until=100_000)
+        assert done_at == [5_000]
+        assert service.completed == 1
+
+    def test_single_worker_serializes(self):
+        engine, _, service = make_service(workers=1)
+        done_at = {}
+
+        def request(ctx):
+            yield from ctx.compute(3_000)
+
+        def client(name):
+            def inner(ctx):
+                with ctx.frame("App!Main"):
+                    yield from service.submit(ctx, request, "App!Wait")
+                    done_at[name] = ctx.now
+
+            return inner
+
+        engine.spawn(client("a"), "App", "A")
+        engine.spawn(client("b"), "App", "B")
+        engine.run(until=100_000)
+        assert sorted(done_at.values()) == [3_000, 6_000]
+
+    def test_two_workers_parallel(self):
+        engine, _, service = make_service(workers=2)
+        done_at = []
+
+        def request(ctx):
+            yield from ctx.compute(3_000)
+
+        def client(ctx):
+            with ctx.frame("App!Main"):
+                yield from service.submit(ctx, request, "App!Wait")
+                done_at.append(ctx.now)
+
+        engine.spawn(client, "App", "A")
+        engine.spawn(client, "App", "B")
+        engine.run(until=100_000)
+        assert done_at == [3_000, 3_000]
+
+    def test_queued_request_wait_covers_predecessor(self):
+        """The second client's wait window covers the first request's work
+        — the sharing mechanism behind D_wait / D_waitdist > 1."""
+        engine, tracer, service = make_service(workers=1)
+
+        def request(ctx):
+            with ctx.frame("fs.sys!Read"):
+                yield from ctx.compute(4_000)
+
+        def client(ctx):
+            with ctx.frame("App!Main"):
+                yield from service.submit(ctx, request, "App!Wait")
+
+        engine.spawn(client, "App", "A")
+        engine.spawn(client, "App", "B", start_at=100)
+        engine.run(until=100_000)
+        stream = tracer.finalize()
+        waits = stream.events_of_kind(EventKind.WAIT)
+        ipc_waits = [w for w in waits if "App!Wait" in w.stack]
+        assert len(ipc_waits) == 2
+        longest = max(ipc_waits, key=lambda w: w.cost)
+        # B waited for its own request plus A's in-flight request.
+        assert longest.cost > 4_000
+
+    def test_post_only_does_not_block(self):
+        engine, _, service = make_service()
+        times = []
+
+        def request(ctx):
+            yield from ctx.compute(50_000)
+
+        def client(ctx):
+            with ctx.frame("App!Main"):
+                yield from service.post_only(ctx, request)
+                times.append(ctx.now)
+
+        engine.spawn(client, "App", "C")
+        engine.run(until=200_000)
+        assert times == [0]
+        assert service.completed == 1
+
+
+class TestScenarioWorkerService:
+    def test_handled_requests_become_instances(self):
+        tracer = Tracer("t")
+        engine = Engine(tracer=tracer)
+        service = ScenarioWorkerService(
+            engine, "Browser", scenario="BrowserFrameCreate", workers=1
+        )
+
+        def request(ctx):
+            yield from ctx.compute(2_000)
+
+        def client(ctx):
+            with ctx.frame("App!Main"):
+                yield from service.submit(ctx, request, "App!Wait")
+                yield from service.submit(ctx, request, "App!Wait")
+
+        engine.spawn(client, "App", "C")
+        engine.run(until=100_000)
+        stream = tracer.finalize()
+        instances = [
+            instance
+            for instance in stream.instances
+            if instance.scenario == "BrowserFrameCreate"
+        ]
+        assert len(instances) == 2
+        assert all(instance.duration == 2_000 for instance in instances)
+        # The instance's initiating thread is the worker, not the client.
+        worker_info = stream.thread_info(instances[0].tid)
+        assert worker_info.process == "Browser"
+
+
+class TestInstanceOverlap:
+    def test_nested_instance_waits_shared_between_graphs(self):
+        """A scenario service's instance overlaps the triggering thread's
+        own instance; the inner instance's driver waits appear in both
+        Wait Graphs (the §2.1 overlap / D_wait sharing mechanism)."""
+        from repro.sim.machine import Machine, MachineConfig
+        from repro.trace.events import EventKind as EK
+        from repro.trace.signatures import ALL_DRIVERS
+        from repro.waitgraph.builder import build_wait_graph
+
+        machine = Machine("nest", MachineConfig(seed=8))
+        service = ScenarioWorkerService(
+            machine.engine, "Browser", scenario="Inner", workers=1
+        )
+
+        def inner_request(ctx):
+            with ctx.frame("kernel!OpenFile"):
+                yield from machine.fs.read_file(ctx, 1, cached=False)
+
+        def outer_program(ctx):
+            with ctx.scenario("Outer"):
+                with ctx.frame("App!Outer"):
+                    yield from service.submit(ctx, inner_request, "App!Wait")
+
+        machine.spawn(outer_program, "App", "Main")
+        stream = machine.run_and_trace(until=60_000_000)
+        by_name = {i.scenario: i for i in stream.instances}
+        assert {"Inner", "Outer"} <= set(by_name)
+        # The instances overlap in time.
+        inner, outer = by_name["Inner"], by_name["Outer"]
+        assert inner.t0 < outer.t1 and outer.t0 < inner.t1
+
+        def driver_wait_seqs(instance):
+            graph = build_wait_graph(instance)
+            return {
+                event.seq
+                for event in graph.wait_events()
+                if ALL_DRIVERS.matches_stack(event.stack)
+            }
+
+        shared = driver_wait_seqs(inner) & driver_wait_seqs(outer)
+        assert shared, "the inner driver waits must appear in both graphs"
+
+
+class TestMachineServices:
+    def test_machine_has_standard_services(self):
+        machine = Machine("test", MachineConfig(seed=1))
+        assert machine.security_service.mailbox.name == "SecuritySvc/requests"
+        assert machine.render_service is not None
+        assert machine.browser_io_service is not None
+        assert machine.fetch_service is not None

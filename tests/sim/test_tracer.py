@@ -1,0 +1,82 @@
+"""Tests for the ETW-like tracer."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.tracer import Tracer
+from repro.trace.events import EventKind
+from repro.trace.stream import ThreadInfo
+
+
+class TestSampling:
+    def test_compute_sampled_at_interval(self):
+        tracer = Tracer("t", sample_interval=1_000)
+        tracer.on_compute(1, ("a!b",), start=0, duration=3_500)
+        stream = tracer.finalize()
+        costs = [event.cost for event in stream.events]
+        assert costs == [1_000, 1_000, 1_000, 500]
+        assert sum(costs) == 3_500
+        assert [event.timestamp for event in stream.events] == [
+            0, 1_000, 2_000, 3_000,
+        ]
+
+    def test_short_compute_single_sample(self):
+        tracer = Tracer("t")
+        tracer.on_compute(1, ("a!b",), start=10, duration=200)
+        stream = tracer.finalize()
+        assert len(stream.events) == 1
+        assert stream.events[0].cost == 200
+
+    def test_zero_compute_no_samples(self):
+        tracer = Tracer("t")
+        tracer.on_compute(1, ("a!b",), start=0, duration=0)
+        assert tracer.finalize().events == []
+
+    def test_invalid_interval(self):
+        with pytest.raises(SimulationError):
+            Tracer("t", sample_interval=0)
+
+
+class TestWaits:
+    def test_zero_duration_wait_skipped(self):
+        tracer = Tracer("t")
+        tracer.on_wait(1, ("a!b",), start=100, end=100, resource=None)
+        assert tracer.finalize().events == []
+
+    def test_wait_cost_restored(self):
+        tracer = Tracer("t")
+        tracer.on_wait(1, ("a!b",), start=100, end=400, resource="lock:x")
+        event = tracer.finalize().events[0]
+        assert event.kind is EventKind.WAIT
+        assert event.timestamp == 100
+        assert event.cost == 300
+        assert event.resource == "lock:x"
+
+
+class TestFinalization:
+    def test_events_sorted_regardless_of_emission_order(self):
+        tracer = Tracer("t")
+        tracer.on_unwait(2, ("x!y",), timestamp=500, wtid=1, resource=None)
+        tracer.on_wait(1, ("a!b",), start=0, end=500, resource=None)
+        stream = tracer.finalize()
+        assert [event.timestamp for event in stream.events] == [0, 500]
+
+    def test_finalize_idempotent(self):
+        tracer = Tracer("t")
+        tracer.on_compute(1, ("a!b",), 0, 100)
+        assert tracer.finalize() is tracer.finalize()
+
+    def test_append_after_finalize_raises(self):
+        tracer = Tracer("t")
+        tracer.finalize()
+        with pytest.raises(SimulationError, match="finalized"):
+            tracer.on_compute(1, ("a!b",), 0, 100)
+
+    def test_threads_and_scenarios_recorded(self):
+        tracer = Tracer("t")
+        tracer.on_thread_created(ThreadInfo(1, "App", "UI"))
+        tracer.on_compute(1, ("a!b",), 0, 100_000)
+        tracer.on_scenario("Demo", tid=1, t0=0, t1=50_000)
+        stream = tracer.finalize()
+        assert stream.thread_info(1).process == "App"
+        assert stream.instances[0].scenario == "Demo"

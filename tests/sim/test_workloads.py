@@ -1,0 +1,96 @@
+"""Tests for scenario workloads and the registry."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.workloads.base import ScenarioSpec, Workload
+from repro.sim.workloads.registry import (
+    SCENARIO_NAMES,
+    SCENARIO_SPECS,
+    WORKLOAD_CLASSES,
+    scenario_spec,
+    workload_class,
+)
+from repro.units import SECONDS
+
+
+class TestScenarioSpec:
+    def test_classify(self):
+        spec = ScenarioSpec("S", t_fast=100, t_slow=300)
+        assert spec.classify(50) == "fast"
+        assert spec.classify(200) == "between"
+        assert spec.classify(400) == "slow"
+
+    def test_boundaries_are_between(self):
+        spec = ScenarioSpec("S", t_fast=100, t_slow=300)
+        assert spec.classify(100) == "between"
+        assert spec.classify(300) == "between"
+
+    def test_thresholds_must_be_ordered(self):
+        with pytest.raises(ConfigError):
+            ScenarioSpec("S", t_fast=300, t_slow=100)
+
+
+class TestRegistry:
+    def test_eight_scenarios(self):
+        assert len(SCENARIO_NAMES) == 8
+
+    def test_table1_order(self):
+        assert SCENARIO_NAMES == [
+            "AppAccessControl",
+            "AppNonResponsive",
+            "BrowserFrameCreate",
+            "BrowserTabClose",
+            "BrowserTabCreate",
+            "BrowserTabSwitch",
+            "MenuDisplay",
+            "WebPageNavigation",
+        ]
+
+    def test_lookup(self):
+        cls = workload_class("BrowserTabCreate")
+        assert cls.spec.name == "BrowserTabCreate"
+        assert scenario_spec("MenuDisplay") is SCENARIO_SPECS["MenuDisplay"]
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ConfigError, match="unknown scenario"):
+            workload_class("NopeScenario")
+        with pytest.raises(ConfigError, match="unknown scenario"):
+            scenario_spec("NopeScenario")
+
+    def test_all_specs_have_gap(self):
+        for spec in SCENARIO_SPECS.values():
+            assert spec.t_fast < spec.t_slow
+
+
+class TestWorkloadValidation:
+    def test_repeats_must_be_positive(self):
+        cls = workload_class("MenuDisplay")
+        with pytest.raises(ConfigError):
+            cls(repeats=0)
+
+    def test_intensity_bounds(self):
+        cls = workload_class("MenuDisplay")
+        with pytest.raises(ConfigError):
+            cls(intensity=1.5)
+
+
+@pytest.mark.parametrize("name", SCENARIO_NAMES)
+def test_each_workload_produces_its_instances(name):
+    """Installing one workload yields instances of (at least) its scenario."""
+    machine = Machine(f"wl-{name}", MachineConfig(seed=31))
+    cls = workload_class(name)
+    kwargs = dict(repeats=3, think_median_us=50_000, intensity=0.5)
+    if hasattr(cls, "worker_count"):
+        workload = cls(horizon_us=4 * SECONDS, **kwargs)
+    else:
+        workload = cls(**kwargs)
+    workload.install(machine)
+    stream = machine.run_and_trace(until=20 * SECONDS)
+    scenarios = {instance.scenario for instance in stream.instances}
+    assert name in scenarios
+    own = [i for i in stream.instances if i.scenario == name]
+    assert len(own) >= 3
+    for instance in own:
+        assert instance.duration > 0

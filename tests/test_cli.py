@@ -1,0 +1,133 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli-corpus")
+    code = main([
+        "generate", "--streams", "3", "--seed", "11", "--out", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestGenerateAndValidate:
+    def test_generate_writes_jsonl(self, corpus_dir):
+        files = list(corpus_dir.glob("*.jsonl"))
+        assert len(files) == 3
+
+    def test_validate_passes(self, corpus_dir, capsys):
+        assert main(["validate", str(corpus_dir)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("ok") >= 3
+
+    def test_validate_single_file(self, corpus_dir):
+        first = sorted(corpus_dir.glob("*.jsonl"))[0]
+        assert main(["validate", str(first)]) == 0
+
+    def test_missing_traces_errors(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["validate", str(empty)]) == 2
+
+
+class TestImpact:
+    def test_impact_prints_metrics(self, corpus_dir, capsys):
+        assert main(["impact", str(corpus_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "IA_wait" in out
+        assert "D_wait/D_waitdist" in out
+
+    def test_impact_scenario_scope(self, corpus_dir, capsys):
+        assert main([
+            "impact", str(corpus_dir), "--scenario", "WebPageNavigation",
+        ]) == 0
+
+    def test_impact_custom_components(self, corpus_dir, capsys):
+        assert main([
+            "impact", str(corpus_dir), "--components", "fv.sys", "fs.sys",
+        ]) == 0
+        assert "fv.sys" in capsys.readouterr().out
+
+
+class TestCausality:
+    def test_known_scenario_uses_registry_thresholds(self, corpus_dir, capsys):
+        code = main([
+            "causality", str(corpus_dir),
+            "--scenario", "WebPageNavigation", "--top", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wait signatures" in out or "0 contrast patterns" in out
+
+    def test_unknown_scenario_without_thresholds(self, corpus_dir, capsys):
+        code = main([
+            "causality", str(corpus_dir), "--scenario", "NoSuchScenario",
+        ])
+        assert code == 1
+
+    def test_filter_by_design_flag(self, corpus_dir, capsys):
+        code = main([
+            "causality", str(corpus_dir),
+            "--scenario", "WebPageNavigation", "--filter-by-design",
+        ])
+        assert code == 0
+        assert "by-design filtering" in capsys.readouterr().out
+
+
+class TestThresholds:
+    def test_thresholds_table(self, corpus_dir, capsys):
+        code = main(["thresholds", str(corpus_dir), "--min-samples", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "T_fast" in out
+
+    def test_thresholds_no_data(self, corpus_dir, capsys):
+        code = main([
+            "thresholds", str(corpus_dir), "--min-samples", "99999",
+        ])
+        assert code == 1
+
+
+class TestStudy:
+    def test_study_with_markdown(self, corpus_dir, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        code = main([
+            "study", str(corpus_dir), "--markdown", str(out_file),
+        ])
+        assert code == 0
+        assert out_file.read_text().startswith("#")
+        out = capsys.readouterr().out
+        assert "Tables 1-3 combined" in out
+
+
+class TestCompare:
+    def test_compare_same_corpus_is_stable(self, corpus_dir, capsys):
+        code = main([
+            "compare", str(corpus_dir), str(corpus_dir),
+            "--scenario", "WebPageNavigation",
+        ])
+        # Identical corpora: no regressions -> exit 0.
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Pattern diff" in out
+
+    def test_compare_unknown_scenario_errors(self, corpus_dir):
+        assert main([
+            "compare", str(corpus_dir), str(corpus_dir),
+            "--scenario", "NoSuch",
+        ]) == 2
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_case_requires_valid_name(self):
+        with pytest.raises(SystemExit):
+            main(["case", "nope"])

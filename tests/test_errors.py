@@ -1,0 +1,31 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    subclasses = [
+        errors.TraceError,
+        errors.TraceValidationError,
+        errors.SerializationError,
+        errors.SimulationError,
+        errors.DeadlockError,
+        errors.WaitGraphError,
+        errors.AnalysisError,
+        errors.ConfigError,
+    ]
+    for cls in subclasses:
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_specializations():
+    assert issubclass(errors.TraceValidationError, errors.TraceError)
+    assert issubclass(errors.SerializationError, errors.TraceError)
+    assert issubclass(errors.DeadlockError, errors.SimulationError)
+
+
+def test_catchable_as_base():
+    with pytest.raises(errors.ReproError):
+        raise errors.DeadlockError("stuck")

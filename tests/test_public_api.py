@@ -1,0 +1,48 @@
+"""The public API surface: every advertised name exists and resolves."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.trace",
+    "repro.sim",
+    "repro.sim.workloads",
+    "repro.waitgraph",
+    "repro.impact",
+    "repro.causality",
+    "repro.baselines",
+    "repro.evaluation",
+    "repro.report",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_names_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), f"{package_name} lacks __all__"
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_is_sorted_unique(package_name):
+    package = importlib.import_module(package_name)
+    names = list(package.__all__)
+    assert len(names) == len(set(names)), f"{package_name} has duplicates"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_public_items_have_docstrings(package_name):
+    package = importlib.import_module(package_name)
+    for name in package.__all__:
+        item = getattr(package, name)
+        if callable(item) or isinstance(item, type):
+            assert item.__doc__, f"{package_name}.{name} lacks a docstring"

@@ -1,0 +1,51 @@
+"""Tests for time-unit helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.units import (
+    DEFAULT_SAMPLE_INTERVAL_US,
+    HOURS,
+    MILLISECONDS,
+    MINUTES,
+    SECONDS,
+    format_duration,
+    ms_from_us,
+    us_from_ms,
+)
+
+
+class TestConstants:
+    def test_scale(self):
+        assert SECONDS == 1_000 * MILLISECONDS
+        assert MINUTES == 60 * SECONDS
+        assert HOURS == 60 * MINUTES
+        assert DEFAULT_SAMPLE_INTERVAL_US == MILLISECONDS
+
+
+class TestConversions:
+    def test_us_from_ms(self):
+        assert us_from_ms(1.5) == 1_500
+
+    def test_ms_from_us(self):
+        assert ms_from_us(2_500) == 2.5
+
+    @given(st.integers(0, 10**12))
+    def test_round_trip(self, microseconds):
+        assert us_from_ms(ms_from_us(microseconds)) == microseconds
+
+
+class TestFormatting:
+    def test_microseconds(self):
+        assert format_duration(800) == "800us"
+
+    def test_milliseconds(self):
+        assert format_duration(482_300) == "482.3ms"
+
+    def test_seconds(self):
+        assert format_duration(4_730_000) == "4.73s"
+
+    @given(st.integers(0, 10**12))
+    def test_always_has_unit_suffix(self, microseconds):
+        text = format_duration(microseconds)
+        assert text.endswith(("us", "ms", "s"))

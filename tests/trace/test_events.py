@@ -1,0 +1,75 @@
+"""Tests for the Event schema and its invariants."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.events import Event, EventKind
+from tests.conftest import make_event
+
+
+class TestEventValidation:
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(TraceError):
+            make_event(timestamp=-1)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(TraceError):
+            make_event(cost=-1)
+
+    def test_empty_stack_rejected_for_running(self):
+        with pytest.raises(TraceError):
+            make_event(EventKind.RUNNING, stack=())
+
+    def test_empty_stack_allowed_for_hw_service(self):
+        event = make_event(EventKind.HW_SERVICE, stack=())
+        assert event.leaf == ""
+
+    def test_wtid_only_on_unwait(self):
+        with pytest.raises(TraceError):
+            make_event(EventKind.RUNNING, wtid=2)
+
+    def test_unwait_requires_wtid(self):
+        with pytest.raises(TraceError):
+            make_event(EventKind.UNWAIT)
+
+    def test_valid_unwait(self):
+        event = make_event(EventKind.UNWAIT, wtid=7, cost=0)
+        assert event.wtid == 7
+
+
+class TestEventProperties:
+    def test_end(self):
+        event = make_event(timestamp=100, cost=50)
+        assert event.end == 150
+
+    def test_leaf(self):
+        event = make_event(stack=("a!b", "c!d"))
+        assert event.leaf == "c!d"
+
+    def test_overlaps_inside(self):
+        event = make_event(timestamp=100, cost=100)
+        assert event.overlaps(150, 160)
+
+    def test_overlaps_partial(self):
+        event = make_event(timestamp=100, cost=100)
+        assert event.overlaps(0, 101)
+        assert event.overlaps(199, 500)
+
+    def test_overlaps_disjoint(self):
+        event = make_event(timestamp=100, cost=100)
+        assert not event.overlaps(0, 100)      # ends exactly at event start
+        assert not event.overlaps(200, 300)    # starts exactly at event end
+
+    def test_key_includes_stream_and_seq(self):
+        event = make_event(seq=5)
+        assert event.key("s1") == ("s1", 5)
+
+    def test_resource_not_compared(self):
+        a = make_event(resource="lock:x")
+        b = make_event(resource="lock:y")
+        assert a == b
+
+    def test_frozen(self):
+        event = make_event()
+        with pytest.raises(AttributeError):
+            event.cost = 5  # type: ignore[misc]

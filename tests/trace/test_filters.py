@@ -1,0 +1,68 @@
+"""Tests for trace filtering helpers."""
+
+from repro.trace.events import EventKind
+from repro.trace.filters import (
+    by_component,
+    by_kind,
+    in_window,
+    instance_events,
+    instances_by_scenario,
+    select,
+    total_cost,
+)
+from repro.trace.signatures import ALL_DRIVERS
+from tests.conftest import make_event, make_stream
+
+
+class TestPredicates:
+    def test_by_kind(self):
+        predicate = by_kind(EventKind.WAIT)
+        assert predicate(make_event(EventKind.WAIT, cost=1))
+        assert not predicate(make_event(EventKind.RUNNING))
+
+    def test_by_component(self):
+        predicate = by_component(ALL_DRIVERS)
+        assert predicate(make_event(stack=("app!a", "fs.sys!Read")))
+        assert not predicate(make_event(stack=("app!a",)))
+
+    def test_in_window(self):
+        predicate = in_window(100, 200)
+        assert predicate(make_event(timestamp=150, cost=10))
+        assert not predicate(make_event(timestamp=300, cost=10))
+
+    def test_select_combines(self):
+        events = [
+            make_event(EventKind.WAIT, stack=("fs.sys!Read",), timestamp=0, cost=10),
+            make_event(EventKind.WAIT, stack=("app!Main",), timestamp=0, cost=10),
+            make_event(EventKind.RUNNING, stack=("fs.sys!Read",), timestamp=0),
+        ]
+        selected = list(
+            select(events, by_kind(EventKind.WAIT), by_component(ALL_DRIVERS))
+        )
+        assert len(selected) == 1
+
+
+class TestInstanceHelpers:
+    def test_instance_events(self):
+        stream = make_stream(events=[
+            make_event(tid=1, timestamp=0, cost=100),
+            make_event(tid=2, timestamp=50, cost=100),
+            make_event(tid=1, timestamp=5_000, cost=100),
+        ])
+        instance = stream.add_instance("Demo", tid=1, t0=0, t1=200)
+        events = instance_events(instance)
+        assert len(events) == 2  # both overlapping events, any thread
+
+    def test_instances_by_scenario(self):
+        stream_a = make_stream("a", events=[make_event(cost=10_000)])
+        stream_a.add_instance("X", 1, 0, 10)
+        stream_a.add_instance("Y", 1, 20, 30)
+        stream_b = make_stream("b", events=[make_event(cost=10_000)])
+        stream_b.add_instance("X", 1, 0, 10)
+        grouped = instances_by_scenario([stream_a, stream_b])
+        assert len(grouped["X"]) == 2
+        assert len(grouped["Y"]) == 1
+
+    def test_total_cost(self):
+        events = [make_event(cost=10), make_event(cost=20)]
+        assert total_cost(events) == 30

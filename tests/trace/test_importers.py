@@ -1,0 +1,156 @@
+"""Tests for external trace importers."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.trace.events import EventKind
+from repro.trace.importers import (
+    FieldMap,
+    import_csv,
+    import_csv_text,
+    import_json_events,
+    import_records,
+)
+
+CSV_SAMPLE = """kind,timestamp,cost,tid,wtid,stack,resource
+running,0,1000,1,,app!Main;fv.sys!Query,
+wait,1000,500,1,,app!Main;fv.sys!Query;kernel!AcquireLock,lock:ft
+unwait,1500,0,2,1,app!Job;kernel!ReleaseLock,lock:ft
+hw,2000,300,3,,,
+"""
+
+
+class TestCsvImport:
+    def test_round_shape(self):
+        stream = import_csv_text(CSV_SAMPLE, stream_id="etl")
+        assert stream.stream_id == "etl"
+        assert len(stream.events) == 4
+        kinds = [event.kind for event in stream.events]
+        assert kinds == [
+            EventKind.RUNNING, EventKind.WAIT, EventKind.UNWAIT,
+            EventKind.HW_SERVICE,
+        ]
+
+    def test_stack_split(self):
+        stream = import_csv_text(CSV_SAMPLE, stream_id="etl")
+        assert stream.events[0].stack == ("app!Main", "fv.sys!Query")
+
+    def test_resource_preserved(self):
+        stream = import_csv_text(CSV_SAMPLE, stream_id="etl")
+        assert stream.events[1].resource == "lock:ft"
+
+    def test_file_import_uses_basename(self, tmp_path):
+        path = tmp_path / "machine42.csv"
+        path.write_text(CSV_SAMPLE)
+        stream = import_csv(path)
+        assert stream.stream_id == "machine42"
+
+    def test_missing_columns_rejected(self):
+        with pytest.raises(SerializationError, match="required columns"):
+            import_csv_text("a,b\n1,2\n", stream_id="x")
+
+    def test_unknown_kind_rejected(self):
+        bad = "kind,timestamp,cost,tid\nteleport,0,1,1\n"
+        with pytest.raises(SerializationError, match="unknown event kind"):
+            import_csv_text(bad, stream_id="x")
+
+    def test_bad_number_rejected(self):
+        bad = "kind,timestamp,cost,tid\nrunning,zero,1,1\n"
+        with pytest.raises(SerializationError, match="not a number"):
+            import_csv_text(bad, stream_id="x")
+
+    def test_unwait_requires_wtid(self):
+        bad = "kind,timestamp,cost,tid,stack\nunwait,0,0,1,a!b\n"
+        with pytest.raises(SerializationError, match="missing required"):
+            import_csv_text(bad, stream_id="x")
+
+    def test_custom_field_map(self):
+        csv_text = "type,ts,dur,thread,frames\nrun,0,100,1,a!b|c!d\n"
+        stream = import_csv_text(
+            csv_text,
+            stream_id="x",
+            fields=FieldMap(
+                kind="type", timestamp="ts", cost="dur", tid="thread",
+                stack="frames", stack_separator="|",
+            ),
+        )
+        assert stream.events[0].stack == ("a!b", "c!d")
+
+    def test_kind_aliases(self):
+        text = (
+            "kind,timestamp,cost,tid,wtid,stack\n"
+            "cpu,0,100,1,,a!b\n"
+            "blocked,100,50,1,,a!b\n"
+            "readythread,150,0,2,1,c!d\n"
+            "diskio,200,10,3,,\n"
+        )
+        stream = import_csv_text(text, stream_id="x")
+        assert [event.kind for event in stream.events] == [
+            EventKind.RUNNING, EventKind.WAIT, EventKind.UNWAIT,
+            EventKind.HW_SERVICE,
+        ]
+
+
+class TestJsonImport:
+    def test_list_stacks(self):
+        records = [
+            {"kind": "running", "timestamp": 0, "cost": 100, "tid": 1,
+             "stack": ["a!b", "c!d"]},
+        ]
+        stream = import_json_events(records)
+        assert stream.events[0].stack == ("a!b", "c!d")
+
+    def test_validation_optional(self):
+        # A lone wait without its unwait is invalid; validate=False admits it.
+        records = [
+            {"kind": "wait", "timestamp": 0, "cost": 100, "tid": 1,
+             "stack": "a!b"},
+        ]
+        with pytest.raises(Exception):
+            import_json_events(records)
+        stream = import_json_events(records, validate=False)
+        assert len(stream.events) == 1
+
+
+class TestWaitRestoration:
+    def test_zero_cost_waits_restored_from_unwaits(self):
+        records = [
+            {"kind": "wait", "timestamp": 100, "cost": 0, "tid": 1,
+             "stack": "a!b"},
+            {"kind": "unwait", "timestamp": 900, "cost": 0, "tid": 2,
+             "wtid": 1, "stack": "c!d"},
+        ]
+        stream = import_records(
+            records, "x", restore_wait_durations=True
+        )
+        wait = stream.events_of_kind(EventKind.WAIT)[0]
+        assert wait.cost == 800
+
+    def test_each_unwait_used_once(self):
+        records = [
+            {"kind": "wait", "timestamp": 0, "cost": 0, "tid": 1,
+             "stack": "a!b"},
+            {"kind": "unwait", "timestamp": 100, "cost": 0, "tid": 2,
+             "wtid": 1, "stack": "c!d"},
+            {"kind": "wait", "timestamp": 200, "cost": 0, "tid": 1,
+             "stack": "a!b"},
+            {"kind": "unwait", "timestamp": 500, "cost": 0, "tid": 2,
+             "wtid": 1, "stack": "c!d"},
+        ]
+        stream = import_records(records, "x", restore_wait_durations=True)
+        waits = stream.events_of_kind(EventKind.WAIT)
+        assert [wait.cost for wait in waits] == [100, 300]
+
+
+class TestAnalysisOnImported:
+    def test_imported_trace_feeds_wait_graph(self):
+        stream = import_csv_text(CSV_SAMPLE, stream_id="etl")
+        instance = stream.add_instance("S", tid=1, t0=0, t1=2_500)
+        from repro.waitgraph.builder import build_wait_graph
+
+        graph = build_wait_graph(instance)
+        assert len(graph.roots) == 2
+        lock_wait = graph.roots[1]
+        unwait = graph.unwait_of(lock_wait)
+        assert unwait is not None
+        assert unwait.tid == 2

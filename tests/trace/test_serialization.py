@@ -1,0 +1,150 @@
+"""Tests for JSONL trace serialization."""
+
+import io
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.trace.events import EventKind
+from repro.trace.serialization import (
+    dump_corpus,
+    dump_stream,
+    dumps_stream,
+    load_corpus,
+    load_stream,
+    loads_stream,
+)
+from repro.trace.stream import ThreadInfo
+from tests.conftest import make_event, make_stream
+
+
+def build_sample_stream():
+    events = [
+        make_event(EventKind.RUNNING, ("app!Main",), timestamp=0, cost=1000, tid=1),
+        make_event(
+            EventKind.WAIT,
+            ("app!Main", "kernel!AcquireLock"),
+            timestamp=1000,
+            cost=500,
+            tid=1,
+            resource="lock:x",
+        ),
+        make_event(
+            EventKind.UNWAIT,
+            ("app!Job",),
+            timestamp=1500,
+            cost=0,
+            tid=2,
+            wtid=1,
+            resource="lock:x",
+        ),
+        make_event(EventKind.HW_SERVICE, (), timestamp=2000, cost=300, tid=3),
+    ]
+    threads = [
+        ThreadInfo(1, "App", "UI"),
+        ThreadInfo(2, "App", "Worker"),
+        ThreadInfo(3, "Hardware", "Disk"),
+    ]
+    stream = make_stream("sample", events, threads)
+    stream.add_instance("Demo", tid=1, t0=0, t1=2300)
+    return stream
+
+
+class TestRoundTrip:
+    def test_string_round_trip(self):
+        original = build_sample_stream()
+        restored = loads_stream(dumps_stream(original))
+        assert restored.stream_id == original.stream_id
+        assert restored.events == original.events
+        assert restored.threads == original.threads
+        assert [i.key for i in restored.instances] == [
+            i.key for i in original.instances
+        ]
+
+    def test_file_round_trip(self, tmp_path):
+        original = build_sample_stream()
+        path = tmp_path / "trace.jsonl"
+        dump_stream(original, path)
+        restored = load_stream(path)
+        assert restored.events == original.events
+
+    def test_handle_round_trip(self):
+        original = build_sample_stream()
+        buffer = io.StringIO()
+        dump_stream(original, buffer)
+        buffer.seek(0)
+        restored = load_stream(buffer)
+        assert restored.events == original.events
+
+    def test_corpus_round_trip(self, tmp_path):
+        streams = [build_sample_stream() for _ in range(3)]
+        for index, stream in enumerate(streams):
+            stream.stream_id = f"s{index}"
+        paths = dump_corpus(streams, tmp_path / "corpus")
+        assert len(paths) == 3
+        restored = list(load_corpus(tmp_path / "corpus"))
+        assert [stream.stream_id for stream in restored] == ["s0", "s1", "s2"]
+        assert restored[0].events == streams[0].events
+
+    def test_resource_field_preserved(self):
+        original = build_sample_stream()
+        restored = loads_stream(dumps_stream(original))
+        assert restored.events[1].resource == "lock:x"
+
+
+class TestMalformedInput:
+    def test_empty_file(self):
+        with pytest.raises(SerializationError, match="empty"):
+            loads_stream("")
+
+    def test_header_not_json(self):
+        with pytest.raises(SerializationError, match="not valid JSON"):
+            loads_stream("not-json\n")
+
+    def test_missing_header(self):
+        with pytest.raises(SerializationError, match="header"):
+            loads_stream('{"k": "running"}\n')
+
+    def test_bad_version(self):
+        with pytest.raises(SerializationError, match="version"):
+            loads_stream('{"type": "header", "version": 99, "stream_id": "x"}\n')
+
+    def test_bad_event_record(self):
+        text = (
+            '{"type": "header", "version": 1, "stream_id": "x", "threads": []}\n'
+            '{"k": "nope", "s": [], "t": 0, "c": 0, "tid": 1}\n'
+        )
+        with pytest.raises(SerializationError, match="malformed event"):
+            loads_stream(text)
+
+    def test_bad_event_json_line(self):
+        text = (
+            '{"type": "header", "version": 1, "stream_id": "x", "threads": []}\n'
+            "{{{\n"
+        )
+        with pytest.raises(SerializationError, match="line 2"):
+            loads_stream(text)
+
+    def test_bad_instance_record(self):
+        text = (
+            '{"type": "header", "version": 1, "stream_id": "x", "threads": []}\n'
+            '{"type": "instance", "scenario": "Demo"}\n'
+        )
+        with pytest.raises(SerializationError, match="instance"):
+            loads_stream(text)
+
+    def test_blank_lines_ignored(self):
+        text = (
+            '{"type": "header", "version": 1, "stream_id": "x", "threads": []}\n'
+            "\n"
+        )
+        stream = loads_stream(text)
+        assert len(stream) == 0
+
+
+class TestCorpusSerializationOfSimOutput:
+    def test_simulated_stream_round_trips(self, small_corpus):
+        stream = small_corpus[0]
+        restored = loads_stream(dumps_stream(stream))
+        assert restored.events == stream.events
+        assert len(restored.instances) == len(stream.instances)

@@ -1,0 +1,107 @@
+"""Tests for signature parsing and component matching."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.trace.signatures import (
+    ALL_DRIVERS,
+    HARDWARE_SIGNATURE,
+    ComponentFilter,
+    function_of,
+    make_signature,
+    module_of,
+)
+
+
+class TestSignatureParsing:
+    def test_make_signature(self):
+        assert make_signature("fv.sys", "QueryFileTable") == "fv.sys!QueryFileTable"
+
+    def test_module_of(self):
+        assert module_of("fv.sys!QueryFileTable") == "fv.sys"
+
+    def test_function_of(self):
+        assert function_of("fv.sys!QueryFileTable") == "QueryFileTable"
+
+    def test_module_of_bare_name(self):
+        assert module_of("fv.sys") == "fv.sys"
+
+    def test_function_of_bare_name(self):
+        assert function_of("fv.sys") == ""
+
+    def test_hardware_signature_is_parseable(self):
+        assert module_of(HARDWARE_SIGNATURE) == "Hardware"
+
+    @given(
+        st.text(min_size=1).filter(lambda s: "!" not in s),
+        st.text(min_size=1).filter(lambda s: "!" not in s),
+    )
+    def test_roundtrip(self, module, function):
+        signature = make_signature(module, function)
+        assert module_of(signature) == module
+        assert function_of(signature) == function
+
+
+class TestComponentFilter:
+    def test_requires_patterns(self):
+        with pytest.raises(ValueError):
+            ComponentFilter([])
+
+    def test_wildcard_matches_drivers(self):
+        assert ALL_DRIVERS.matches_signature("fv.sys!QueryFileTable")
+        assert ALL_DRIVERS.matches_signature("graphics.sys!Render")
+
+    def test_wildcard_rejects_non_drivers(self):
+        assert not ALL_DRIVERS.matches_signature("kernel!AcquireLock")
+        assert not ALL_DRIVERS.matches_signature("Browser!TabCreate")
+
+    def test_case_insensitive(self):
+        assert ALL_DRIVERS.matches_signature("FV.SYS!QueryFileTable")
+
+    def test_exact_module_pattern(self):
+        fv_only = ComponentFilter(["fv.sys"])
+        assert fv_only.matches_signature("fv.sys!QueryFileTable")
+        assert not fv_only.matches_signature("fs.sys!Read")
+
+    def test_multiple_patterns(self):
+        two = ComponentFilter(["fv.sys", "fs.sys"])
+        assert two.matches_signature("fv.sys!A")
+        assert two.matches_signature("fs.sys!B")
+        assert not two.matches_signature("se.sys!C")
+
+    def test_matches_stack(self):
+        stack = ("Browser!TabCreate", "kernel!OpenFile", "fv.sys!Query")
+        assert ALL_DRIVERS.matches_stack(stack)
+        assert not ALL_DRIVERS.matches_stack(("Browser!TabCreate",))
+
+    def test_component_signature_picks_deepest_match(self):
+        stack = (
+            "Browser!TabCreate",
+            "fv.sys!QueryFileTable",
+            "fs.sys!Read",
+            "kernel!AcquireLock",
+        )
+        assert ALL_DRIVERS.component_signature(stack) == "fs.sys!Read"
+
+    def test_component_signature_none_when_no_match(self):
+        assert ALL_DRIVERS.component_signature(("kernel!Idle",)) is None
+
+    def test_component_signature_empty_stack(self):
+        assert ALL_DRIVERS.component_signature(()) is None
+
+    def test_module_cache_consistency(self):
+        component = ComponentFilter(["*.sys"])
+        for _ in range(3):
+            assert component.matches_module("fv.sys")
+            assert not component.matches_module("kernel")
+
+    def test_patterns_property(self):
+        component = ComponentFilter(["a.sys", "b.sys"])
+        assert component.patterns == ("a.sys", "b.sys")
+
+    def test_star_pattern_does_not_cross_module_boundary(self):
+        # fnmatch '*' matches anything including dots; '*.sys' must not
+        # match a module without the suffix.
+        assert not ALL_DRIVERS.matches_module("sys")
+        assert not ALL_DRIVERS.matches_module("fv.sysx")

@@ -1,0 +1,147 @@
+"""Tests for TraceStream construction and queries."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.trace.events import Event, EventKind
+from repro.trace.stream import ScenarioInstance, ThreadInfo, TraceStream
+from tests.conftest import make_event, make_stream
+
+
+class TestConstruction:
+    def test_from_events_sorts_and_renumbers(self):
+        events = [
+            make_event(timestamp=500, seq=99),
+            make_event(timestamp=100, seq=42),
+        ]
+        stream = make_stream(events=events)
+        assert [event.timestamp for event in stream.events] == [100, 500]
+        assert [event.seq for event in stream.events] == [0, 1]
+
+    def test_direct_construction_requires_matching_seq(self):
+        with pytest.raises(TraceError, match="seq"):
+            TraceStream("s", [make_event(seq=3)])
+
+    def test_direct_construction_requires_sorted_timestamps(self):
+        events = [
+            make_event(timestamp=500, seq=0),
+            make_event(timestamp=100, seq=1),
+        ]
+        with pytest.raises(TraceError, match="sorted"):
+            TraceStream("s", events)
+
+    def test_empty_stream(self):
+        stream = make_stream()
+        assert len(stream) == 0
+        assert stream.span == (0, 0)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10_000), st.integers(0, 1_000)),
+            max_size=30,
+        )
+    )
+    def test_from_events_always_sorted(self, raw):
+        events = [
+            make_event(timestamp=timestamp, cost=cost, seq=index)
+            for index, (timestamp, cost) in enumerate(raw)
+        ]
+        stream = make_stream(events=events)
+        timestamps = [event.timestamp for event in stream.events]
+        assert timestamps == sorted(timestamps)
+        assert [event.seq for event in stream.events] == list(range(len(raw)))
+
+
+class TestQueries:
+    def test_span(self):
+        stream = make_stream(events=[
+            make_event(timestamp=100, cost=50),
+            make_event(timestamp=120, cost=500),
+        ])
+        assert stream.span == (100, 620)
+
+    def test_thread_info_known(self, simple_threads):
+        stream = make_stream(threads=simple_threads)
+        assert stream.thread_info(1).process == "App"
+        assert stream.thread_info(1).label == "App/UI"
+
+    def test_thread_info_placeholder(self):
+        stream = make_stream()
+        info = stream.thread_info(99)
+        assert info.process == "?"
+        assert info.tid == 99
+
+    def test_events_of_thread(self):
+        stream = make_stream(events=[
+            make_event(tid=1, timestamp=0),
+            make_event(tid=2, timestamp=10),
+            make_event(tid=1, timestamp=20),
+        ])
+        assert len(stream.events_of_thread(1)) == 2
+        assert len(stream.events_of_thread(2)) == 1
+        assert stream.events_of_thread(3) == []
+
+    def test_events_of_thread_window(self):
+        stream = make_stream(events=[
+            make_event(tid=1, timestamp=0, cost=100),
+            make_event(tid=1, timestamp=1000, cost=100),
+            make_event(tid=1, timestamp=5000, cost=100),
+        ])
+        windowed = stream.events_of_thread(1, 900, 1200)
+        assert [event.timestamp for event in windowed] == [1000]
+
+    def test_events_of_thread_window_reaches_back(self):
+        # An event starting before the window but overlapping it counts.
+        stream = make_stream(events=[
+            make_event(tid=1, timestamp=0, cost=2_000),
+            make_event(tid=1, timestamp=3_000, cost=100),
+        ])
+        windowed = stream.events_of_thread(1, 1_000, 2_500)
+        assert [event.timestamp for event in windowed] == [0]
+
+    def test_unwaits_targeting(self):
+        stream = make_stream(events=[
+            make_event(EventKind.UNWAIT, timestamp=10, cost=0, tid=2, wtid=1),
+            make_event(EventKind.UNWAIT, timestamp=20, cost=0, tid=3, wtid=1),
+            make_event(EventKind.UNWAIT, timestamp=30, cost=0, tid=2, wtid=4),
+        ])
+        assert len(stream.unwaits_targeting(1)) == 2
+        assert len(stream.unwaits_targeting(1, 15, 25)) == 1
+        assert stream.unwaits_targeting(9) == []
+
+    def test_events_of_kind(self):
+        stream = make_stream(events=[
+            make_event(EventKind.RUNNING),
+            make_event(EventKind.HW_SERVICE, stack=(), timestamp=5),
+        ])
+        assert len(stream.events_of_kind(EventKind.RUNNING)) == 1
+        assert len(stream.events_of_kind(EventKind.HW_SERVICE)) == 1
+        assert stream.events_of_kind(EventKind.WAIT) == []
+
+
+class TestScenarioInstances:
+    def test_add_instance(self):
+        stream = make_stream(events=[make_event(cost=10_000)])
+        instance = stream.add_instance("Demo", tid=1, t0=0, t1=5_000)
+        assert instance.duration == 5_000
+        assert stream.instances == [instance]
+
+    def test_instance_rejects_negative_duration(self):
+        stream = make_stream()
+        with pytest.raises(TraceError):
+            stream.add_instance("Demo", tid=1, t0=100, t1=50)
+
+    def test_instance_key_identifies(self):
+        stream = make_stream(events=[make_event(cost=10_000)])
+        instance = stream.add_instance("Demo", tid=1, t0=0, t1=500)
+        assert instance.key == ("test", "Demo", 1, 0, 500)
+
+    def test_instance_equality_ignores_stream_object(self):
+        stream_a = make_stream("same", events=[make_event(cost=10_000)])
+        stream_b = make_stream("same", events=[make_event(cost=10_000)])
+        instance_a = stream_a.add_instance("Demo", 1, 0, 10)
+        instance_b = stream_b.add_instance("Demo", 1, 0, 10)
+        assert instance_a == instance_b
+        assert hash(instance_a) == hash(instance_b)

@@ -1,0 +1,104 @@
+"""Tests for trace-stream validation."""
+
+import pytest
+
+from repro.errors import TraceValidationError
+from repro.trace.events import EventKind
+from repro.trace.stream import ThreadInfo
+from repro.trace.validate import collect_violations, validate_stream
+from tests.conftest import make_event, make_stream
+
+
+def paired_wait_events(tid=1, waker=2, start=0, duration=100):
+    return [
+        make_event(EventKind.WAIT, timestamp=start, cost=duration, tid=tid),
+        make_event(
+            EventKind.UNWAIT,
+            timestamp=start + duration,
+            cost=0,
+            tid=waker,
+            wtid=tid,
+        ),
+    ]
+
+
+class TestValidStreams:
+    def test_empty_stream_valid(self):
+        validate_stream(make_stream())
+
+    def test_paired_wait_valid(self):
+        stream = make_stream(events=paired_wait_events())
+        assert collect_violations(stream) == []
+
+    def test_simulated_streams_valid(self, small_corpus):
+        for stream in small_corpus:
+            validate_stream(stream)
+
+
+class TestViolations:
+    def test_wait_without_unwait(self):
+        stream = make_stream(events=[
+            make_event(EventKind.WAIT, timestamp=0, cost=100, tid=1),
+        ])
+        problems = collect_violations(stream)
+        assert any("no unwait" in problem for problem in problems)
+
+    def test_unwait_at_wrong_time(self):
+        stream = make_stream(events=[
+            make_event(EventKind.WAIT, timestamp=0, cost=100, tid=1),
+            make_event(EventKind.UNWAIT, timestamp=50, cost=0, tid=2, wtid=1),
+        ])
+        problems = collect_violations(stream)
+        assert any("no unwait" in problem for problem in problems)
+
+    def test_self_unwait(self):
+        stream = make_stream(events=[
+            make_event(EventKind.UNWAIT, timestamp=0, cost=0, tid=1, wtid=1),
+        ])
+        problems = collect_violations(stream)
+        assert any("unwaits itself" in problem for problem in problems)
+
+    def test_zero_duration_wait(self):
+        stream = make_stream(events=[
+            make_event(EventKind.WAIT, timestamp=0, cost=0, tid=1),
+            make_event(EventKind.UNWAIT, timestamp=0, cost=0, tid=2, wtid=1),
+        ])
+        problems = collect_violations(stream)
+        assert any("zero duration" in problem for problem in problems)
+
+    def test_instance_outside_span(self):
+        stream = make_stream(events=[make_event(cost=100)])
+        stream.add_instance("Demo", tid=1, t0=5_000, t1=999_999)
+        problems = collect_violations(stream)
+        assert any("outside" in problem for problem in problems)
+
+    def test_instance_overlapping_span_edge_ok(self):
+        stream = make_stream(events=[make_event(cost=100)])
+        stream.add_instance("Demo", tid=1, t0=0, t1=999)
+        assert collect_violations(stream) == []
+
+    def test_instance_unknown_thread(self):
+        stream = make_stream(
+            events=[make_event(cost=100_000)],
+            threads=[ThreadInfo(1, "App", "UI")],
+        )
+        stream.add_instance("Demo", tid=42, t0=0, t1=100)
+        problems = collect_violations(stream)
+        assert any("unknown thread" in problem for problem in problems)
+
+    def test_validate_stream_raises(self):
+        stream = make_stream(events=[
+            make_event(EventKind.WAIT, timestamp=0, cost=100, tid=1),
+        ])
+        with pytest.raises(TraceValidationError):
+            validate_stream(stream)
+
+    def test_violation_list_truncated_in_message(self):
+        events = []
+        for index in range(40):
+            events.append(
+                make_event(EventKind.WAIT, timestamp=index * 10, cost=5, tid=1)
+            )
+        stream = make_stream(events=events)
+        with pytest.raises(TraceValidationError, match="more"):
+            validate_stream(stream)

@@ -1,0 +1,173 @@
+"""Tests for Aggregated Wait Graphs and Algorithm 1."""
+
+from repro.trace.events import EventKind
+from repro.trace.signatures import ALL_DRIVERS, HARDWARE_SIGNATURE, ComponentFilter
+from repro.trace.stream import ThreadInfo
+from repro.waitgraph.aggregate import (
+    HARDWARE,
+    RUNNING,
+    WAITING,
+    AggregatedWaitGraph,
+    aggregate_wait_graphs,
+)
+from repro.waitgraph.builder import build_wait_graph
+from tests.conftest import make_event, make_stream
+
+
+def propagation_instance(stream_id="s"):
+    """A stream like the conftest fixture, reusable with varying ids."""
+    threads = [
+        ThreadInfo(1, "App", "UI"),
+        ThreadInfo(2, "App", "Worker"),
+        ThreadInfo(3, "Hardware", "Disk"),
+    ]
+    events = [
+        make_event(EventKind.RUNNING, ("App!Click", "fv.sys!Query"),
+                   timestamp=0, cost=1000, tid=1),
+        make_event(EventKind.WAIT,
+                   ("App!Click", "fv.sys!Query", "kernel!AcquireLock"),
+                   timestamp=1000, cost=8000, tid=1),
+        make_event(EventKind.RUNNING, ("App!Job", "fs.sys!Read"),
+                   timestamp=1000, cost=1000, tid=2),
+        make_event(EventKind.WAIT,
+                   ("App!Job", "fs.sys!Read", "kernel!WaitForHardware"),
+                   timestamp=2000, cost=5000, tid=2),
+        make_event(EventKind.HW_SERVICE, (), timestamp=2000, cost=5000, tid=3),
+        make_event(EventKind.UNWAIT, ("Hardware!DiskService",),
+                   timestamp=7000, cost=0, tid=3, wtid=2),
+        make_event(EventKind.RUNNING, ("App!Job", "fs.sys!Read"),
+                   timestamp=7000, cost=2000, tid=2),
+        make_event(EventKind.UNWAIT,
+                   ("App!Job", "fs.sys!Read", "kernel!ReleaseLock"),
+                   timestamp=9000, cost=0, tid=2, wtid=1),
+        make_event(EventKind.RUNNING, ("App!Click", "fv.sys!Query"),
+                   timestamp=9000, cost=1000, tid=1),
+    ]
+    stream = make_stream(stream_id, events, threads)
+    return stream.add_instance("Click", tid=1, t0=0, t1=10_000)
+
+
+class TestAlgorithm1:
+    def test_waiting_node_merges_wait_and_unwait_signatures(self):
+        graph = build_wait_graph(propagation_instance())
+        awg = aggregate_wait_graphs([graph], ALL_DRIVERS, reduce_hw=False)
+        root_keys = set(awg.roots)
+        # The UI wait: wait sig fv.sys!Query, unwait sig fs.sys!Read.
+        assert (WAITING, "fv.sys!Query", "fs.sys!Read") in root_keys
+
+    def test_irrelevant_roots_eliminated_but_driver_runnings_kept(self):
+        graph = build_wait_graph(propagation_instance())
+        awg = aggregate_wait_graphs([graph], ALL_DRIVERS, reduce_hw=False)
+        # The UI's driver running events (fv.sys!Query) are roots too.
+        assert (RUNNING, "fv.sys!Query") in awg.roots
+
+    def test_non_driver_roots_dropped(self):
+        # Use a filter that matches nothing on the UI stack: roots must be
+        # promoted/dropped until component-relevant events remain.
+        only_fs = ComponentFilter(["fs.sys"])
+        graph = build_wait_graph(propagation_instance())
+        awg = aggregate_wait_graphs([graph], only_fs, reduce_hw=False)
+        # fv running roots are gone; the promoted roots are the worker's
+        # fs.sys events (children of the eliminated UI wait).
+        for key, node in awg.roots.items():
+            signatures = [s for s in key[1:] if s]
+            assert any("fs.sys" in s or s == HARDWARE_SIGNATURE for s in signatures)
+
+    def test_hardware_leaf_under_disk_wait(self):
+        graph = build_wait_graph(propagation_instance())
+        awg = aggregate_wait_graphs([graph], ALL_DRIVERS, reduce_hw=False)
+        ui_wait = awg.roots[(WAITING, "fv.sys!Query", "fs.sys!Read")]
+        disk_wait = ui_wait.children[
+            (WAITING, "fs.sys!Read", HARDWARE_SIGNATURE)
+        ]
+        assert (HARDWARE, HARDWARE_SIGNATURE) in disk_wait.children
+        hw = disk_wait.children[(HARDWARE, HARDWARE_SIGNATURE)]
+        assert hw.cost == 5000
+        assert not hw.children
+
+    def test_aggregation_sums_costs_and_counts(self):
+        graphs = [
+            build_wait_graph(propagation_instance("a")),
+            build_wait_graph(propagation_instance("b")),
+        ]
+        awg = aggregate_wait_graphs(graphs, ALL_DRIVERS, reduce_hw=False)
+        ui_wait = awg.roots[(WAITING, "fv.sys!Query", "fs.sys!Read")]
+        assert ui_wait.count == 2
+        assert ui_wait.cost == 16_000
+        assert ui_wait.max_single == 8_000
+        assert awg.source_graphs == 2
+
+    def test_mean_cost(self):
+        graphs = [build_wait_graph(propagation_instance())]
+        awg = aggregate_wait_graphs(graphs, ALL_DRIVERS, reduce_hw=False)
+        ui_wait = awg.roots[(WAITING, "fv.sys!Query", "fs.sys!Read")]
+        assert ui_wait.mean_cost == 8_000
+
+
+class TestReduction:
+    def build_direct_hw_instance(self):
+        """A root wait whose only child is a hardware leaf."""
+        threads = [ThreadInfo(3, "Hardware", "Disk")]
+        events = [
+            make_event(EventKind.WAIT,
+                       ("App!X", "fs.sys!Read", "kernel!WaitForHardware"),
+                       timestamp=0, cost=3_000, tid=1),
+            make_event(EventKind.HW_SERVICE, (), timestamp=0, cost=3_000, tid=3),
+            make_event(EventKind.UNWAIT, ("Hardware!DiskService",),
+                       timestamp=3_000, cost=0, tid=3, wtid=1),
+        ]
+        stream = make_stream("hw", events, threads)
+        return stream.add_instance("S", tid=1, t0=0, t1=3_000)
+
+    def test_direct_hw_root_pruned(self):
+        graph = build_wait_graph(self.build_direct_hw_instance())
+        awg = aggregate_wait_graphs([graph], ALL_DRIVERS, reduce_hw=True)
+        assert awg.roots == {}
+        assert awg.reduced_hw_cost == 3_000
+        assert awg.reduced_hw_count == 1
+
+    def test_reduction_optional(self):
+        graph = build_wait_graph(self.build_direct_hw_instance())
+        awg = aggregate_wait_graphs([graph], ALL_DRIVERS, reduce_hw=False)
+        assert len(awg.roots) == 1
+        assert awg.reduced_hw_cost == 0
+
+    def test_propagated_hw_not_pruned(self):
+        # In the propagation fixture, the hw leaf sits under an inner wait
+        # (not a root), so reduction must keep it.
+        graph = build_wait_graph(propagation_instance())
+        awg = aggregate_wait_graphs([graph], ALL_DRIVERS, reduce_hw=True)
+        assert (WAITING, "fv.sys!Query", "fs.sys!Read") in awg.roots
+        assert awg.reduced_hw_cost == 0
+
+
+class TestQueries:
+    def test_nodes_and_leaves(self):
+        graph = build_wait_graph(propagation_instance())
+        awg = aggregate_wait_graphs([graph], ALL_DRIVERS, reduce_hw=False)
+        nodes = list(awg.nodes())
+        leaves = list(awg.leaves())
+        assert len(leaves) >= 1
+        assert all(not leaf.children for leaf in leaves)
+        assert len(nodes) == awg.node_count()
+
+    def test_total_cost_is_root_sum(self):
+        graph = build_wait_graph(propagation_instance())
+        awg = aggregate_wait_graphs([graph], ALL_DRIVERS, reduce_hw=False)
+        assert awg.total_cost() == sum(root.cost for root in awg.roots.values())
+
+    def test_labels(self):
+        graph = build_wait_graph(propagation_instance())
+        awg = aggregate_wait_graphs([graph], ALL_DRIVERS, reduce_hw=False)
+        labels = {node.label for node in awg.nodes()}
+        assert "fv.sys!Query -> fs.sys!Read" in labels
+        assert any(label.startswith("[hw]") for label in labels)
+        assert any(label.startswith("[run]") for label in labels)
+
+    def test_parent_links(self):
+        graph = build_wait_graph(propagation_instance())
+        awg = aggregate_wait_graphs([graph], ALL_DRIVERS, reduce_hw=False)
+        for root in awg.roots.values():
+            assert root.parent is None
+            for child in root.children.values():
+                assert child.parent is root

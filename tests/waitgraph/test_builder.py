@@ -1,0 +1,113 @@
+"""Tests for Wait Graph construction edge cases."""
+
+import pytest
+
+from repro.errors import WaitGraphError
+from repro.trace.events import EventKind
+from repro.trace.stream import ThreadInfo
+from repro.waitgraph.builder import build_wait_graph, build_wait_graphs
+from tests.conftest import make_event, make_stream
+
+
+class TestPairing:
+    def test_missing_unwait_leaves_wait_as_leaf(self):
+        stream = make_stream(events=[
+            make_event(EventKind.WAIT, timestamp=0, cost=100, tid=1),
+        ])
+        instance = stream.add_instance("S", tid=1, t0=0, t1=100)
+        graph = build_wait_graph(instance)
+        assert graph.children(graph.roots[0]) == []
+        assert graph.unwait_of(graph.roots[0]) is None
+
+    def test_missing_unwait_strict_raises(self):
+        stream = make_stream(events=[
+            make_event(EventKind.WAIT, timestamp=0, cost=100, tid=1),
+        ])
+        instance = stream.add_instance("S", tid=1, t0=0, t1=100)
+        with pytest.raises(WaitGraphError, match="no matching unwait"):
+            build_wait_graph(instance, strict=True)
+
+    def test_unwait_must_match_exact_end(self):
+        stream = make_stream(events=[
+            make_event(EventKind.WAIT, timestamp=0, cost=100, tid=1),
+            make_event(EventKind.UNWAIT, timestamp=99, cost=0, tid=2, wtid=1),
+        ])
+        instance = stream.add_instance("S", tid=1, t0=0, t1=100)
+        graph = build_wait_graph(instance)
+        assert graph.unwait_of(graph.roots[0]) is None
+
+
+class TestHardwareAttachment:
+    def test_only_matching_hw_service_attached(self):
+        """Two disk services in the window; only the one completing at the
+        wait's end (the IRP-correlated one) becomes the child."""
+        threads = [ThreadInfo(3, "Hardware", "Disk")]
+        events = [
+            make_event(EventKind.WAIT, timestamp=0, cost=1_000, tid=1),
+            # An unrelated service fully inside the window.
+            make_event(EventKind.HW_SERVICE, (), timestamp=100, cost=200, tid=3),
+            # The service resolving this wait.
+            make_event(EventKind.HW_SERVICE, (), timestamp=300, cost=700, tid=3),
+            make_event(EventKind.UNWAIT, ("Hardware!DiskService",),
+                       timestamp=1_000, cost=0, tid=3, wtid=1),
+        ]
+        stream = make_stream(events=events, threads=threads)
+        instance = stream.add_instance("S", tid=1, t0=0, t1=1_000)
+        graph = build_wait_graph(instance)
+        children = graph.children(graph.roots[0])
+        assert len(children) == 1
+        assert children[0].cost == 700
+
+
+class TestWindowing:
+    def test_child_wait_starting_before_window_included(self):
+        """The unwaiter was already waiting before the root wait began."""
+        events = [
+            # Thread 2 waits from t=0 to t=500 on thread 3.
+            make_event(EventKind.WAIT, timestamp=0, cost=500, tid=2),
+            # Thread 1 blocks at t=100 on thread 2.
+            make_event(EventKind.WAIT, timestamp=100, cost=500, tid=1),
+            make_event(EventKind.UNWAIT, timestamp=500, cost=0, tid=3, wtid=2),
+            make_event(EventKind.UNWAIT, timestamp=600, cost=0, tid=2, wtid=1),
+        ]
+        stream = make_stream(events=events)
+        instance = stream.add_instance("S", tid=1, t0=0, t1=700)
+        graph = build_wait_graph(instance)
+        root_wait = graph.roots[0]
+        child_kinds = [event.kind for event in graph.children(root_wait)]
+        assert EventKind.WAIT in child_kinds
+
+    def test_roots_restricted_to_instance_window(self):
+        events = [
+            make_event(EventKind.RUNNING, timestamp=0, cost=100, tid=1),
+            make_event(EventKind.RUNNING, timestamp=10_000, cost=100, tid=1),
+        ]
+        stream = make_stream(events=events)
+        instance = stream.add_instance("S", tid=1, t0=0, t1=1_000)
+        graph = build_wait_graph(instance)
+        assert len(graph.roots) == 1
+
+    def test_build_wait_graphs_plural(self, propagation_stream):
+        graphs = build_wait_graphs(propagation_stream.instances)
+        assert len(graphs) == 1
+
+
+class TestOnSimulatedTraces:
+    def test_every_instance_builds(self, small_corpus):
+        for stream in small_corpus:
+            for instance in stream.instances:
+                graph = build_wait_graph(instance)
+                assert graph.top_level_duration >= 0
+                # DAG traversal terminates and visits each node once.
+                assert graph.node_count() >= len(graph.roots)
+
+    def test_graphs_contain_cross_thread_children(self, small_corpus):
+        found_cross_thread = False
+        for stream in small_corpus:
+            for instance in stream.instances:
+                graph = build_wait_graph(instance)
+                for event in graph.wait_events():
+                    for child in graph.children(event):
+                        if child.tid != instance.tid:
+                            found_cross_thread = True
+        assert found_cross_thread

@@ -1,0 +1,62 @@
+"""Tests for the WaitGraph structure (on the hand-crafted fixture)."""
+
+from repro.trace.events import EventKind
+from repro.waitgraph.builder import build_wait_graph
+
+
+class TestWaitGraphStructure:
+    def test_roots_are_initiating_thread_events(self, propagation_stream):
+        graph = build_wait_graph(propagation_stream.instances[0])
+        assert all(event.tid == 1 for event in graph.roots)
+        kinds = [event.kind for event in graph.roots]
+        assert kinds == [EventKind.RUNNING, EventKind.WAIT, EventKind.RUNNING]
+
+    def test_top_level_duration(self, propagation_stream):
+        graph = build_wait_graph(propagation_stream.instances[0])
+        # 1000 running + 8000 wait + 1000 running
+        assert graph.top_level_duration == 10_000
+
+    def test_children_of_lock_wait_are_holder_events(self, propagation_stream):
+        graph = build_wait_graph(propagation_stream.instances[0])
+        lock_wait = graph.roots[1]
+        children = graph.children(lock_wait)
+        assert all(event.tid == 2 for event in children)
+        kinds = [event.kind for event in children]
+        assert kinds == [EventKind.RUNNING, EventKind.WAIT, EventKind.RUNNING]
+
+    def test_disk_wait_has_hw_child(self, propagation_stream):
+        graph = build_wait_graph(propagation_stream.instances[0])
+        lock_wait = graph.roots[1]
+        disk_wait = graph.children(lock_wait)[1]
+        hw_children = graph.children(disk_wait)
+        assert len(hw_children) == 1
+        assert hw_children[0].kind is EventKind.HW_SERVICE
+        assert hw_children[0].cost == 5_000
+
+    def test_unwait_pairing(self, propagation_stream):
+        graph = build_wait_graph(propagation_stream.instances[0])
+        lock_wait = graph.roots[1]
+        unwait = graph.unwait_of(lock_wait)
+        assert unwait is not None
+        assert unwait.tid == 2
+        assert unwait.timestamp == lock_wait.end
+
+    def test_events_deduplicated(self, propagation_stream):
+        graph = build_wait_graph(propagation_stream.instances[0])
+        events = list(graph.events())
+        assert len(events) == len({event.seq for event in events})
+        assert graph.node_count() == len(events)
+
+    def test_depth(self, propagation_stream):
+        graph = build_wait_graph(propagation_stream.instances[0])
+        # root wait -> worker wait -> hw service
+        assert graph.depth() == 3
+
+    def test_wait_events(self, propagation_stream):
+        graph = build_wait_graph(propagation_stream.instances[0])
+        waits = list(graph.wait_events())
+        assert len(waits) == 2
+
+    def test_stream_id(self, propagation_stream):
+        graph = build_wait_graph(propagation_stream.instances[0])
+        assert graph.stream_id == "prop"
