@@ -5,10 +5,22 @@ Graph construction, aggregation and mining so corpus sizes can be chosen
 for a time budget (the paper processed 19,500 traces / 339 hours).
 """
 
-from benchmarks.conftest import print_banner
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, print_banner
 from repro.causality.mining import enumerate_meta_patterns
-from repro.sim.corpus import CorpusConfig, generate_stream
-from repro.trace.serialization import dumps_stream, loads_stream
+from repro.pipeline import parallel_impact, parallel_study
+from repro.report.markdown import study_to_markdown
+from repro.sim.corpus import CorpusConfig, generate_corpus, generate_stream
+from repro.trace.serialization import (
+    dump_corpus,
+    dumps_stream,
+    iter_corpus_paths,
+    loads_stream,
+)
 from repro.trace.signatures import ALL_DRIVERS
 from repro.waitgraph.aggregate import aggregate_wait_graphs
 from repro.waitgraph.builder import build_wait_graph
@@ -73,3 +85,82 @@ def test_bench_meta_pattern_enumeration(benchmark, bench_corpus):
 
     patterns = benchmark(mine)
     assert patterns
+
+
+# --- Parallel map-reduce pipeline: sequential vs. 1/2/4 workers ---------
+
+PARALLEL_STREAMS = int(os.environ.get("REPRO_BENCH_PARALLEL_STREAMS", "40"))
+PARALLEL_WORKER_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def parallel_corpus_paths(tmp_path_factory):
+    corpus = generate_corpus(
+        CorpusConfig(streams=PARALLEL_STREAMS, seed=BENCH_SEED)
+    )
+    directory = tmp_path_factory.mktemp("bench-parallel-corpus")
+    dump_corpus(corpus, directory)
+    return iter_corpus_paths(directory)
+
+
+def _timed(callable_):
+    start = time.perf_counter()
+    result = callable_()
+    return result, time.perf_counter() - start
+
+
+def test_bench_parallel_generation_scaling():
+    config = CorpusConfig(streams=PARALLEL_STREAMS, seed=BENCH_SEED)
+    rows = []
+    for workers in PARALLEL_WORKER_COUNTS:
+        corpus, elapsed = _timed(lambda: generate_corpus(config, workers=workers))
+        rows.append((workers, elapsed, len(corpus)))
+    base = rows[0][1]
+    print_banner(f"Perf - corpus generation ({PARALLEL_STREAMS} streams)")
+    print(f"{'workers':>7}  {'seconds':>8}  {'speedup':>7}")
+    for workers, elapsed, _ in rows:
+        print(f"{workers:>7}  {elapsed:>8.2f}  {base / elapsed:>6.2f}x")
+    assert all(count == PARALLEL_STREAMS for _, _, count in rows)
+
+
+def test_bench_parallel_study_scaling(parallel_corpus_paths):
+    """Map-reduce study at 1/2/4 workers: identical tables, wall-clock speedup.
+
+    Speedup is printed, not asserted — it tracks the host's core count
+    (single-core CI boxes will show ~1.0x; the >=2x acceptance target
+    needs a 4-core machine).
+    """
+    results = {}
+    timings = []
+    for workers in PARALLEL_WORKER_COUNTS:
+        study, elapsed = _timed(
+            lambda: parallel_study(parallel_corpus_paths, workers=workers)
+        )
+        results[workers] = study_to_markdown(study)
+        timings.append((workers, elapsed))
+    base = timings[0][1]
+    print_banner(f"Perf - map-reduce study ({PARALLEL_STREAMS} streams)")
+    print(f"{'workers':>7}  {'seconds':>8}  {'speedup':>7}")
+    for workers, elapsed in timings:
+        print(f"{workers:>7}  {elapsed:>8.2f}  {base / elapsed:>6.2f}x")
+    # Determinism is non-negotiable at any worker count.
+    for workers in PARALLEL_WORKER_COUNTS[1:]:
+        assert results[workers] == results[PARALLEL_WORKER_COUNTS[0]]
+
+
+def test_bench_parallel_impact_scaling(parallel_corpus_paths):
+    results = {}
+    timings = []
+    for workers in PARALLEL_WORKER_COUNTS:
+        result, elapsed = _timed(
+            lambda: parallel_impact(parallel_corpus_paths, workers=workers)
+        )
+        results[workers] = result
+        timings.append((workers, elapsed))
+    base = timings[0][1]
+    print_banner(f"Perf - map-reduce impact ({PARALLEL_STREAMS} streams)")
+    print(f"{'workers':>7}  {'seconds':>8}  {'speedup':>7}")
+    for workers, elapsed in timings:
+        print(f"{workers:>7}  {elapsed:>8.2f}  {base / elapsed:>6.2f}x")
+    for workers in PARALLEL_WORKER_COUNTS[1:]:
+        assert results[workers] == results[PARALLEL_WORKER_COUNTS[0]]

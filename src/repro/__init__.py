@@ -48,6 +48,11 @@ from repro.impact import (
     ImpactResult,
     breakdown_by_module,
 )
+from repro.pipeline import (
+    parallel_causality,
+    parallel_impact,
+    parallel_study,
+)
 from repro.sim import CorpusConfig, Machine, MachineConfig, generate_corpus
 from repro.trace import (
     ALL_DRIVERS,
@@ -110,6 +115,9 @@ __all__ = [
     "dump_stream",
     "generate_corpus",
     "load_stream",
+    "parallel_causality",
+    "parallel_impact",
+    "parallel_study",
     "run_study",
     "summarize_corpus",
     "validate_stream",

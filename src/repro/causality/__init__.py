@@ -1,6 +1,10 @@
 """Causality analysis: contrast data mining over Aggregated Wait Graphs (§4)."""
 
-from repro.causality.analyzer import CausalityAnalysis, CausalityReport
+from repro.causality.analyzer import (
+    CausalityAnalysis,
+    CausalityReport,
+    assemble_report,
+)
 from repro.causality.classes import ContrastClasses, classify_instances
 from repro.causality.filtering import (
     ByDesignKnowledge,
@@ -41,6 +45,7 @@ __all__ = [
     "suggest_for_corpus",
     "suggest_for_instances",
     "suggest_thresholds",
+    "assemble_report",
     "classify_instances",
     "coverage_curve",
     "coverage_of_top",

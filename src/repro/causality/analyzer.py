@@ -139,23 +139,52 @@ class CausalityAnalysis:
             slow_graphs, self.component_filter, reduce_hw=self.reduce_hw
         )
 
-        slow_metas = enumerate_meta_patterns(slow_awg, self.segment_bound)
-        fast_metas = enumerate_meta_patterns(fast_awg, self.segment_bound)
-        contrast_metas = discover_contrast_meta_patterns(
-            slow_metas, fast_metas, t_fast=t_fast, t_slow=t_slow
-        )
-        patterns = rank_patterns(
-            extract_contrast_patterns(slow_awg, contrast_metas)
-        )
-        return CausalityReport(
+        return assemble_report(
             scenario=name,
             t_fast=t_fast,
             t_slow=t_slow,
             classes=classes,
-            slow_awg=slow_awg,
             fast_awg=fast_awg,
-            slow_meta_patterns=slow_metas,
-            fast_meta_patterns=fast_metas,
-            contrast_metas=contrast_metas,
-            patterns=patterns,
+            slow_awg=slow_awg,
+            segment_bound=self.segment_bound,
         )
+
+
+def assemble_report(
+    scenario: str,
+    t_fast: int,
+    t_slow: int,
+    classes: ContrastClasses,
+    fast_awg: AggregatedWaitGraph,
+    slow_awg: AggregatedWaitGraph,
+    segment_bound: int = DEFAULT_SEGMENT_BOUND,
+) -> CausalityReport:
+    """Mine contrast patterns from built AWGs and package the report.
+
+    The back half of the causality pipeline — meta-pattern enumeration,
+    contrast discovery, contrast-pattern extraction, ranking — separated
+    from graph construction so the map–reduce pipeline can run it over
+    AWGs merged from per-chunk partials.  The output is a pure function
+    of the AWGs and thresholds, which is what makes chunked and
+    single-pass aggregation produce identical reports.
+    """
+    slow_metas = enumerate_meta_patterns(slow_awg, segment_bound)
+    fast_metas = enumerate_meta_patterns(fast_awg, segment_bound)
+    contrast_metas = discover_contrast_meta_patterns(
+        slow_metas, fast_metas, t_fast=t_fast, t_slow=t_slow
+    )
+    patterns = rank_patterns(
+        extract_contrast_patterns(slow_awg, contrast_metas)
+    )
+    return CausalityReport(
+        scenario=scenario,
+        t_fast=t_fast,
+        t_slow=t_slow,
+        classes=classes,
+        slow_awg=slow_awg,
+        fast_awg=fast_awg,
+        slow_meta_patterns=slow_metas,
+        fast_meta_patterns=fast_metas,
+        contrast_metas=contrast_metas,
+        patterns=patterns,
+    )

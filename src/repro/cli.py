@@ -31,7 +31,13 @@ from repro.impact import ImpactAnalysis
 from repro.report.tables import Table, fmt_pct, fmt_ratio
 from repro.sim.corpus import CorpusConfig, generate_corpus
 from repro.sim.workloads.registry import SCENARIO_NAMES, scenario_spec
-from repro.trace import dump_corpus, load_corpus, load_stream, validate_stream
+from repro.trace import (
+    dump_corpus,
+    iter_corpus_paths,
+    load_corpus,
+    load_stream,
+    validate_stream,
+)
 from repro.units import MILLISECONDS
 
 
@@ -47,6 +53,31 @@ def _load_traces(path: str) -> List:
     return streams
 
 
+def _trace_sources(path: str) -> List[str]:
+    """Corpus sources as *paths*, so pipeline workers stream their own chunks."""
+    import os
+
+    if os.path.isdir(path):
+        sources = iter_corpus_paths(path)
+    else:
+        sources = [path]
+    if not sources:
+        raise ReproError(f"no trace streams found at {path!r}")
+    return sources
+
+
+def _add_worker_options(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--workers", type=int, default=1,
+        help="analysis processes; >1 fans the corpus out over a "
+             "map-reduce pipeline with identical output",
+    )
+    subparser.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="streams per pipeline chunk (default: auto)",
+    )
+
+
 # ---------------------------------------------------------------------------
 # Subcommand handlers
 # ---------------------------------------------------------------------------
@@ -55,7 +86,7 @@ def _load_traces(path: str) -> List:
 def cmd_generate(args: argparse.Namespace) -> int:
     config = CorpusConfig(streams=args.streams, seed=args.seed)
     print(f"Generating {args.streams} streams (seed {args.seed}) ...")
-    corpus = generate_corpus(config)
+    corpus = generate_corpus(config, workers=args.workers)
     paths = dump_corpus(corpus, args.out)
     events = sum(len(stream.events) for stream in corpus)
     instances = sum(len(stream.instances) for stream in corpus)
@@ -80,11 +111,22 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
 
 def cmd_impact(args: argparse.Namespace) -> int:
-    streams = _load_traces(args.traces)
     scenarios = args.scenario if args.scenario else None
-    result = ImpactAnalysis(args.components).analyze_corpus(
-        streams, scenarios=scenarios
-    )
+    if args.workers > 1:
+        from repro.pipeline import parallel_impact
+
+        result = parallel_impact(
+            _trace_sources(args.traces),
+            component_patterns=args.components,
+            scenarios=scenarios,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+        )
+    else:
+        streams = _load_traces(args.traces)
+        result = ImpactAnalysis(args.components).analyze_corpus(
+            streams, scenarios=scenarios
+        )
     table = Table(
         ["Metric", "Value"],
         title=f"Impact of {', '.join(args.components)}",
@@ -98,42 +140,75 @@ def cmd_impact(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_causality(args: argparse.Namespace) -> int:
-    streams = _load_traces(args.traces)
-    instances = [
-        instance
-        for stream in streams
-        for instance in stream.instances
-        if instance.scenario == args.scenario
-    ]
-    if not instances:
-        known = sorted(
-            {i.scenario for s in streams for i in s.instances}
-        )
-        print(
-            f"no instances of {args.scenario!r}; scenarios present: "
-            + ", ".join(known),
-            file=sys.stderr,
-        )
-        return 1
-
+def _causality_thresholds(args: argparse.Namespace):
+    """Resolve (t_fast, t_slow) from flags or the scenario registry."""
     if args.t_fast and args.t_slow:
-        t_fast = args.t_fast * MILLISECONDS
-        t_slow = args.t_slow * MILLISECONDS
-    elif args.scenario in SCENARIO_NAMES:
+        return args.t_fast * MILLISECONDS, args.t_slow * MILLISECONDS
+    if args.scenario in SCENARIO_NAMES:
         spec = scenario_spec(args.scenario)
-        t_fast, t_slow = spec.t_fast, spec.t_slow
-    else:
-        print(
-            "unknown scenario: pass --t-fast and --t-slow (milliseconds)",
-            file=sys.stderr,
-        )
-        return 1
+        return spec.t_fast, spec.t_slow
+    return None
 
-    analysis = CausalityAnalysis(args.components, segment_bound=args.k)
-    report = analysis.analyze(
-        instances, t_fast, t_slow, scenario=args.scenario
-    )
+
+def cmd_causality(args: argparse.Namespace) -> int:
+    from repro.errors import AnalysisError
+
+    if args.workers > 1:
+        thresholds = _causality_thresholds(args)
+        if thresholds is None:
+            print(
+                "unknown scenario: pass --t-fast and --t-slow (milliseconds)",
+                file=sys.stderr,
+            )
+            return 1
+        from repro.pipeline import parallel_causality
+
+        try:
+            report = parallel_causality(
+                _trace_sources(args.traces),
+                args.scenario,
+                *thresholds,
+                component_patterns=args.components,
+                segment_bound=args.k,
+                workers=args.workers,
+                chunk_size=args.chunk_size,
+            )
+        except AnalysisError as error:
+            print(str(error), file=sys.stderr)
+            return 1
+        t_fast, t_slow = thresholds
+    else:
+        streams = _load_traces(args.traces)
+        instances = [
+            instance
+            for stream in streams
+            for instance in stream.instances
+            if instance.scenario == args.scenario
+        ]
+        if not instances:
+            known = sorted(
+                {i.scenario for s in streams for i in s.instances}
+            )
+            print(
+                f"no instances of {args.scenario!r}; scenarios present: "
+                + ", ".join(known),
+                file=sys.stderr,
+            )
+            return 1
+
+        thresholds = _causality_thresholds(args)
+        if thresholds is None:
+            print(
+                "unknown scenario: pass --t-fast and --t-slow (milliseconds)",
+                file=sys.stderr,
+            )
+            return 1
+        t_fast, t_slow = thresholds
+
+        analysis = CausalityAnalysis(args.components, segment_bound=args.k)
+        report = analysis.analyze(
+            instances, t_fast, t_slow, scenario=args.scenario
+        )
     print(report.summary())
     patterns = report.patterns
     if args.filter_by_design:
@@ -156,8 +231,17 @@ def cmd_causality(args: argparse.Namespace) -> int:
 
 
 def cmd_study(args: argparse.Namespace) -> int:
-    streams = _load_traces(args.traces)
-    study = run_study(streams)
+    if args.workers > 1:
+        from repro.pipeline import parallel_study
+
+        study = parallel_study(
+            _trace_sources(args.traces),
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+        )
+    else:
+        streams = _load_traces(args.traces)
+        study = run_study(streams)
     if args.markdown:
         from repro.report.markdown import save_study_markdown
 
@@ -316,6 +400,10 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--streams", type=int, default=16)
     generate.add_argument("--seed", type=int, default=20140301)
     generate.add_argument("--out", required=True, metavar="DIR")
+    generate.add_argument(
+        "--workers", type=int, default=1,
+        help="generator processes (identical output for any count)",
+    )
     generate.set_defaults(handler=cmd_generate)
 
     validate = subparsers.add_parser("validate", help="validate trace files")
@@ -326,6 +414,7 @@ def build_parser() -> argparse.ArgumentParser:
     impact.add_argument("traces", metavar="DIR_OR_FILE")
     impact.add_argument("--components", nargs="+", default=["*.sys"])
     impact.add_argument("--scenario", nargs="+", default=None)
+    _add_worker_options(impact)
     impact.set_defaults(handler=cmd_impact)
 
     causality = subparsers.add_parser("causality", help="causality analysis")
@@ -340,12 +429,14 @@ def build_parser() -> argparse.ArgumentParser:
                            help="segment length bound")
     causality.add_argument("--top", type=int, default=5)
     causality.add_argument("--filter-by-design", action="store_true")
+    _add_worker_options(causality)
     causality.set_defaults(handler=cmd_causality)
 
     study = subparsers.add_parser("study", help="full evaluation tables")
     study.add_argument("traces", metavar="DIR_OR_FILE")
     study.add_argument("--markdown", metavar="FILE",
                        help="also write a markdown report")
+    _add_worker_options(study)
     study.set_defaults(handler=cmd_study)
 
     compare = subparsers.add_parser(

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.causality.analyzer import CausalityReport
-from repro.impact.metrics import ImpactAccumulator
+from repro.impact.metrics import ImpactAccumulator, ImpactResult
 from repro.trace.signatures import ComponentFilter
 from repro.waitgraph.builder import build_wait_graph
 from repro.waitgraph.graph import WaitGraph
@@ -88,11 +88,24 @@ def evaluate_coverage(
                 graph_cache[instance.key] = graph
         accumulator.add_graph(graph)
     impact = accumulator.result() if accumulator.graphs else None
+    return coverage_from_impact(report, impact)
 
+
+def coverage_from_impact(
+    report: CausalityReport, slow_impact: Optional[ImpactResult]
+) -> CoverageResult:
+    """Assemble the Table 2 coverages from pre-computed slow-class impact.
+
+    ``slow_impact`` is the impact-analysis result over exactly the slow
+    class's Wait Graphs (``None`` when the class is empty).  The parallel
+    pipeline merges per-chunk accumulators and calls this directly, so a
+    distributed run computes byte-identical coverages to
+    :func:`evaluate_coverage` without re-building any graphs.
+    """
     distinct_driver_time = (
-        (impact.d_waitdist + impact.d_rundist) if impact else 0
+        (slow_impact.d_waitdist + slow_impact.d_rundist) if slow_impact else 0
     )
-    slow_total = impact.d_scn if impact else 0
+    slow_total = slow_impact.d_scn if slow_impact else 0
     # The coverage denominator: everything the slow AWG represents —
     # leaf costs (what full-path patterns can cover) plus the direct
     # hardware cost Algorithm 1 reduced away.

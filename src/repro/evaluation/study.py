@@ -100,13 +100,32 @@ def run_study(
     component_patterns: Sequence[str] = ("*.sys",),
     segment_bound: int = DEFAULT_SEGMENT_BOUND,
     top_n: int = 10,
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
 ) -> StudyResult:
     """Run the full paper §5 evaluation over a corpus.
 
     A single Wait Graph cache is shared across impact analysis, causality
     analysis and coverage evaluation, so each instance's graph is
     constructed exactly once.
+
+    ``workers > 1`` delegates to the map–reduce pipeline
+    (:func:`repro.pipeline.parallel_study`): streams are analyzed in
+    chunks across a process pool and the partial results merge into a
+    study identical to the sequential one.
     """
+    if workers > 1:
+        from repro.pipeline import parallel_study
+
+        return parallel_study(
+            list(streams),
+            scenarios=scenarios,
+            component_patterns=component_patterns,
+            segment_bound=segment_bound,
+            top_n=top_n,
+            workers=workers,
+            chunk_size=chunk_size,
+        )
     impact_analysis = ImpactAnalysis(component_patterns)
     impact = impact_analysis.analyze_corpus(streams, scenarios=None)
     graph_cache = impact_analysis.graph_cache

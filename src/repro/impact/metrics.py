@@ -77,6 +77,23 @@ class ImpactAccumulator:
             for child in reversed(graph.children(event)):
                 stack.append((child, child_under))
 
+    def merge(self, other: "ImpactAccumulator") -> None:
+        """Fold another accumulator's totals into this one.
+
+        Used by the map–reduce pipeline: each worker accumulates one
+        corpus chunk and the parent merges the partials.  Distinct-event
+        tables are keyed by ``(stream_id, seq)`` with the event cost as
+        value, so a dictionary union deduplicates across chunks exactly
+        like a single accumulator over the whole corpus would.
+        """
+        self.d_scn += other.d_scn
+        self.d_wait += other.d_wait
+        self.d_run += other.d_run
+        self.graphs += other.graphs
+        self.counted_waits += other.counted_waits
+        self._distinct.update(other._distinct)
+        self._distinct_run.update(other._distinct_run)
+
     @property
     def d_waitdist(self) -> int:
         """Total distinct-wait duration across all accumulated graphs."""

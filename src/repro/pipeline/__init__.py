@@ -1,0 +1,41 @@
+"""Parallel map–reduce analysis pipeline.
+
+Scales the paper-scale workload (≈19,500 trace streams, 339 compute
+hours) by partitioned graph construction with a cheap merge step: corpus
+sources are chunked, workers build Wait Graphs and *partial* Aggregated
+Wait Graphs per chunk (map), and the partials merge deterministically
+into results identical to a sequential run (reduce).  See
+``docs/PIPELINE.md`` for the architecture and knobs.
+"""
+
+from repro.pipeline.api import (
+    CorpusSource,
+    parallel_causality,
+    parallel_impact,
+    parallel_study,
+)
+from repro.pipeline.chunking import chunk_sources, default_chunk_size
+from repro.pipeline.executor import fork_available, process_map
+from repro.pipeline.worker import (
+    ChunkPartial,
+    ChunkTask,
+    InstanceRef,
+    ScenarioPartial,
+    analyze_chunk,
+)
+
+__all__ = [
+    "ChunkPartial",
+    "ChunkTask",
+    "CorpusSource",
+    "InstanceRef",
+    "ScenarioPartial",
+    "analyze_chunk",
+    "chunk_sources",
+    "default_chunk_size",
+    "fork_available",
+    "parallel_causality",
+    "parallel_impact",
+    "parallel_study",
+    "process_map",
+]

@@ -1,0 +1,321 @@
+"""Map–reduce entry points: parallel impact, causality and study runs.
+
+Each entry point accepts *corpus sources* — trace-file paths (workers
+deserialize their own chunks; nothing heavy crosses the pool) and/or
+already-loaded :class:`~repro.trace.stream.TraceStream` objects (shared
+with forked workers by address-space inheritance).  Sources are split
+into contiguous chunks, fanned out over a fork pool (map), and the
+per-chunk partials are folded in chunk order (reduce):
+
+* impact accumulators merge by summation and distinct-event dict union;
+* partial AWGs merge via :func:`repro.waitgraph.aggregate.merge_awgs`,
+  with Algorithm 1's non-optimizable reduction applied once, post-merge;
+* contrast mining, ranking and coverage run on the merged structures.
+
+Because chunks are contiguous and partials fold in order, every entry
+point is a drop-in replacement for its sequential counterpart: the
+results — down to trie node insertion order and rendered study tables —
+are identical for any worker count and chunk size.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.causality.analyzer import CausalityReport, assemble_report
+from repro.causality.classes import ContrastClasses
+from repro.causality.mining import DEFAULT_SEGMENT_BOUND
+from repro.causality.ranking import coverage_curve
+from repro.errors import AnalysisError
+from repro.evaluation.coverage import coverage_from_impact
+from repro.evaluation.drivertypes import categorize_top_patterns
+from repro.evaluation.study import (
+    RANKING_FRACTIONS,
+    ScenarioStudy,
+    StudyResult,
+)
+from repro.impact.metrics import ImpactAccumulator, ImpactResult
+from repro.pipeline.chunking import chunk_sources, default_chunk_size
+from repro.pipeline.executor import process_map
+from repro.pipeline.worker import (
+    ChunkPartial,
+    ChunkTask,
+    ScenarioPartial,
+    analyze_chunk,
+    restore_inherited_corpus,
+    set_inherited_corpus,
+)
+from repro.sim.workloads.registry import (
+    SCENARIO_NAMES,
+    SCENARIO_SPECS,
+    scenario_spec,
+)
+from repro.trace.signatures import ComponentFilter
+from repro.trace.stream import TraceStream
+from repro.waitgraph.aggregate import merge_awgs
+
+#: What callers hand us: trace-file paths or loaded streams.
+CorpusSource = Union[str, os.PathLike, TraceStream]
+
+
+def _run_chunks(
+    sources: Sequence[CorpusSource],
+    component_patterns: Sequence[str],
+    thresholds: Dict[str, Tuple[int, int]],
+    want_impact: bool,
+    impact_scenarios: Optional[Sequence[str]],
+    workers: int,
+    chunk_size: Optional[int],
+) -> List[ChunkPartial]:
+    """Chunk the sources, fan out the map phase, return ordered partials."""
+    sources = list(sources)
+    if not sources:
+        raise AnalysisError("the pipeline needs at least one corpus source")
+    in_memory: List[TraceStream] = []
+    task_sources: List = []
+    for source in sources:
+        if isinstance(source, TraceStream):
+            task_sources.append(len(in_memory))
+            in_memory.append(source)
+        else:
+            task_sources.append(os.fspath(source))
+    if chunk_size is None:
+        chunk_size = default_chunk_size(len(task_sources), workers)
+    tasks = [
+        ChunkTask(
+            sources=tuple(chunk),
+            component_patterns=tuple(component_patterns),
+            thresholds=dict(thresholds),
+            want_impact=want_impact,
+            impact_scenarios=(
+                tuple(impact_scenarios)
+                if impact_scenarios is not None
+                else None
+            ),
+        )
+        for chunk in chunk_sources(task_sources, chunk_size)
+    ]
+    previous = set_inherited_corpus(in_memory)
+    try:
+        return process_map(analyze_chunk, tasks, workers)
+    finally:
+        restore_inherited_corpus(previous)
+
+
+def _merge_impact(
+    partials: Sequence[ChunkPartial], component_patterns: Sequence[str]
+) -> ImpactAccumulator:
+    merged = ImpactAccumulator(ComponentFilter(component_patterns))
+    for partial in partials:
+        if partial.impact is not None:
+            merged.merge(partial.impact)
+    return merged
+
+
+def _present_scenarios(partials: Sequence[ChunkPartial]) -> List[str]:
+    """Scenario names present in the corpus, first-appearance order."""
+    seen = set()
+    present: List[str] = []
+    for partial in partials:
+        for name in partial.present:
+            if name not in seen:
+                seen.add(name)
+                present.append(name)
+    return present
+
+
+def _reduce_scenario(
+    name: str,
+    t_fast: int,
+    t_slow: int,
+    partials: Sequence[ChunkPartial],
+    segment_bound: int,
+    reduce_hw: bool,
+) -> Tuple[Optional[CausalityReport], Optional[ImpactResult]]:
+    """Merge one scenario's chunk partials into its causality report.
+
+    Returns ``(None, None)`` when the scenario has no instances, and the
+    merged slow-class impact result alongside the report otherwise.
+    """
+    scenario_partials: List[ScenarioPartial] = [
+        partial.scenarios[name]
+        for partial in partials
+        if name in partial.scenarios
+    ]
+    if not scenario_partials:
+        return None, None
+    classes = ContrastClasses(scenario=name, t_fast=t_fast, t_slow=t_slow)
+    for partial in scenario_partials:
+        classes.fast.extend(partial.fast_refs)
+        classes.slow.extend(partial.slow_refs)
+        classes.between.extend(partial.between_refs)
+    fast_awg = merge_awgs(
+        [partial.fast_awg for partial in scenario_partials],
+        reduce_hw=reduce_hw,
+    )
+    slow_awg = merge_awgs(
+        [partial.slow_awg for partial in scenario_partials],
+        reduce_hw=reduce_hw,
+    )
+    slow_impact = ImpactAccumulator(fast_awg.component_filter)
+    for partial in scenario_partials:
+        slow_impact.merge(partial.slow_impact)
+    report = assemble_report(
+        scenario=name,
+        t_fast=t_fast,
+        t_slow=t_slow,
+        classes=classes,
+        fast_awg=fast_awg,
+        slow_awg=slow_awg,
+        segment_bound=segment_bound,
+    )
+    impact = slow_impact.result() if slow_impact.graphs else None
+    return report, impact
+
+
+def parallel_impact(
+    sources: Sequence[CorpusSource],
+    component_patterns: Sequence[str] = ("*.sys",),
+    scenarios: Optional[Sequence[str]] = None,
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+) -> ImpactResult:
+    """Impact analysis (§3) over a corpus, fanned out across workers.
+
+    Equivalent to ``ImpactAnalysis(patterns).analyze_corpus(...)`` for
+    any worker count.
+    """
+    partials = _run_chunks(
+        sources,
+        component_patterns,
+        thresholds={},
+        want_impact=True,
+        impact_scenarios=scenarios,
+        workers=workers,
+        chunk_size=chunk_size,
+    )
+    merged = _merge_impact(partials, component_patterns)
+    if not merged.graphs:
+        raise AnalysisError("impact analysis needs at least one instance")
+    return merged.result()
+
+
+def parallel_causality(
+    sources: Sequence[CorpusSource],
+    scenario: str,
+    t_fast: int,
+    t_slow: int,
+    component_patterns: Sequence[str] = ("*.sys",),
+    segment_bound: int = DEFAULT_SEGMENT_BOUND,
+    reduce_hw: bool = True,
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+) -> CausalityReport:
+    """Causality analysis (§4) of one scenario, fanned out across workers.
+
+    Equivalent to ``CausalityAnalysis(...).analyze(...)`` over the
+    scenario's instances in corpus order, for any worker count.
+    """
+    if segment_bound < 1:
+        raise AnalysisError("segment_bound must be >= 1")
+    if not t_fast < t_slow:
+        raise AnalysisError(
+            f"T_fast ({t_fast}) must be strictly below T_slow ({t_slow})"
+        )
+    partials = _run_chunks(
+        sources,
+        component_patterns,
+        thresholds={scenario: (t_fast, t_slow)},
+        want_impact=False,
+        impact_scenarios=None,
+        workers=workers,
+        chunk_size=chunk_size,
+    )
+    report, _ = _reduce_scenario(
+        scenario, t_fast, t_slow, partials, segment_bound, reduce_hw
+    )
+    if report is None:
+        present = ", ".join(sorted(_present_scenarios(partials)))
+        raise AnalysisError(
+            f"no instances of {scenario!r} in the corpus"
+            + (f"; scenarios present: {present}" if present else "")
+        )
+    return report
+
+
+def parallel_study(
+    sources: Sequence[CorpusSource],
+    scenarios: Optional[Sequence[str]] = None,
+    component_patterns: Sequence[str] = ("*.sys",),
+    segment_bound: int = DEFAULT_SEGMENT_BOUND,
+    top_n: int = 10,
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+) -> StudyResult:
+    """The full §5 evaluation over a corpus, fanned out across workers.
+
+    Equivalent to :func:`repro.evaluation.study.run_study` — same
+    tables, same pattern rankings, same coverages — for any worker count
+    and chunk size.  The map phase builds each instance's Wait Graph
+    exactly once per chunk and ships back only mergeable partials.
+    """
+    if scenarios is not None:
+        # Unknown requested scenarios fail at reduce time only when the
+        # corpus actually contains them, matching the sequential driver.
+        thresholds = {
+            name: (SCENARIO_SPECS[name].t_fast, SCENARIO_SPECS[name].t_slow)
+            for name in scenarios
+            if name in SCENARIO_SPECS
+        }
+    else:
+        thresholds = {
+            name: (spec.t_fast, spec.t_slow)
+            for name, spec in SCENARIO_SPECS.items()
+        }
+    partials = _run_chunks(
+        sources,
+        component_patterns,
+        thresholds=thresholds,
+        want_impact=True,
+        impact_scenarios=None,
+        workers=workers,
+        chunk_size=chunk_size,
+    )
+    merged_impact = _merge_impact(partials, component_patterns)
+    if not merged_impact.graphs:
+        raise AnalysisError("impact analysis needs at least one instance")
+    result = StudyResult(impact=merged_impact.result())
+
+    # Reproduce group_by_scenario's ordering: requested order when given,
+    # otherwise Table 1 registry order followed by any other scenarios in
+    # corpus appearance order.
+    present = _present_scenarios(partials)
+    if scenarios is not None:
+        ordered = [name for name in scenarios if name in present]
+    else:
+        ordered = [name for name in SCENARIO_NAMES if name in present]
+        ordered += [name for name in present if name not in SCENARIO_NAMES]
+
+    for name in ordered:
+        spec = scenario_spec(name)
+        report, slow_impact = _reduce_scenario(
+            name,
+            spec.t_fast,
+            spec.t_slow,
+            partials,
+            segment_bound,
+            reduce_hw=True,
+        )
+        if report is None:
+            continue
+        coverage = coverage_from_impact(report, slow_impact)
+        result.scenarios[name] = ScenarioStudy(
+            report=report,
+            coverage=coverage,
+            ranking_coverage=coverage_curve(
+                report.patterns, RANKING_FRACTIONS
+            ),
+            top_driver_types=categorize_top_patterns(report.patterns, top_n),
+        )
+    return result

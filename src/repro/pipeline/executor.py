@@ -1,0 +1,49 @@
+"""Process-pool execution with a sequential fallback.
+
+The pipeline mirrors the corpus generator's fork-pool pattern: workers
+are forked so they inherit the parent's address space (cheap access to
+in-memory corpora), and platforms without the ``fork`` start method —
+or single-task runs — degrade to an in-process loop with identical
+results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, List, Sequence, TypeVar
+
+TaskT = TypeVar("TaskT")
+ResultT = TypeVar("ResultT")
+
+
+def fork_context():
+    """The ``fork`` multiprocessing context, or ``None`` if unavailable."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+
+
+def fork_available() -> bool:
+    """True when parallel (forked) execution is possible on this host."""
+    return fork_context() is not None
+
+
+def process_map(
+    func: Callable[[TaskT], ResultT],
+    tasks: Sequence[TaskT],
+    workers: int,
+) -> List[ResultT]:
+    """``[func(t) for t in tasks]``, fanned out over a fork pool.
+
+    Results come back in task order (``Pool.map`` semantics), so callers
+    can fold them deterministically.  Runs sequentially — same results,
+    one process — when ``workers <= 1``, when there is at most one task,
+    or when ``fork`` is unavailable (spawn-only platforms).
+    """
+    tasks = list(tasks)
+    context = fork_context() if workers > 1 and len(tasks) > 1 else None
+    if context is None:
+        return [func(task) for task in tasks]
+    with context.Pool(min(workers, len(tasks))) as pool:
+        return pool.map(func, tasks)

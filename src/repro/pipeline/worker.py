@@ -1,0 +1,229 @@
+"""The map phase: per-chunk analysis executed inside worker processes.
+
+A worker receives a :class:`ChunkTask` — a contiguous slice of corpus
+sources plus the analysis configuration — and returns a
+:class:`ChunkPartial` holding everything the reduce phase needs:
+
+* a partial :class:`~repro.impact.metrics.ImpactAccumulator` over the
+  chunk's scenario instances;
+* per scenario, the contrast-class split (as lightweight
+  :class:`InstanceRef` descriptors), partial *un-reduced* Aggregated
+  Wait Graphs for the fast and slow classes, and a partial slow-class
+  impact accumulator for coverage evaluation.
+
+Each instance's Wait Graph is built exactly once per chunk and shared by
+every consumer, mirroring the sequential study's shared graph cache.
+Partials are plain picklable values; streams themselves never travel
+back through the pool.
+
+Sources are either paths (the worker deserializes its own chunk — the
+streaming loader) or indices into an in-memory corpus registry inherited
+across ``fork``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigError
+from repro.impact.metrics import ImpactAccumulator
+from repro.trace.serialization import load_stream
+from repro.trace.signatures import ComponentFilter
+from repro.trace.stream import ScenarioInstance, TraceStream
+from repro.waitgraph.aggregate import AggregatedWaitGraph
+from repro.waitgraph.builder import build_wait_graph
+from repro.waitgraph.graph import WaitGraph
+
+#: A corpus source as carried inside a task: a trace-file path, or an
+#: index into the fork-inherited in-memory corpus registry.
+TaskSource = Union[str, int]
+
+#: In-memory corpus registry.  The api layer installs the corpus here
+#: *before* the pool forks, so worker processes inherit it by address
+#: space instead of pickling whole streams through the pool.
+_INHERITED_STREAMS: List[TraceStream] = []
+
+
+def set_inherited_corpus(streams: Sequence[TraceStream]) -> List[TraceStream]:
+    """Install the in-memory corpus workers will inherit; returns the old one."""
+    global _INHERITED_STREAMS
+    previous = _INHERITED_STREAMS
+    _INHERITED_STREAMS = list(streams)
+    return previous
+
+
+def restore_inherited_corpus(streams: List[TraceStream]) -> None:
+    """Put back a previously active in-memory corpus registry."""
+    global _INHERITED_STREAMS
+    _INHERITED_STREAMS = streams
+
+
+def resolve_source(source: TaskSource) -> TraceStream:
+    """Materialize one task source into a loaded trace stream."""
+    if isinstance(source, int):
+        try:
+            return _INHERITED_STREAMS[source]
+        except IndexError:
+            raise ConfigError(
+                f"in-memory corpus index {source} is out of range; "
+                "was the registry installed before forking?"
+            ) from None
+    return load_stream(os.fspath(source))
+
+
+@dataclass(frozen=True)
+class InstanceRef:
+    """A scenario instance detached from its (heavy) owning stream.
+
+    Carries exactly the identity and duration the reduce phase needs for
+    contrast-class accounting, with the same ``key``/``duration`` shape
+    as :class:`~repro.trace.stream.ScenarioInstance`.
+    """
+
+    scenario: str
+    stream_id: str
+    tid: int
+    t0: int
+    t1: int
+
+    @property
+    def duration(self) -> int:
+        return self.t1 - self.t0
+
+    @property
+    def key(self) -> Tuple[str, str, int, int, int]:
+        return (self.stream_id, self.scenario, self.tid, self.t0, self.t1)
+
+    @classmethod
+    def of(cls, instance: ScenarioInstance) -> "InstanceRef":
+        return cls(
+            scenario=instance.scenario,
+            stream_id=instance.stream.stream_id,
+            tid=instance.tid,
+            t0=instance.t0,
+            t1=instance.t1,
+        )
+
+
+@dataclass
+class ScenarioPartial:
+    """One chunk's contribution to one scenario's causality analysis."""
+
+    scenario: str
+    t_fast: int
+    t_slow: int
+    fast_refs: List[InstanceRef] = field(default_factory=list)
+    slow_refs: List[InstanceRef] = field(default_factory=list)
+    between_refs: List[InstanceRef] = field(default_factory=list)
+    fast_awg: Optional[AggregatedWaitGraph] = None
+    slow_awg: Optional[AggregatedWaitGraph] = None
+    slow_impact: Optional[ImpactAccumulator] = None
+
+    def _ensure_parts(self, component_filter: ComponentFilter) -> None:
+        if self.fast_awg is None:
+            # Partial AWGs stay un-reduced: Algorithm 1's step 4 inspects
+            # complete root structures, so reduction happens post-merge.
+            self.fast_awg = AggregatedWaitGraph(component_filter)
+            self.slow_awg = AggregatedWaitGraph(component_filter)
+            self.slow_impact = ImpactAccumulator(component_filter)
+
+    def add_instance(
+        self,
+        instance: ScenarioInstance,
+        graph: WaitGraph,
+        component_filter: ComponentFilter,
+    ) -> None:
+        """Classify one instance and fold its graph into the partials."""
+        self._ensure_parts(component_filter)
+        ref = InstanceRef.of(instance)
+        duration = instance.duration
+        if duration < self.t_fast:
+            self.fast_refs.append(ref)
+            self.fast_awg.add_graph(graph)
+        elif duration > self.t_slow:
+            self.slow_refs.append(ref)
+            self.slow_awg.add_graph(graph)
+            self.slow_impact.add_graph(graph)
+        else:
+            self.between_refs.append(ref)
+
+
+@dataclass(frozen=True)
+class ChunkTask:
+    """Everything one worker needs to analyze one corpus chunk."""
+
+    sources: Tuple[TaskSource, ...]
+    component_patterns: Tuple[str, ...]
+    #: scenario name -> (t_fast, t_slow); scenarios to classify and
+    #: build partial AWGs for.
+    thresholds: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: accumulate corpus-wide impact metrics?
+    want_impact: bool = False
+    #: restrict impact accumulation to these scenarios (None = all).
+    impact_scenarios: Optional[Tuple[str, ...]] = None
+
+
+@dataclass
+class ChunkPartial:
+    """A worker's mergeable result for one chunk."""
+
+    impact: Optional[ImpactAccumulator]
+    scenarios: Dict[str, ScenarioPartial]
+    #: every scenario name seen in the chunk, first-appearance order —
+    #: lets the reduce phase reproduce sequential scenario ordering and
+    #: report unknown scenarios exactly like a sequential run.
+    present: List[str]
+    streams: int = 0
+    instances: int = 0
+
+
+def analyze_chunk(task: ChunkTask) -> ChunkPartial:
+    """Map one chunk of corpus sources to its partial analysis results."""
+    component_filter = ComponentFilter(task.component_patterns)
+    impact = (
+        ImpactAccumulator(component_filter) if task.want_impact else None
+    )
+    impact_wanted = (
+        set(task.impact_scenarios)
+        if task.impact_scenarios is not None
+        else None
+    )
+    partial = ChunkPartial(impact=impact, scenarios={}, present=[])
+    seen = set()
+    for source in task.sources:
+        stream = resolve_source(source)
+        partial.streams += 1
+        graphs: Dict[tuple, WaitGraph] = {}
+        for instance in stream.instances:
+            partial.instances += 1
+            name = instance.scenario
+            if name not in seen:
+                seen.add(name)
+                partial.present.append(name)
+            thresholds = task.thresholds.get(name)
+            count_impact = impact is not None and (
+                impact_wanted is None or name in impact_wanted
+            )
+            if not count_impact and thresholds is None:
+                continue
+            graph = graphs.get(instance.key)
+            if graph is None:
+                graph = build_wait_graph(instance)
+                graphs[instance.key] = graph
+            if count_impact:
+                impact.add_graph(graph)
+            if thresholds is not None:
+                scenario_partial = partial.scenarios.get(name)
+                if scenario_partial is None:
+                    scenario_partial = ScenarioPartial(
+                        scenario=name,
+                        t_fast=thresholds[0],
+                        t_slow=thresholds[1],
+                    )
+                    partial.scenarios[name] = scenario_partial
+                scenario_partial.add_instance(
+                    instance, graph, component_filter
+                )
+    return partial

@@ -176,6 +176,20 @@ def generate_stream(index: int, config: CorpusConfig) -> TraceStream:
     return machine.run_and_trace(until=horizon_us + 3 * SECONDS)
 
 
+def _fork_context():
+    """The ``fork`` multiprocessing context, or ``None`` when unavailable.
+
+    Workloads and machines are built in-process and handed to workers by
+    address-space inheritance, which only ``fork`` provides; spawn-only
+    platforms (macOS defaults, Windows) must fall back to sequential
+    generation instead of crashing.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+
+
 def generate_corpus(
     config: CorpusConfig = CorpusConfig(), workers: int = 1
 ) -> List[TraceStream]:
@@ -183,16 +197,16 @@ def generate_corpus(
 
     ``workers > 1`` generates streams in parallel processes; streams are
     independent and seeded per index, so the result is identical to a
-    serial run.
+    serial run.  When the ``fork`` start method is unavailable the
+    generation silently runs sequentially (same output, one process).
     """
     config.validate()
-    if workers <= 1 or config.streams == 1:
+    context = _fork_context() if workers > 1 and config.streams > 1 else None
+    if context is None:
         return [
             generate_stream(index, config) for index in range(config.streams)
         ]
-    with multiprocessing.get_context("fork").Pool(
-        min(workers, config.streams)
-    ) as pool:
+    with context.Pool(min(workers, config.streams)) as pool:
         return pool.starmap(
             generate_stream,
             [(index, config) for index in range(config.streams)],

@@ -19,6 +19,7 @@ from repro.trace.serialization import (
     dump_corpus,
     dump_stream,
     dumps_stream,
+    iter_corpus_paths,
     load_corpus,
     load_stream,
     loads_stream,
@@ -51,6 +52,7 @@ __all__ = [
     "import_csv_text",
     "import_json_events",
     "import_records",
+    "iter_corpus_paths",
     "load_corpus",
     "load_stream",
     "loads_stream",

@@ -15,6 +15,7 @@ from __future__ import annotations
 import io
 import json
 import os
+import sys
 from typing import Iterable, Iterator, List, TextIO, Union
 
 from repro.errors import SerializationError
@@ -43,9 +44,12 @@ def _event_to_record(event: Event) -> dict:
 
 def _event_from_record(record: dict, seq: int) -> Event:
     try:
+        # Interning collapses the (small) signature vocabulary repeated
+        # across millions of frames into shared strings: less memory, and
+        # downstream per-signature caches hit on identity-equal keys.
         return Event(
             kind=EventKind(record["k"]),
-            stack=tuple(record["s"]),
+            stack=tuple(sys.intern(frame) for frame in record["s"]),
             timestamp=record["t"],
             cost=record["c"],
             tid=record["tid"],
@@ -160,15 +164,35 @@ def dump_corpus(streams: Iterable[TraceStream], directory: Union[str, os.PathLik
     return paths
 
 
-def load_corpus(directory: Union[str, os.PathLike]) -> Iterator[TraceStream]:
-    """Yield every ``*.jsonl`` trace stream found in a directory."""
+def iter_corpus_paths(directory: Union[str, os.PathLike]) -> List[str]:
+    """The ``*.jsonl`` stream paths of a corpus directory, in corpus order.
+
+    Corpus order is the lexicographic (code-point) order of the file
+    *names* — the guarantee documented in ``docs/FORMAT.md``.  It makes
+    every corpus traversal deterministic regardless of filesystem
+    enumeration order, so sequential runs, chunked parallel runs and
+    re-runs on other machines all see streams in the same order.
+
+    Returning paths instead of loaded streams lets callers ship cheap
+    path lists to worker processes, each of which deserializes only its
+    own chunk (streaming corpus loading).
+    """
+    root = os.fspath(directory)
     names = sorted(
-        name
-        for name in os.listdir(directory)
-        if name.endswith(".jsonl")
+        name for name in os.listdir(root) if name.endswith(".jsonl")
     )
-    for name in names:
-        yield load_stream(os.path.join(os.fspath(directory), name))
+    return [os.path.join(root, name) for name in names]
+
+
+def load_corpus(directory: Union[str, os.PathLike]) -> Iterator[TraceStream]:
+    """Lazily yield a directory's trace streams, in corpus order.
+
+    Streams are loaded one at a time as the iterator is consumed, so a
+    corpus much larger than memory can be folded without materializing
+    it; ordering follows :func:`iter_corpus_paths`.
+    """
+    for path in iter_corpus_paths(directory):
+        yield load_stream(path)
 
 
 def dumps_stream(stream: TraceStream) -> str:

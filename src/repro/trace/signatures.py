@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import fnmatch
 import re
+from functools import lru_cache
 from typing import Iterable, Optional, Sequence, Tuple
 
 SIGNATURE_SEPARATOR = "!"
@@ -33,12 +34,15 @@ def make_signature(module: str, function: str) -> str:
     return f"{module}{SIGNATURE_SEPARATOR}{function}"
 
 
+@lru_cache(maxsize=65536)
 def module_of(signature: str) -> str:
     """Return the module part of a signature (``'fv.sys'``).
 
     Signatures without a separator are treated as bare module names, which
     lets hardware dummy signatures and raw component names flow through the
-    same matching code.
+    same matching code.  The result is memoized: analyses call this once
+    per frame per event, and real corpora repeat a small signature
+    vocabulary millions of times.
     """
     head, _, _ = signature.partition(SIGNATURE_SEPARATOR)
     return head
@@ -62,6 +66,11 @@ class ComponentFilter:
         case-insensitive, as Windows module names are.
     """
 
+    #: Bound on the per-instance callstack caches.  Stacks repeat heavily
+    #: (the simulator and real traces alike produce a bounded stack
+    #: vocabulary), so a modest LRU captures nearly every lookup.
+    STACK_CACHE_SIZE = 65536
+
     def __init__(self, patterns: Iterable[str]):
         self._patterns: Tuple[str, ...] = tuple(patterns)
         if not self._patterns:
@@ -71,6 +80,21 @@ class ComponentFilter:
         )
         self._regex = re.compile(joined)
         self._module_cache: dict = {}
+        self._stack_match = lru_cache(maxsize=self.STACK_CACHE_SIZE)(
+            self._matches_stack_uncached
+        )
+        self._stack_component = lru_cache(maxsize=self.STACK_CACHE_SIZE)(
+            self._component_signature_uncached
+        )
+
+    def __getstate__(self) -> dict:
+        # Compiled regexes and lru_cache wrappers don't need to travel
+        # (and the wrappers can't be pickled); the patterns fully define
+        # the filter, so rebuild everything on the other side.
+        return {"patterns": self._patterns}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["patterns"])
 
     @property
     def patterns(self) -> Tuple[str, ...]:
@@ -89,7 +113,15 @@ class ComponentFilter:
         return self.matches_module(module_of(signature))
 
     def matches_stack(self, stack: Sequence[str]) -> bool:
-        """Return True when any frame on the callstack matches."""
+        """Return True when any frame on the callstack matches.
+
+        Whole-stack results are memoized per filter instance: analyses
+        consult the same (interned, tuple-valued) stacks once per frame
+        per event, so the cache turns the hot path into one dict lookup.
+        """
+        return self._stack_match(tuple(stack))
+
+    def _matches_stack_uncached(self, stack: Tuple[str, ...]) -> bool:
         return any(self.matches_signature(frame) for frame in stack)
 
     def component_signature(self, stack: Sequence[str]) -> Optional[str]:
@@ -101,8 +133,13 @@ class ComponentFilter:
         function responsible for the event.  For the stack
         ``(Browser!TabCreate, kernel!OpenFile, fv.sys!QueryFileTable,
         kernel!AcquireLock)`` with pattern ``*.sys`` this is
-        ``fv.sys!QueryFileTable``.
+        ``fv.sys!QueryFileTable``.  Memoized like :meth:`matches_stack`.
         """
+        return self._stack_component(tuple(stack))
+
+    def _component_signature_uncached(
+        self, stack: Tuple[str, ...]
+    ) -> Optional[str]:
         for frame in reversed(stack):
             if self.matches_signature(frame):
                 return frame

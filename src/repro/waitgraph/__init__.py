@@ -7,6 +7,7 @@ from repro.waitgraph.aggregate import (
     AggregatedWaitGraph,
     AwgNode,
     aggregate_wait_graphs,
+    merge_awgs,
 )
 from repro.waitgraph.builder import build_wait_graph, build_wait_graphs
 from repro.waitgraph.graph import WaitGraph
@@ -22,6 +23,7 @@ __all__ = [
     "PropagationHop",
     "WaitGraph",
     "aggregate_wait_graphs",
+    "merge_awgs",
     "critical_path",
     "build_wait_graph",
     "build_wait_graphs",

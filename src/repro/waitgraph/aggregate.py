@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+from repro.errors import WaitGraphError
 from repro.trace.events import Event, EventKind
 from repro.trace.signatures import HARDWARE_SIGNATURE, ComponentFilter
 from repro.trace.stream import HARDWARE_PROCESS
@@ -234,3 +235,64 @@ def aggregate_wait_graphs(
     if reduce_hw:
         awg.reduce_non_optimizable()
     return awg
+
+
+def _merge_node(
+    source: AwgNode, table: Dict[NodeKey, AwgNode], parent: Optional[AwgNode]
+) -> None:
+    key = source.key
+    node = table.get(key)
+    if node is None:
+        if key[0] == WAITING:
+            node = AwgNode(WAITING, wait_sig=key[1], unwait_sig=key[2])
+        else:
+            node = AwgNode(key[0], run_sig=key[1])
+        node.parent = parent
+        table[key] = node
+    node.cost += source.cost
+    node.count += source.count
+    if source.max_single > node.max_single:
+        node.max_single = source.max_single
+    for child in source.children.values():
+        _merge_node(child, node.children, node)
+
+
+def merge_awgs(
+    awgs: Iterable[AggregatedWaitGraph],
+    reduce_hw: bool = False,
+) -> AggregatedWaitGraph:
+    """Union partial AWGs into one (the reduce step of a map–reduce run).
+
+    Node tries are unioned on their signature keys: matching nodes sum
+    ``C`` and ``N`` and keep the maximum single-occurrence cost, while
+    the ``reduced_hw_*`` accounting and ``source_graphs`` simply add up.
+    The merge is deterministic — inputs are folded in iteration order, so
+    node insertion order (and therefore trie traversal order) equals a
+    single-pass :func:`aggregate_wait_graphs` over the concatenated graph
+    lists when the partials cover contiguous, in-order chunks.
+
+    Partials must be built with ``reduce_hw=False``: Algorithm 1's step 4
+    inspects complete root structures, so the reduction is only valid on
+    the merged graph.  Pass ``reduce_hw=True`` here to apply it once at
+    the end.
+    """
+    awgs = list(awgs)
+    if not awgs:
+        raise WaitGraphError("merge_awgs needs at least one partial AWG")
+    patterns = awgs[0].component_filter.patterns
+    for other in awgs[1:]:
+        if other.component_filter.patterns != patterns:
+            raise WaitGraphError(
+                "cannot merge AWGs built with different component filters: "
+                f"{patterns!r} vs {other.component_filter.patterns!r}"
+            )
+    merged = AggregatedWaitGraph(awgs[0].component_filter)
+    for partial in awgs:
+        merged.source_graphs += partial.source_graphs
+        merged.reduced_hw_cost += partial.reduced_hw_cost
+        merged.reduced_hw_count += partial.reduced_hw_count
+        for root in partial.roots.values():
+            _merge_node(root, merged.roots, None)
+    if reduce_hw:
+        merged.reduce_non_optimizable()
+    return merged

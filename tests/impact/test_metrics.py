@@ -131,3 +131,49 @@ class TestResultProperties:
         component = ComponentFilter(["fv.sys"])
         result = ImpactAccumulator(component).result()
         assert result.patterns == ("fv.sys",)
+
+
+class TestMerge:
+    def test_merge_equals_single_accumulator(self):
+        graphs = [
+            build_wait_graph(single_wait_instance("a")),
+            build_wait_graph(single_wait_instance("b")),
+            build_wait_graph(single_wait_instance("c", driver_wait=False)),
+        ]
+        combined = ImpactAccumulator(ALL_DRIVERS)
+        for graph in graphs:
+            combined.add_graph(graph)
+
+        left = ImpactAccumulator(ALL_DRIVERS)
+        left.add_graph(graphs[0])
+        right = ImpactAccumulator(ALL_DRIVERS)
+        right.add_graph(graphs[1])
+        right.add_graph(graphs[2])
+        left.merge(right)
+
+        assert left.result() == combined.result()
+        assert left.counted_waits == combined.counted_waits
+
+    def test_merge_deduplicates_shared_waits(self):
+        # The same graph seen by both halves must not double-count the
+        # distinct-wait denominator, mirroring sequential re-adds.
+        graph = build_wait_graph(single_wait_instance("shared"))
+        combined = ImpactAccumulator(ALL_DRIVERS)
+        combined.add_graph(graph)
+        combined.add_graph(graph)
+
+        left = ImpactAccumulator(ALL_DRIVERS)
+        left.add_graph(graph)
+        right = ImpactAccumulator(ALL_DRIVERS)
+        right.add_graph(graph)
+        left.merge(right)
+
+        assert left.d_waitdist == combined.d_waitdist
+        assert left.d_wait == combined.d_wait
+
+    def test_merge_empty_is_noop(self):
+        accumulator = ImpactAccumulator(ALL_DRIVERS)
+        accumulator.add_graph(build_wait_graph(single_wait_instance()))
+        before = accumulator.result()
+        accumulator.merge(ImpactAccumulator(ALL_DRIVERS))
+        assert accumulator.result() == before

@@ -82,3 +82,30 @@ class TestGeneration:
         stream = generate_stream(0, config)
         names = {instance.scenario for instance in stream.instances}
         assert names <= {"MenuDisplay", "AppAccessControl"}
+
+
+class TestParallelGeneration:
+    def test_workers_match_sequential(self):
+        config = CorpusConfig(streams=3, seed=321)
+        sequential = generate_corpus(config, workers=1)
+        parallel = generate_corpus(config, workers=3)
+        assert len(parallel) == len(sequential)
+        for left, right in zip(sequential, parallel):
+            assert left.stream_id == right.stream_id
+            assert left.events == right.events
+
+    def test_falls_back_when_fork_unavailable(self, monkeypatch):
+        """Spawn-only platforms must generate sequentially, not crash."""
+        import repro.sim.corpus as corpus_module
+
+        def no_fork(method=None):
+            raise ValueError(f"cannot find context for {method!r}")
+
+        monkeypatch.setattr(
+            corpus_module.multiprocessing, "get_context", no_fork
+        )
+        config = CorpusConfig(streams=2, seed=321)
+        fallback = generate_corpus(config, workers=4)
+        monkeypatch.undo()
+        sequential = generate_corpus(config, workers=1)
+        assert [s.events for s in fallback] == [s.events for s in sequential]

@@ -10,6 +10,7 @@ from repro.trace.serialization import (
     dump_corpus,
     dump_stream,
     dumps_stream,
+    iter_corpus_paths,
     load_corpus,
     load_stream,
     loads_stream,
@@ -148,3 +149,53 @@ class TestCorpusSerializationOfSimOutput:
         restored = loads_stream(dumps_stream(stream))
         assert restored.events == stream.events
         assert len(restored.instances) == len(stream.instances)
+
+
+class TestCorpusPaths:
+    def _write_corpus(self, tmp_path, ids):
+        streams = []
+        for stream_id in ids:
+            events = [make_event(timestamp=0, cost=10, tid=1)]
+            streams.append(make_stream(stream_id, events))
+        dump_corpus(streams, tmp_path)
+        return streams
+
+    def test_paths_sorted_by_file_name(self, tmp_path):
+        self._write_corpus(tmp_path, ["zeta", "alpha", "mid"])
+        names = [path.rsplit("/", 1)[-1] for path in iter_corpus_paths(tmp_path)]
+        assert names == ["alpha.jsonl", "mid.jsonl", "zeta.jsonl"]
+
+    def test_non_jsonl_files_ignored(self, tmp_path):
+        self._write_corpus(tmp_path, ["one"])
+        (tmp_path / "notes.txt").write_text("not a trace")
+        assert len(iter_corpus_paths(tmp_path)) == 1
+
+    def test_load_corpus_follows_path_order(self, tmp_path):
+        self._write_corpus(tmp_path, ["b", "a", "c"])
+        loaded = [stream.stream_id for stream in load_corpus(tmp_path)]
+        assert loaded == ["a", "b", "c"]
+
+    def test_load_corpus_is_lazy(self, tmp_path):
+        """Streams deserialize one at a time as the iterator is pulled."""
+        self._write_corpus(tmp_path, ["a", "b"])
+        iterator = load_corpus(tmp_path)
+        first = next(iterator)
+        assert first.stream_id == "a"
+        # Corrupt the remaining file: a non-lazy loader would have
+        # already parsed it successfully.
+        (tmp_path / "b.jsonl").write_text("not json\n")
+        with pytest.raises(SerializationError):
+            next(iterator)
+
+    def test_loaded_stack_frames_are_interned(self, tmp_path):
+        events = [
+            make_event(stack=("app!Main", "fv.sys!Query"), timestamp=0,
+                       cost=10, tid=1),
+            make_event(stack=("app!Main", "fv.sys!Query"), timestamp=10,
+                       cost=10, tid=1),
+        ]
+        dump_corpus([make_stream("s", events)], tmp_path)
+        (loaded,) = list(load_corpus(tmp_path))
+        first, second = loaded.events
+        assert first.stack[0] is second.stack[0]
+        assert first.stack[1] is second.stack[1]

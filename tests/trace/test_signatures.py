@@ -105,3 +105,42 @@ class TestComponentFilter:
         # match a module without the suffix.
         assert not ALL_DRIVERS.matches_module("sys")
         assert not ALL_DRIVERS.matches_module("fv.sysx")
+
+
+class TestFilterCachingAndPickling:
+    def test_pickle_round_trip(self):
+        import pickle
+
+        original = ComponentFilter(["fv.sys", "*.sys"])
+        restored = pickle.loads(pickle.dumps(original))
+        assert restored.patterns == original.patterns
+        assert restored.matches_signature("fv.sys!Query")
+        assert not restored.matches_signature("kernel!AcquireLock")
+
+    def test_pickled_filter_has_working_caches(self):
+        import pickle
+
+        restored = pickle.loads(pickle.dumps(ALL_DRIVERS))
+        stack = ("Browser!TabCreate", "fv.sys!Query")
+        assert restored.matches_stack(stack)
+        assert restored.component_signature(stack) == "fv.sys!Query"
+
+    def test_stack_helpers_accept_lists(self):
+        # The cached implementations key on tuples; the public API must
+        # still accept any sequence.
+        stack = ["Browser!TabCreate", "fv.sys!Query"]
+        assert ALL_DRIVERS.matches_stack(stack)
+        assert ALL_DRIVERS.component_signature(stack) == "fv.sys!Query"
+
+    def test_stack_cache_is_per_filter(self):
+        wide = ComponentFilter(["*.sys"])
+        narrow = ComponentFilter(["fs.sys"])
+        stack = ("fv.sys!Query",)
+        assert wide.component_signature(stack) == "fv.sys!Query"
+        assert narrow.component_signature(stack) is None
+
+    def test_module_of_cache_returns_consistent_results(self):
+        assert module_of("fv.sys!Query") == "fv.sys"
+        assert module_of("fv.sys!Query") == "fv.sys"
+        info = module_of.cache_info()
+        assert info.hits >= 1

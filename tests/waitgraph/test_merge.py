@@ -1,0 +1,107 @@
+"""Property tests: ``merge_awgs`` over chunked partials ≡ single-pass
+``aggregate_wait_graphs`` over the concatenated Wait Graph list.
+
+This is the correctness foundation of the map–reduce pipeline: chunked
+aggregation followed by a merge must be node-for-node identical (keys,
+``C``, ``N``, max single cost — and even trie insertion order) to the
+sequential Algorithm 1, across seeds and chunk sizes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WaitGraphError
+from repro.sim.corpus import CorpusConfig, generate_corpus
+from repro.trace.signatures import ALL_DRIVERS, ComponentFilter
+from repro.waitgraph.aggregate import aggregate_wait_graphs, merge_awgs
+from repro.waitgraph.builder import build_wait_graph
+
+_GRAPH_CACHE = {}
+
+
+def graphs_for_seed(seed: int):
+    """All Wait Graphs of a small seeded corpus (cached per seed)."""
+    graphs = _GRAPH_CACHE.get(seed)
+    if graphs is None:
+        corpus = generate_corpus(CorpusConfig(streams=2, seed=seed))
+        graphs = [
+            build_wait_graph(instance)
+            for stream in corpus
+            for instance in stream.instances
+        ]
+        _GRAPH_CACHE[seed] = graphs
+    return graphs
+
+
+def awg_snapshot(awg):
+    """Full structural snapshot: keys *in insertion order*, C, N, max."""
+
+    def node_snapshot(node):
+        return (
+            node.key,
+            node.cost,
+            node.count,
+            node.max_single,
+            [node_snapshot(child) for child in node.children.values()],
+        )
+
+    return {
+        "roots": [node_snapshot(root) for root in awg.roots.values()],
+        "root_keys": list(awg.roots.keys()),
+        "reduced_hw": (awg.reduced_hw_cost, awg.reduced_hw_count),
+        "source_graphs": awg.source_graphs,
+    }
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.sampled_from([11, 29, 31]),
+    chunk_size=st.integers(min_value=1, max_value=7),
+    reduce_hw=st.booleans(),
+)
+def test_chunked_merge_equals_single_pass(seed, chunk_size, reduce_hw):
+    graphs = graphs_for_seed(seed)
+    single = aggregate_wait_graphs(graphs, ALL_DRIVERS, reduce_hw=reduce_hw)
+    partials = [
+        aggregate_wait_graphs(
+            graphs[start : start + chunk_size], ALL_DRIVERS, reduce_hw=False
+        )
+        for start in range(0, len(graphs), chunk_size)
+    ]
+    merged = merge_awgs(partials, reduce_hw=reduce_hw)
+    assert awg_snapshot(merged) == awg_snapshot(single)
+
+
+def test_merge_of_one_partial_is_identity():
+    graphs = graphs_for_seed(11)
+    single = aggregate_wait_graphs(graphs, ALL_DRIVERS, reduce_hw=False)
+    merged = merge_awgs([single], reduce_hw=False)
+    assert awg_snapshot(merged) == awg_snapshot(single)
+
+
+def test_merge_requires_a_partial():
+    with pytest.raises(WaitGraphError):
+        merge_awgs([])
+
+
+def test_merge_rejects_mismatched_filters():
+    graphs = graphs_for_seed(11)
+    a = aggregate_wait_graphs(graphs[:2], ALL_DRIVERS, reduce_hw=False)
+    b = aggregate_wait_graphs(
+        graphs[2:4], ComponentFilter(["fv.sys"]), reduce_hw=False
+    )
+    with pytest.raises(WaitGraphError):
+        merge_awgs([a, b])
+
+
+def test_merge_sums_prior_reductions():
+    """Partials that already reduced hardware keep their accounting."""
+    graphs = graphs_for_seed(29)
+    half = len(graphs) // 2
+    a = aggregate_wait_graphs(graphs[:half], ALL_DRIVERS, reduce_hw=True)
+    b = aggregate_wait_graphs(graphs[half:], ALL_DRIVERS, reduce_hw=True)
+    merged = merge_awgs([a, b])
+    assert merged.reduced_hw_cost == a.reduced_hw_cost + b.reduced_hw_cost
+    assert merged.reduced_hw_count == a.reduced_hw_count + b.reduced_hw_count
+    assert merged.source_graphs == len(graphs)
