@@ -1,0 +1,127 @@
+"""Artifact-store benchmarks: cold vs. warm vs. incremental study runs.
+
+The store's reason to exist is the continuous-monitoring workload: the
+corpus grows a little, the analysis re-runs in full.  These benches
+time `parallel_study` over the same corpus
+
+* **cold**  — empty store, every per-trace partial computed and written;
+* **warm**  — every partial served from the store;
+* **+10% new** — the corpus grown by ~10% new streams, so only the new
+  traces are computed (the warm majority is served);
+
+at the same 1/2/4 worker counts the storeless scaling benches use, and
+always assert the rendered study tables are byte-identical to the
+storeless run.  Corpus size follows ``REPRO_BENCH_PARALLEL_STREAMS``
+(default 40, like ``bench_pipeline_perf``).
+"""
+
+import os
+import shutil
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, print_banner
+from repro.pipeline import open_store, parallel_study
+from repro.report.markdown import study_to_markdown
+from repro.sim.corpus import CorpusConfig, generate_corpus
+from repro.trace.serialization import dump_corpus, iter_corpus_paths
+
+STORE_STREAMS = int(os.environ.get("REPRO_BENCH_PARALLEL_STREAMS", "40"))
+GROWN_STREAMS = STORE_STREAMS + max(1, STORE_STREAMS // 10)
+WORKER_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def store_corpus_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("bench-store-corpus")
+    corpus = generate_corpus(
+        CorpusConfig(streams=STORE_STREAMS, seed=BENCH_SEED)
+    )
+    dump_corpus(corpus, directory)
+    return directory
+
+
+def _timed(callable_):
+    start = time.perf_counter()
+    result = callable_()
+    return result, time.perf_counter() - start
+
+
+def test_bench_store_cold_warm_incremental(store_corpus_dir, tmp_path_factory):
+    """Cold/warm/+10%-new study timings next to the worker-scaling axis.
+
+    Ratios are printed, not asserted — wall-clock depends on the host —
+    except determinism: every store-backed run must render the exact
+    tables of the storeless run over the same corpus.
+    """
+    paths = iter_corpus_paths(store_corpus_dir)
+    baseline, storeless_elapsed = _timed(
+        lambda: study_to_markdown(parallel_study(paths))
+    )
+
+    rows = []
+    store_dirs = {}
+    for workers in WORKER_COUNTS:
+        store_dir = tmp_path_factory.mktemp(f"bench-store-w{workers}")
+        store_dirs[workers] = store_dir
+
+        cold_handle = open_store(store_dir)
+        cold_md, cold = _timed(
+            lambda: study_to_markdown(
+                parallel_study(paths, workers=workers, store=cold_handle)
+            )
+        )
+        assert cold_md == baseline
+        assert cold_handle.misses == len(paths)
+
+        warm_handle = open_store(store_dir)
+        warm_md, warm = _timed(
+            lambda: study_to_markdown(
+                parallel_study(paths, workers=workers, store=warm_handle)
+            )
+        )
+        assert warm_md == baseline
+        assert warm_handle.hits == len(paths)
+        rows.append((workers, cold, warm))
+
+    print_banner(
+        f"Store - cold vs warm study ({STORE_STREAMS} streams; "
+        f"storeless {storeless_elapsed:.2f}s)"
+    )
+    print(f"{'workers':>7}  {'cold s':>8}  {'warm s':>8}  {'speedup':>7}")
+    for workers, cold, warm in rows:
+        print(f"{workers:>7}  {cold:>8.2f}  {warm:>8.2f}  {cold / warm:>6.1f}x")
+
+    # Grow the corpus ~10%: dump_corpus skips the unchanged files, so
+    # existing entries stay warm and only the new streams compute.
+    grown_dir = tmp_path_factory.mktemp("bench-store-grown")
+    for path in paths:
+        shutil.copy2(path, grown_dir)
+    grown = generate_corpus(
+        CorpusConfig(streams=GROWN_STREAMS, seed=BENCH_SEED)
+    )
+    dump_corpus(grown, grown_dir)
+    grown_paths = iter_corpus_paths(grown_dir)
+    assert len(grown_paths) == GROWN_STREAMS
+
+    grown_baseline = study_to_markdown(parallel_study(grown_paths))
+    incremental_rows = []
+    for workers in WORKER_COUNTS:
+        handle = open_store(store_dirs[workers])
+        grown_md, elapsed = _timed(
+            lambda: study_to_markdown(
+                parallel_study(grown_paths, workers=workers, store=handle)
+            )
+        )
+        assert grown_md == grown_baseline
+        assert handle.hits == STORE_STREAMS
+        assert handle.misses == GROWN_STREAMS - STORE_STREAMS
+        incremental_rows.append((workers, elapsed, handle.hit_rate))
+
+    print_banner(
+        f"Store - +10% new traces ({STORE_STREAMS} -> {GROWN_STREAMS} streams)"
+    )
+    print(f"{'workers':>7}  {'seconds':>8}  {'hit rate':>8}")
+    for workers, elapsed, hit_rate in incremental_rows:
+        print(f"{workers:>7}  {elapsed:>8.2f}  {hit_rate:>7.0%}")

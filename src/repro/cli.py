@@ -9,10 +9,16 @@ Subcommands cover the full workflow a performance analyst would run:
 * ``repro study``    — the full evaluation: Tables 1–4 (§5);
 * ``repro thresholds`` — suggest T_fast/T_slow from observed durations;
 * ``repro compare``  — diff two corpora's patterns (regression check);
-* ``repro case``     — replay a paper case study (figure1 / hardfault).
+* ``repro case``     — replay a paper case study (figure1 / hardfault);
+* ``repro store``    — artifact-store maintenance (stats/verify/gc/prewarm).
 
 Traces are directories of ``*.jsonl`` streams as written by
-``repro generate`` (or any producer of the documented schema).
+``repro generate`` (or any producer of the documented schema).  The
+analysis commands accept ``--store DIR`` to cache per-trace partials in
+a content-addressed artifact store (``docs/STORE.md``): re-runs over an
+unchanged corpus are then nearly free, and a grown corpus only pays for
+its new traces.  Output is byte-identical with and without a store;
+cache statistics go to stderr.
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ from typing import List, Optional, Sequence
 from repro.causality import CausalityAnalysis
 from repro.causality.filtering import ByDesignKnowledge, filter_by_design
 from repro.causality.thresholds import suggest_for_corpus
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.evaluation.drivertypes import DRIVER_TYPE_ORDER
 from repro.evaluation.study import group_by_scenario, run_study
 from repro.impact import ImpactAnalysis
@@ -76,6 +82,47 @@ def _add_worker_options(subparser: argparse.ArgumentParser) -> None:
         "--chunk-size", type=int, default=None, metavar="N",
         help="streams per pipeline chunk (default: auto)",
     )
+    subparser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="artifact store caching per-trace partials; re-runs only "
+             "recompute new or changed traces, output stays identical",
+    )
+
+
+def _validate_pipeline_options(args: argparse.Namespace) -> None:
+    """Reject out-of-range pipeline knobs before they reach the pool layer."""
+    workers = getattr(args, "workers", 1)
+    if workers < 1:
+        raise ConfigError(
+            f"--workers must be >= 1, got {workers} "
+            "(1 = sequential, N > 1 = N analysis processes)"
+        )
+    chunk_size = getattr(args, "chunk_size", None)
+    if chunk_size is not None and chunk_size < 1:
+        raise ConfigError(
+            f"--chunk-size must be >= 1, got {chunk_size} "
+            "(omit the flag to size chunks automatically)"
+        )
+
+
+def _open_cli_store(args: argparse.Namespace):
+    """The run's ArtifactStore handle, or None when --store wasn't given."""
+    if not getattr(args, "store", None):
+        return None
+    from repro.pipeline import open_store
+
+    return open_store(args.store)
+
+
+def _report_store(store) -> None:
+    """Print cache statistics to stderr, keeping stdout byte-identical."""
+    if store is None or store.session_lookups == 0:
+        return
+    print(
+        f"store: {store.hits} hits, {store.misses} misses "
+        f"({store.hit_rate:.1%} hit rate) in {store.directory}",
+        file=sys.stderr,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -84,6 +131,7 @@ def _add_worker_options(subparser: argparse.ArgumentParser) -> None:
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
+    _validate_pipeline_options(args)
     config = CorpusConfig(streams=args.streams, seed=args.seed)
     print(f"Generating {args.streams} streams (seed {args.seed}) ...")
     corpus = generate_corpus(config, workers=args.workers)
@@ -111,8 +159,10 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
 
 def cmd_impact(args: argparse.Namespace) -> int:
+    _validate_pipeline_options(args)
     scenarios = args.scenario if args.scenario else None
-    if args.workers > 1:
+    store = _open_cli_store(args)
+    if args.workers > 1 or store is not None:
         from repro.pipeline import parallel_impact
 
         result = parallel_impact(
@@ -121,7 +171,9 @@ def cmd_impact(args: argparse.Namespace) -> int:
             scenarios=scenarios,
             workers=args.workers,
             chunk_size=args.chunk_size,
+            store=store,
         )
+        _report_store(store)
     else:
         streams = _load_traces(args.traces)
         result = ImpactAnalysis(args.components).analyze_corpus(
@@ -153,7 +205,9 @@ def _causality_thresholds(args: argparse.Namespace):
 def cmd_causality(args: argparse.Namespace) -> int:
     from repro.errors import AnalysisError
 
-    if args.workers > 1:
+    _validate_pipeline_options(args)
+    store = _open_cli_store(args)
+    if args.workers > 1 or store is not None:
         thresholds = _causality_thresholds(args)
         if thresholds is None:
             print(
@@ -172,10 +226,12 @@ def cmd_causality(args: argparse.Namespace) -> int:
                 segment_bound=args.k,
                 workers=args.workers,
                 chunk_size=args.chunk_size,
+                store=store,
             )
         except AnalysisError as error:
             print(str(error), file=sys.stderr)
             return 1
+        _report_store(store)
         t_fast, t_slow = thresholds
     else:
         streams = _load_traces(args.traces)
@@ -231,14 +287,18 @@ def cmd_causality(args: argparse.Namespace) -> int:
 
 
 def cmd_study(args: argparse.Namespace) -> int:
-    if args.workers > 1:
+    _validate_pipeline_options(args)
+    store = _open_cli_store(args)
+    if args.workers > 1 or store is not None:
         from repro.pipeline import parallel_study
 
         study = parallel_study(
             _trace_sources(args.traces),
             workers=args.workers,
             chunk_size=args.chunk_size,
+            store=store,
         )
+        _report_store(store)
     else:
         streams = _load_traces(args.traces)
         study = run_study(streams)
@@ -385,6 +445,79 @@ def cmd_case(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# Artifact-store maintenance
+# ---------------------------------------------------------------------------
+
+
+def cmd_store_stats(args: argparse.Namespace) -> int:
+    from repro.store import ArtifactStore
+
+    stats = ArtifactStore(args.store_dir).stats()
+    table = Table(["Metric", "Value"], title=f"Store {args.store_dir}")
+    table.add_row("entries", stats.entries)
+    table.add_row("size (bytes)", stats.total_bytes)
+    table.add_row("distinct traces", stats.distinct_traces)
+    table.add_row("distinct fingerprints", stats.distinct_fingerprints)
+    table.add_row("quarantined", stats.quarantined)
+    table.add_row("quarantined bytes", stats.quarantined_bytes)
+    print(table.render())
+    for fingerprint, count in sorted(stats.fingerprints.items()):
+        print(f"  {fingerprint[:16]}…  {count} entries")
+    return 0
+
+
+def cmd_store_verify(args: argparse.Namespace) -> int:
+    from repro.store import ArtifactStore
+
+    report = ArtifactStore(args.store_dir).verify(deep=args.deep)
+    print(
+        f"checked {report.checked} entries: {report.ok} ok, "
+        f"{len(report.corrupt)} corrupt"
+    )
+    for path, reason in report.corrupt:
+        print(f"QUARANTINED {path}: {reason}")
+    return 0 if report.all_ok else 1
+
+
+def cmd_store_gc(args: argparse.Namespace) -> int:
+    from repro.store import ArtifactStore
+    from repro.trace import stream_content_hash
+
+    live = None
+    if args.corpus:
+        live = {
+            stream_content_hash(path)
+            for path in _trace_sources(args.corpus)
+        }
+    report = ArtifactStore(args.store_dir).gc(live_content_hashes=live)
+    print(
+        f"gc: removed {report.removed_entries} entries "
+        f"({report.removed_bytes} bytes), "
+        f"{report.removed_quarantined} quarantined files; "
+        f"kept {report.kept_entries}"
+    )
+    return 0
+
+
+def cmd_store_prewarm(args: argparse.Namespace) -> int:
+    _validate_pipeline_options(args)
+    from repro.pipeline import prewarm_store
+
+    store = prewarm_store(
+        _trace_sources(args.traces),
+        args.store_dir,
+        component_patterns=args.components,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+    )
+    print(
+        f"prewarmed {store.directory}: {store.misses} streams computed, "
+        f"{store.hits} already warm"
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
 
@@ -462,6 +595,54 @@ def build_parser() -> argparse.ArgumentParser:
     case = subparsers.add_parser("case", help="replay a paper case study")
     case.add_argument("name", choices=["figure1", "hardfault"])
     case.set_defaults(handler=cmd_case)
+
+    store = subparsers.add_parser(
+        "store", help="artifact-store maintenance (see docs/STORE.md)"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    store_stats = store_sub.add_parser(
+        "stats", help="entry counts, sizes and fingerprints"
+    )
+    store_stats.add_argument("store_dir", metavar="STORE")
+    store_stats.set_defaults(handler=cmd_store_stats)
+
+    store_verify = store_sub.add_parser(
+        "verify", help="integrity-check every entry, quarantine corrupt ones"
+    )
+    store_verify.add_argument("store_dir", metavar="STORE")
+    store_verify.add_argument(
+        "--deep", action="store_true",
+        help="also deserialize each payload, not just checksum it",
+    )
+    store_verify.set_defaults(handler=cmd_store_verify)
+
+    store_gc = store_sub.add_parser(
+        "gc", help="drop quarantined files and dead entries"
+    )
+    store_gc.add_argument("store_dir", metavar="STORE")
+    store_gc.add_argument(
+        "--corpus", metavar="DIR_OR_FILE",
+        help="also drop entries for traces no longer in this corpus",
+    )
+    store_gc.set_defaults(handler=cmd_store_gc)
+
+    store_prewarm = store_sub.add_parser(
+        "prewarm",
+        help="populate the store with full-study partials for a corpus",
+    )
+    store_prewarm.add_argument("store_dir", metavar="STORE")
+    store_prewarm.add_argument("traces", metavar="DIR_OR_FILE")
+    store_prewarm.add_argument("--components", nargs="+", default=["*.sys"])
+    store_prewarm.add_argument(
+        "--workers", type=int, default=1,
+        help="prewarm processes (same pipeline as repro study)",
+    )
+    store_prewarm.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="streams per pipeline chunk (default: auto)",
+    )
+    store_prewarm.set_defaults(handler=cmd_store_prewarm)
 
     return parser
 

@@ -42,3 +42,7 @@ class AnalysisError(ReproError):
 
 class ConfigError(ReproError):
     """A configuration object holds contradictory or out-of-range values."""
+
+
+class StoreError(ReproError):
+    """The artifact store directory is unusable (not a store, wrong layout)."""

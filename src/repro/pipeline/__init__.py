@@ -10,9 +10,12 @@ into results identical to a sequential run (reduce).  See
 
 from repro.pipeline.api import (
     CorpusSource,
+    StoreInput,
+    open_store,
     parallel_causality,
     parallel_impact,
     parallel_study,
+    prewarm_store,
 )
 from repro.pipeline.chunking import chunk_sources, default_chunk_size
 from repro.pipeline.executor import fork_available, process_map
@@ -22,6 +25,8 @@ from repro.pipeline.worker import (
     InstanceRef,
     ScenarioPartial,
     analyze_chunk,
+    merge_chunk_partials,
+    merge_scenario_partials,
 )
 
 __all__ = [
@@ -30,12 +35,17 @@ __all__ = [
     "CorpusSource",
     "InstanceRef",
     "ScenarioPartial",
+    "StoreInput",
     "analyze_chunk",
     "chunk_sources",
     "default_chunk_size",
     "fork_available",
+    "merge_chunk_partials",
+    "merge_scenario_partials",
+    "open_store",
     "parallel_causality",
     "parallel_impact",
     "parallel_study",
+    "prewarm_store",
     "process_map",
 ]

@@ -51,12 +51,25 @@ from repro.sim.workloads.registry import (
     SCENARIO_SPECS,
     scenario_spec,
 )
+from repro.store import ArtifactStore, analysis_fingerprint
 from repro.trace.signatures import ComponentFilter
 from repro.trace.stream import TraceStream
 from repro.waitgraph.aggregate import merge_awgs
 
 #: What callers hand us: trace-file paths or loaded streams.
 CorpusSource = Union[str, os.PathLike, TraceStream]
+
+#: How callers name an artifact store: a directory (created on demand)
+#: or an already-open handle (whose session hit/miss counters the run
+#: will update).
+StoreInput = Union[str, os.PathLike, ArtifactStore]
+
+
+def open_store(store: Optional[StoreInput]) -> Optional[ArtifactStore]:
+    """Normalize a store argument into an open handle (or ``None``)."""
+    if store is None or isinstance(store, ArtifactStore):
+        return store
+    return ArtifactStore(store)
 
 
 def _run_chunks(
@@ -67,11 +80,24 @@ def _run_chunks(
     impact_scenarios: Optional[Sequence[str]],
     workers: int,
     chunk_size: Optional[int],
+    store: Optional[StoreInput] = None,
 ) -> List[ChunkPartial]:
-    """Chunk the sources, fan out the map phase, return ordered partials."""
+    """Chunk the sources, fan out the map phase, return ordered partials.
+
+    With a ``store``, each task carries the store directory plus the
+    analysis fingerprint so workers run read-through/write-back per
+    stream; the workers' hit/miss counts come back on the partials and
+    are folded into the parent-side handle's session counters.
+    """
     sources = list(sources)
     if not sources:
         raise AnalysisError("the pipeline needs at least one corpus source")
+    store_handle = open_store(store)
+    fingerprint = None
+    if store_handle is not None:
+        fingerprint = analysis_fingerprint(
+            component_patterns, thresholds, want_impact, impact_scenarios
+        )
     in_memory: List[TraceStream] = []
     task_sources: List = []
     for source in sources:
@@ -93,14 +119,24 @@ def _run_chunks(
                 if impact_scenarios is not None
                 else None
             ),
+            store_dir=(
+                store_handle.directory if store_handle is not None else None
+            ),
+            store_fingerprint=fingerprint,
         )
         for chunk in chunk_sources(task_sources, chunk_size)
     ]
     previous = set_inherited_corpus(in_memory)
     try:
-        return process_map(analyze_chunk, tasks, workers)
+        partials = process_map(analyze_chunk, tasks, workers)
     finally:
         restore_inherited_corpus(previous)
+    if store_handle is not None:
+        store_handle.record_session(
+            hits=sum(partial.store_hits for partial in partials),
+            misses=sum(partial.store_misses for partial in partials),
+        )
+    return partials
 
 
 def _merge_impact(
@@ -180,11 +216,12 @@ def parallel_impact(
     scenarios: Optional[Sequence[str]] = None,
     workers: int = 1,
     chunk_size: Optional[int] = None,
+    store: Optional[StoreInput] = None,
 ) -> ImpactResult:
     """Impact analysis (§3) over a corpus, fanned out across workers.
 
     Equivalent to ``ImpactAnalysis(patterns).analyze_corpus(...)`` for
-    any worker count.
+    any worker count, with or without an artifact ``store``.
     """
     partials = _run_chunks(
         sources,
@@ -194,6 +231,7 @@ def parallel_impact(
         impact_scenarios=scenarios,
         workers=workers,
         chunk_size=chunk_size,
+        store=store,
     )
     merged = _merge_impact(partials, component_patterns)
     if not merged.graphs:
@@ -211,6 +249,7 @@ def parallel_causality(
     reduce_hw: bool = True,
     workers: int = 1,
     chunk_size: Optional[int] = None,
+    store: Optional[StoreInput] = None,
 ) -> CausalityReport:
     """Causality analysis (§4) of one scenario, fanned out across workers.
 
@@ -231,6 +270,7 @@ def parallel_causality(
         impact_scenarios=None,
         workers=workers,
         chunk_size=chunk_size,
+        store=store,
     )
     report, _ = _reduce_scenario(
         scenario, t_fast, t_slow, partials, segment_bound, reduce_hw
@@ -244,6 +284,57 @@ def parallel_causality(
     return report
 
 
+def _study_thresholds(
+    scenarios: Optional[Sequence[str]],
+) -> Dict[str, Tuple[int, int]]:
+    """The per-scenario threshold table a study run classifies against.
+
+    Unknown requested scenarios are dropped here and fail at reduce time
+    only when the corpus actually contains them, matching the sequential
+    driver.
+    """
+    if scenarios is not None:
+        return {
+            name: (SCENARIO_SPECS[name].t_fast, SCENARIO_SPECS[name].t_slow)
+            for name in scenarios
+            if name in SCENARIO_SPECS
+        }
+    return {
+        name: (spec.t_fast, spec.t_slow)
+        for name, spec in SCENARIO_SPECS.items()
+    }
+
+
+def prewarm_store(
+    sources: Sequence[CorpusSource],
+    store: StoreInput,
+    component_patterns: Sequence[str] = ("*.sys",),
+    scenarios: Optional[Sequence[str]] = None,
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+) -> ArtifactStore:
+    """Populate a store with full-study partials without reducing them.
+
+    Runs exactly the map phase :func:`parallel_study` would run — same
+    thresholds, same fingerprint — so a subsequent ``repro study
+    --store`` over the same corpus and configuration is all cache hits.
+    Returns the store handle; its session counters say how many streams
+    were already warm (``hits``) versus newly computed (``misses``).
+    """
+    handle = open_store(store)
+    _run_chunks(
+        sources,
+        component_patterns,
+        thresholds=_study_thresholds(scenarios),
+        want_impact=True,
+        impact_scenarios=None,
+        workers=workers,
+        chunk_size=chunk_size,
+        store=handle,
+    )
+    return handle
+
+
 def parallel_study(
     sources: Sequence[CorpusSource],
     scenarios: Optional[Sequence[str]] = None,
@@ -252,6 +343,7 @@ def parallel_study(
     top_n: int = 10,
     workers: int = 1,
     chunk_size: Optional[int] = None,
+    store: Optional[StoreInput] = None,
 ) -> StudyResult:
     """The full §5 evaluation over a corpus, fanned out across workers.
 
@@ -260,19 +352,7 @@ def parallel_study(
     and chunk size.  The map phase builds each instance's Wait Graph
     exactly once per chunk and ships back only mergeable partials.
     """
-    if scenarios is not None:
-        # Unknown requested scenarios fail at reduce time only when the
-        # corpus actually contains them, matching the sequential driver.
-        thresholds = {
-            name: (SCENARIO_SPECS[name].t_fast, SCENARIO_SPECS[name].t_slow)
-            for name in scenarios
-            if name in SCENARIO_SPECS
-        }
-    else:
-        thresholds = {
-            name: (spec.t_fast, spec.t_slow)
-            for name, spec in SCENARIO_SPECS.items()
-        }
+    thresholds = _study_thresholds(scenarios)
     partials = _run_chunks(
         sources,
         component_patterns,
@@ -281,6 +361,7 @@ def parallel_study(
         impact_scenarios=None,
         workers=workers,
         chunk_size=chunk_size,
+        store=store,
     )
     merged_impact = _merge_impact(partials, component_patterns)
     if not merged_impact.graphs:

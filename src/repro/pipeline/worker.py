@@ -19,6 +19,16 @@ back through the pool.
 Sources are either paths (the worker deserializes its own chunk — the
 streaming loader) or indices into an in-memory corpus registry inherited
 across ``fork``.
+
+When a task names an artifact store (``store_dir`` + fingerprint), the
+worker analyzes path sources **one stream at a time** through a
+read-through/write-back layer: before building any Wait Graph it asks
+the store for the per-stream partial keyed by the trace's content hash
+and the analysis fingerprint, and on a miss it computes the partial and
+appends it to the store.  Per-source partials then fold — in source
+order, via the same merge operations the reduce phase uses — into the
+one :class:`ChunkPartial` the parent expects, so cached and computed
+chunks are indistinguishable downstream.
 """
 
 from __future__ import annotations
@@ -29,10 +39,11 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigError
 from repro.impact.metrics import ImpactAccumulator
-from repro.trace.serialization import load_stream
+from repro.store import ArtifactStore
+from repro.trace.serialization import load_stream, stream_content_hash
 from repro.trace.signatures import ComponentFilter
 from repro.trace.stream import ScenarioInstance, TraceStream
-from repro.waitgraph.aggregate import AggregatedWaitGraph
+from repro.waitgraph.aggregate import AggregatedWaitGraph, merge_awgs
 from repro.waitgraph.builder import build_wait_graph
 from repro.waitgraph.graph import WaitGraph
 
@@ -150,6 +161,33 @@ class ScenarioPartial:
             self.between_refs.append(ref)
 
 
+def merge_scenario_partials(
+    parts: Sequence[ScenarioPartial],
+) -> ScenarioPartial:
+    """Fold per-source scenario partials, in order, into one.
+
+    Reference lists concatenate, partial AWGs union (un-reduced — the
+    hardware reduction still runs once, post-reduce) and the slow-class
+    impact accumulators merge, all exactly as the reduce phase folds
+    chunk partials, so the result is indistinguishable from a single
+    pass over the concatenated sources.
+    """
+    first = parts[0]
+    merged = ScenarioPartial(
+        scenario=first.scenario, t_fast=first.t_fast, t_slow=first.t_slow
+    )
+    for part in parts:
+        merged.fast_refs.extend(part.fast_refs)
+        merged.slow_refs.extend(part.slow_refs)
+        merged.between_refs.extend(part.between_refs)
+    merged.fast_awg = merge_awgs([part.fast_awg for part in parts])
+    merged.slow_awg = merge_awgs([part.slow_awg for part in parts])
+    merged.slow_impact = ImpactAccumulator(merged.fast_awg.component_filter)
+    for part in parts:
+        merged.slow_impact.merge(part.slow_impact)
+    return merged
+
+
 @dataclass(frozen=True)
 class ChunkTask:
     """Everything one worker needs to analyze one corpus chunk."""
@@ -163,6 +201,11 @@ class ChunkTask:
     want_impact: bool = False
     #: restrict impact accumulation to these scenarios (None = all).
     impact_scenarios: Optional[Tuple[str, ...]] = None
+    #: artifact-store directory for read-through/write-back caching of
+    #: per-stream partials (None = no store).
+    store_dir: Optional[str] = None
+    #: pre-computed analysis fingerprint; set iff ``store_dir`` is.
+    store_fingerprint: Optional[str] = None
 
 
 @dataclass
@@ -177,10 +220,81 @@ class ChunkPartial:
     present: List[str]
     streams: int = 0
     instances: int = 0
+    #: artifact-store lookups resolved from / missing in the store while
+    #: mapping this chunk (0/0 for storeless runs).
+    store_hits: int = 0
+    store_misses: int = 0
+
+
+def merge_chunk_partials(
+    partials: Sequence[ChunkPartial], task: ChunkTask
+) -> ChunkPartial:
+    """Fold per-source partials, in source order, into one chunk partial.
+
+    Mirrors the parent's reduce fold so a chunk assembled from cached
+    per-stream partials equals the same chunk analyzed in one pass:
+    impact accumulators merge, ``present`` keeps first-appearance order,
+    and each scenario's partials fold via :func:`merge_scenario_partials`.
+    """
+    component_filter = ComponentFilter(task.component_patterns)
+    merged = ChunkPartial(
+        impact=(
+            ImpactAccumulator(component_filter) if task.want_impact else None
+        ),
+        scenarios={},
+        present=[],
+    )
+    seen = set()
+    per_scenario: Dict[str, List[ScenarioPartial]] = {}
+    for partial in partials:
+        if merged.impact is not None and partial.impact is not None:
+            merged.impact.merge(partial.impact)
+        merged.streams += partial.streams
+        merged.instances += partial.instances
+        for name in partial.present:
+            if name not in seen:
+                seen.add(name)
+                merged.present.append(name)
+        for name, scenario_partial in partial.scenarios.items():
+            per_scenario.setdefault(name, []).append(scenario_partial)
+    for name, parts in per_scenario.items():
+        merged.scenarios[name] = merge_scenario_partials(parts)
+    return merged
 
 
 def analyze_chunk(task: ChunkTask) -> ChunkPartial:
-    """Map one chunk of corpus sources to its partial analysis results."""
+    """Map one chunk of corpus sources to its partial analysis results.
+
+    Storeless tasks analyze the whole chunk in one pass.  Tasks carrying
+    a store analyze path sources stream-by-stream through the store
+    (read-through on the content hash + fingerprint key, write-back on
+    miss) and fold the per-stream partials; in-memory sources have no
+    bytes to address, so they are always computed.
+    """
+    if task.store_dir is None:
+        return _analyze_sources(task, task.sources)
+    store = ArtifactStore(task.store_dir)
+    per_source: List[ChunkPartial] = []
+    for source in task.sources:
+        if isinstance(source, int):
+            per_source.append(_analyze_sources(task, (source,)))
+            continue
+        content_hash = stream_content_hash(source)
+        cached = store.load(content_hash, task.store_fingerprint)
+        if cached is None or not isinstance(cached, ChunkPartial):
+            cached = _analyze_sources(task, (source,))
+            store.save(content_hash, task.store_fingerprint, cached)
+        per_source.append(cached)
+    merged = merge_chunk_partials(per_source, task)
+    merged.store_hits = store.hits
+    merged.store_misses = store.misses
+    return merged
+
+
+def _analyze_sources(
+    task: ChunkTask, sources: Sequence[TaskSource]
+) -> ChunkPartial:
+    """One-pass analysis of ``sources`` under ``task``'s configuration."""
     component_filter = ComponentFilter(task.component_patterns)
     impact = (
         ImpactAccumulator(component_filter) if task.want_impact else None
@@ -192,7 +306,7 @@ def analyze_chunk(task: ChunkTask) -> ChunkPartial:
     )
     partial = ChunkPartial(impact=impact, scenarios={}, present=[])
     seen = set()
-    for source in task.sources:
+    for source in sources:
         stream = resolve_source(source)
         partial.streams += 1
         graphs: Dict[tuple, WaitGraph] = {}

@@ -1,0 +1,33 @@
+"""Content-addressed artifact store for incremental analysis runs.
+
+The paper's corpus study (~19,500 traces) and the continuous-monitoring
+deployments it anticipates re-run analysis as traces accumulate.  Every
+per-trace partial the map phase produces is a pure function of the trace
+*bytes* and the map-phase *configuration*, so this package caches them
+persistently under the key ``(trace content hash, analysis
+fingerprint)``: a grown corpus only pays for its new traces, a changed
+configuration misses cleanly, and corrupt entries quarantine themselves
+and recompute.  See ``docs/STORE.md``.
+"""
+
+from repro.store.artifacts import (
+    ArtifactStore,
+    EntryInfo,
+    GcReport,
+    StoreStats,
+    VerifyReport,
+)
+from repro.store.fingerprint import (
+    STORE_SCHEMA_VERSION,
+    analysis_fingerprint,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "EntryInfo",
+    "GcReport",
+    "STORE_SCHEMA_VERSION",
+    "StoreStats",
+    "VerifyReport",
+    "analysis_fingerprint",
+]

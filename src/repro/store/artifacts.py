@@ -1,0 +1,411 @@
+"""The content-addressed artifact store.
+
+Layout (all under one user-chosen directory)::
+
+    store/
+      store.json                  # informational: schema version
+      objects/<hh>/<content_hash>-<fingerprint>.partial
+      quarantine/                 # corrupt entries, moved aside for autopsy
+
+``<hh>`` is the first two hex digits of the content hash — a standard
+fan-out so no single directory grows unboundedly.  The two halves of an
+entry's address are the SHA-256 of the trace file's bytes and the
+:func:`~repro.store.fingerprint.analysis_fingerprint` of the map-phase
+configuration; identical trace content therefore shares cache entries
+regardless of file name, and any configuration or schema change misses
+cleanly into a recompute.
+
+Entries are self-verifying::
+
+    magic | header length | header JSON | payload
+
+where the header records the address, payload codec, payload length and
+payload SHA-256.  ``load`` re-derives the checksum before unpickling;
+*any* mismatch — truncation, bit rot, a partial write from a killed
+process, garbage — moves the file into ``quarantine/`` and reports a
+miss, so the caller transparently recomputes.  Writes go through a
+temporary file in the same directory followed by an atomic ``os.replace``,
+which makes concurrent writers (pipeline workers) idempotent: last
+rename wins and every version is byte-identical by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import StoreError
+from repro.store.fingerprint import STORE_SCHEMA_VERSION
+
+_MAGIC = b"repro-store\x01"
+_CODEC = "pickle+zlib"
+_SUFFIX = ".partial"
+_HEX_DIGITS = set("0123456789abcdef")
+
+
+@dataclass(frozen=True)
+class EntryInfo:
+    """One on-disk entry, as seen by stats/verify/gc walks."""
+
+    path: str
+    content_hash: str
+    fingerprint: str
+    size: int
+
+
+@dataclass
+class StoreStats:
+    """Aggregate numbers for ``repro store stats``."""
+
+    entries: int = 0
+    total_bytes: int = 0
+    distinct_traces: int = 0
+    distinct_fingerprints: int = 0
+    quarantined: int = 0
+    quarantined_bytes: int = 0
+    fingerprints: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of a full-store integrity check."""
+
+    checked: int = 0
+    ok: int = 0
+    corrupt: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def all_ok(self) -> bool:
+        return not self.corrupt
+
+
+@dataclass
+class GcReport:
+    """What a garbage-collection pass reclaimed."""
+
+    removed_entries: int = 0
+    removed_bytes: int = 0
+    removed_quarantined: int = 0
+    kept_entries: int = 0
+
+
+class ArtifactStore:
+    """A persistent map ``(content hash, fingerprint) -> analysis partial``.
+
+    Instances are cheap handles over a directory; every worker process
+    opens its own.  Per-instance ``hits`` / ``misses`` / ``writes`` /
+    ``quarantined`` counters cover this handle only; the pipeline sums
+    worker-side counts into the parent handle via :meth:`record_session`.
+    """
+
+    def __init__(self, directory: "os.PathLike | str"):
+        self.directory = os.fspath(directory)
+        if os.path.exists(self.directory) and not os.path.isdir(self.directory):
+            raise StoreError(
+                f"store path {self.directory!r} exists and is not a directory"
+            )
+        self.objects_dir = os.path.join(self.directory, "objects")
+        self.quarantine_dir = os.path.join(self.directory, "quarantine")
+        os.makedirs(self.objects_dir, exist_ok=True)
+        os.makedirs(self.quarantine_dir, exist_ok=True)
+        self._write_meta()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.quarantined = 0
+
+    # -- layout ---------------------------------------------------------------
+
+    def _write_meta(self) -> None:
+        meta_path = os.path.join(self.directory, "store.json")
+        if os.path.exists(meta_path):
+            return
+        meta = {"store_schema": STORE_SCHEMA_VERSION, "codec": _CODEC}
+        with open(meta_path, "w", encoding="utf-8") as handle:
+            json.dump(meta, handle, sort_keys=True)
+            handle.write("\n")
+
+    def entry_path(self, content_hash: str, fingerprint: str) -> str:
+        return os.path.join(
+            self.objects_dir,
+            content_hash[:2],
+            f"{content_hash}-{fingerprint}{_SUFFIX}",
+        )
+
+    @staticmethod
+    def _parse_name(name: str) -> Optional[Tuple[str, str]]:
+        """``(content_hash, fingerprint)`` from an entry file name, or None."""
+        if not name.endswith(_SUFFIX):
+            return None
+        stem = name[: -len(_SUFFIX)]
+        content_hash, sep, fingerprint = stem.partition("-")
+        if not sep or len(content_hash) != 64 or len(fingerprint) != 64:
+            return None
+        if not (_HEX_DIGITS >= set(content_hash) and _HEX_DIGITS >= set(fingerprint)):
+            return None
+        return content_hash, fingerprint
+
+    def entries(self) -> Iterator[EntryInfo]:
+        """Walk every well-named entry, in deterministic (sorted) order."""
+        if not os.path.isdir(self.objects_dir):
+            return
+        for shard in sorted(os.listdir(self.objects_dir)):
+            shard_dir = os.path.join(self.objects_dir, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                parsed = self._parse_name(name)
+                if parsed is None:
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    size = os.path.getsize(path)
+                except OSError:
+                    continue
+                yield EntryInfo(
+                    path=path,
+                    content_hash=parsed[0],
+                    fingerprint=parsed[1],
+                    size=size,
+                )
+
+    # -- read/write -----------------------------------------------------------
+
+    def save(self, content_hash: str, fingerprint: str, partial: object) -> str:
+        """Serialize and atomically publish one partial; returns its path."""
+        payload = zlib.compress(
+            pickle.dumps(partial, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        header = json.dumps(
+            {
+                "schema": STORE_SCHEMA_VERSION,
+                "codec": _CODEC,
+                "content_hash": content_hash,
+                "fingerprint": fingerprint,
+                "payload_len": len(payload),
+                "payload_sha256": hashlib.sha256(payload).hexdigest(),
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        path = self.entry_path(content_hash, fingerprint)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        blob = b"".join(
+            (_MAGIC, len(header).to_bytes(4, "big"), header, payload)
+        )
+        temporary = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(temporary, "wb") as handle:
+                handle.write(blob)
+            os.replace(temporary, path)
+        finally:
+            if os.path.exists(temporary):  # pragma: no cover - failure path
+                os.unlink(temporary)
+        self.writes += 1
+        return path
+
+    def _check_blob(
+        self, blob: bytes, content_hash: str, fingerprint: str
+    ) -> bytes:
+        """Validate one entry's bytes; return the payload or raise StoreError."""
+        if not blob.startswith(_MAGIC):
+            raise StoreError("bad magic")
+        offset = len(_MAGIC)
+        if len(blob) < offset + 4:
+            raise StoreError("truncated header length")
+        header_len = int.from_bytes(blob[offset : offset + 4], "big")
+        offset += 4
+        header_bytes = blob[offset : offset + header_len]
+        if len(header_bytes) != header_len:
+            raise StoreError("truncated header")
+        try:
+            header = json.loads(header_bytes)
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"unparseable header: {exc}") from None
+        if header.get("schema") != STORE_SCHEMA_VERSION:
+            raise StoreError(f"schema {header.get('schema')!r} != {STORE_SCHEMA_VERSION}")
+        if header.get("codec") != _CODEC:
+            raise StoreError(f"unknown codec {header.get('codec')!r}")
+        if header.get("content_hash") != content_hash:
+            raise StoreError("content hash mismatch between name and header")
+        if header.get("fingerprint") != fingerprint:
+            raise StoreError("fingerprint mismatch between name and header")
+        payload = blob[offset + header_len :]
+        if len(payload) != header.get("payload_len"):
+            raise StoreError(
+                f"payload length {len(payload)} != {header.get('payload_len')}"
+            )
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != header.get("payload_sha256"):
+            raise StoreError("payload checksum mismatch")
+        return payload
+
+    def load(self, content_hash: str, fingerprint: str) -> Optional[object]:
+        """The stored partial, or ``None`` on a miss.
+
+        Corrupt entries count as misses: the damaged file is moved to
+        ``quarantine/`` and the caller recomputes (and re-saves) the
+        partial, healing the store in place.
+        """
+        path = self.entry_path(content_hash, fingerprint)
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        try:
+            payload = self._check_blob(blob, content_hash, fingerprint)
+            partial = pickle.loads(zlib.decompress(payload))
+        except (StoreError, zlib.error, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError, IndexError) as exc:
+            self._quarantine(path, reason=str(exc))
+            self.misses += 1
+            return None
+        self.hits += 1
+        return partial
+
+    def _quarantine(self, path: str, reason: str) -> None:
+        """Move a damaged entry aside; never raises on housekeeping failure."""
+        del reason  # diagnosis happens on the quarantined bytes themselves
+        name = os.path.basename(path)
+        destination = os.path.join(self.quarantine_dir, name)
+        suffix = 0
+        while os.path.exists(destination):
+            suffix += 1
+            destination = os.path.join(
+                self.quarantine_dir, f"{name}.{suffix}"
+            )
+        try:
+            os.replace(path, destination)
+        except OSError:  # pragma: no cover - racing workers both quarantining
+            pass
+        self.quarantined += 1
+
+    # -- session accounting ---------------------------------------------------
+
+    def record_session(self, hits: int, misses: int) -> None:
+        """Fold worker-side hit/miss counts into this (parent) handle."""
+        self.hits += hits
+        self.misses += misses
+
+    @property
+    def session_lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.session_lookups
+        return self.hits / lookups if lookups else 0.0
+
+    # -- maintenance ----------------------------------------------------------
+
+    def stats(self) -> StoreStats:
+        stats = StoreStats()
+        traces: Set[str] = set()
+        for entry in self.entries():
+            stats.entries += 1
+            stats.total_bytes += entry.size
+            traces.add(entry.content_hash)
+            stats.fingerprints[entry.fingerprint] = (
+                stats.fingerprints.get(entry.fingerprint, 0) + 1
+            )
+        stats.distinct_traces = len(traces)
+        stats.distinct_fingerprints = len(stats.fingerprints)
+        if os.path.isdir(self.quarantine_dir):
+            for name in os.listdir(self.quarantine_dir):
+                path = os.path.join(self.quarantine_dir, name)
+                try:
+                    stats.quarantined_bytes += os.path.getsize(path)
+                    stats.quarantined += 1
+                except OSError:  # pragma: no cover
+                    continue
+        return stats
+
+    def verify(self, deep: bool = False) -> VerifyReport:
+        """Integrity-check every entry; quarantine the ones that fail.
+
+        The default check validates framing and the payload checksum;
+        ``deep=True`` additionally unpickles each payload, catching
+        entries whose bytes are intact but whose pickled classes no
+        longer load.
+        """
+        report = VerifyReport()
+        for entry in list(self.entries()):
+            report.checked += 1
+            try:
+                with open(entry.path, "rb") as handle:
+                    blob = handle.read()
+                payload = self._check_blob(
+                    blob, entry.content_hash, entry.fingerprint
+                )
+                if deep:
+                    pickle.loads(zlib.decompress(payload))
+            except Exception as exc:  # noqa: BLE001 - quarantine anything bad
+                report.corrupt.append((entry.path, str(exc)))
+                self._quarantine(entry.path, reason=str(exc))
+                continue
+            report.ok += 1
+        return report
+
+    def gc(
+        self,
+        live_content_hashes: Optional[Set[str]] = None,
+        keep_fingerprints: Optional[Set[str]] = None,
+        drop_quarantine: bool = True,
+    ) -> GcReport:
+        """Reclaim space: drop quarantined files and dead entries.
+
+        An entry is dead when ``live_content_hashes`` is given and its
+        trace is no longer in the corpus, or ``keep_fingerprints`` is
+        given and its configuration is no longer of interest.  With
+        neither constraint, only quarantine and malformed names are
+        reclaimed — gc never guesses at liveness.
+        """
+        report = GcReport()
+        for entry in list(self.entries()):
+            dead = (
+                live_content_hashes is not None
+                and entry.content_hash not in live_content_hashes
+            ) or (
+                keep_fingerprints is not None
+                and entry.fingerprint not in keep_fingerprints
+            )
+            if not dead:
+                report.kept_entries += 1
+                continue
+            try:
+                os.unlink(entry.path)
+                report.removed_entries += 1
+                report.removed_bytes += entry.size
+            except OSError:  # pragma: no cover
+                continue
+        # Malformed file names in objects/ can only come from outside
+        # interference; sweep them with the dead entries.
+        for shard in sorted(os.listdir(self.objects_dir)):
+            shard_dir = os.path.join(self.objects_dir, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if self._parse_name(name) is None and not name.endswith(".tmp"):
+                    path = os.path.join(shard_dir, name)
+                    try:
+                        size = os.path.getsize(path)
+                        os.unlink(path)
+                        report.removed_entries += 1
+                        report.removed_bytes += size
+                    except OSError:  # pragma: no cover
+                        continue
+        if drop_quarantine and os.path.isdir(self.quarantine_dir):
+            for name in sorted(os.listdir(self.quarantine_dir)):
+                path = os.path.join(self.quarantine_dir, name)
+                try:
+                    os.unlink(path)
+                    report.removed_quarantined += 1
+                except OSError:  # pragma: no cover
+                    continue
+        return report

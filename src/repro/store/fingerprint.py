@@ -1,0 +1,68 @@
+"""Analysis fingerprints: cache keys for the configuration half of the store.
+
+A store entry is addressed by ``(trace content hash, analysis
+fingerprint)``.  The content hash covers the trace *bytes*; the
+fingerprint covers everything else that shapes a per-trace partial:
+
+* the component-filter patterns (they decide which waits are counted and
+  which AWG nodes exist);
+* the scenario thresholds (they decide the fast/slow contrast split);
+* whether corpus-wide impact is accumulated, and over which scenarios;
+* the store schema version (so a change to the entry format or to the
+  pickled partial classes invalidates every old entry), and the trace
+  format version (a new trace schema would parse differently).
+
+Reduce-time knobs — ``segment_bound``, ``reduce_hw``, ranking fractions —
+deliberately do **not** participate: they act on the merged structures
+after the store is consulted, so partials stay valid across them.
+
+The digest is a SHA-256 over a canonical JSON rendering (sorted keys,
+sorted scenario lists), making it stable across processes, machines and
+dict orderings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Optional, Sequence, Tuple
+
+#: Version of the on-disk entry layout *and* of the pickled partial
+#: payloads.  Bump whenever either changes shape; old entries then miss
+#: cleanly (their fingerprints embed the old version) and are reclaimed
+#: by ``repro store gc``.
+STORE_SCHEMA_VERSION = 1
+
+#: Trace file format version the partials were computed from (mirrors
+#: ``repro.trace.serialization._FORMAT_VERSION`` without importing the
+#: private name at call time).
+TRACE_FORMAT_VERSION = 1
+
+
+def analysis_fingerprint(
+    component_patterns: Sequence[str],
+    thresholds: Dict[str, Tuple[int, int]],
+    want_impact: bool,
+    impact_scenarios: Optional[Sequence[str]] = None,
+) -> str:
+    """Digest the map-phase analysis configuration into a cache key part.
+
+    Scenario order is canonicalized (sorted) because the per-trace
+    partials do not depend on it: scenarios appear in a partial in
+    *instance appearance* order, and threshold lookup is by name.
+    """
+    payload = {
+        "store_schema": STORE_SCHEMA_VERSION,
+        "trace_format": TRACE_FORMAT_VERSION,
+        "components": list(component_patterns),
+        "thresholds": sorted(
+            (name, int(t_fast), int(t_slow))
+            for name, (t_fast, t_slow) in thresholds.items()
+        ),
+        "want_impact": bool(want_impact),
+        "impact_scenarios": (
+            sorted(impact_scenarios) if impact_scenarios is not None else None
+        ),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -23,6 +23,7 @@ from repro.trace.serialization import (
     load_corpus,
     load_stream,
     loads_stream,
+    stream_content_hash,
 )
 from repro.trace.importers import (
     FieldMap,
@@ -56,6 +57,7 @@ __all__ = [
     "load_corpus",
     "load_stream",
     "loads_stream",
+    "stream_content_hash",
     "make_signature",
     "module_of",
     "validate_stream",

@@ -12,6 +12,7 @@ streamed, grepped and partially loaded without a real database.
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
 import os
@@ -153,13 +154,47 @@ def _load(handle: TextIO) -> TraceStream:
     return stream
 
 
+#: Read granularity of :func:`stream_content_hash` — large enough to hit
+#: sequential disk bandwidth, small enough to keep memory flat.
+_HASH_BLOCK_SIZE = 1 << 20
+
+
+def stream_content_hash(path: Union[str, os.PathLike]) -> str:
+    """SHA-256 hex digest of a trace file's bytes, streamed block-wise.
+
+    This is the content half of the artifact store's cache key
+    (``repro.store``): it hashes the file *bytes* without parsing them,
+    so addressing a 100 MB stream costs one sequential read instead of a
+    full ``TraceStream`` materialization.  Two byte-identical trace
+    files hash identically regardless of their names.
+    """
+    digest = hashlib.sha256()
+    with open(os.fspath(path), "rb") as handle:
+        for block in iter(lambda: handle.read(_HASH_BLOCK_SIZE), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
 def dump_corpus(streams: Iterable[TraceStream], directory: Union[str, os.PathLike]) -> List[str]:
-    """Write each stream to ``<directory>/<stream_id>.jsonl``; return paths."""
+    """Write each stream to ``<directory>/<stream_id>.jsonl``; return paths.
+
+    Files whose on-disk bytes already equal the stream's serialization
+    are left untouched (same inode, same mtime, same content hash), so
+    re-dumping a grown corpus rewrites only new or changed streams and
+    artifact-store entries keyed by content hash stay warm.
+    """
     os.makedirs(directory, exist_ok=True)
     paths = []
     for stream in streams:
         path = os.path.join(os.fspath(directory), f"{stream.stream_id}.jsonl")
-        dump_stream(stream, path)
+        text = dumps_stream(stream)
+        if os.path.exists(path):
+            new_hash = hashlib.sha256(text.encode("utf-8")).hexdigest()
+            if stream_content_hash(path) == new_hash:
+                paths.append(path)
+                continue
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            handle.write(text)
         paths.append(path)
     return paths
 

@@ -1,0 +1,216 @@
+"""Unit tests for the content-addressed artifact store."""
+
+import hashlib
+import os
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store import (
+    ArtifactStore,
+    STORE_SCHEMA_VERSION,
+    analysis_fingerprint,
+)
+
+HASH_A = hashlib.sha256(b"trace-a").hexdigest()
+HASH_B = hashlib.sha256(b"trace-b").hexdigest()
+FP = analysis_fingerprint(["*.sys"], {"Scn": (1, 2)}, True)
+FP_OTHER = analysis_fingerprint(["fv.sys"], {"Scn": (1, 2)}, True)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+class TestRoundtrip:
+    def test_save_then_load(self, store):
+        payload = {"graphs": 3, "refs": [("s", 1, 2)]}
+        store.save(HASH_A, FP, payload)
+        assert store.load(HASH_A, FP) == payload
+        assert store.hits == 1
+        assert store.writes == 1
+
+    def test_missing_entry_is_a_miss(self, store):
+        assert store.load(HASH_A, FP) is None
+        assert store.misses == 1
+
+    def test_keys_are_independent(self, store):
+        store.save(HASH_A, FP, "a")
+        assert store.load(HASH_A, FP_OTHER) is None
+        assert store.load(HASH_B, FP) is None
+        assert store.load(HASH_A, FP) == "a"
+
+    def test_overwrite_same_key(self, store):
+        store.save(HASH_A, FP, "first")
+        store.save(HASH_A, FP, "second")
+        assert store.load(HASH_A, FP) == "second"
+
+    def test_reopen_persists(self, tmp_path):
+        first = ArtifactStore(tmp_path / "store")
+        first.save(HASH_A, FP, [1, 2, 3])
+        second = ArtifactStore(tmp_path / "store")
+        assert second.load(HASH_A, FP) == [1, 2, 3]
+
+    def test_store_path_must_be_directory(self, tmp_path):
+        as_file = tmp_path / "not-a-dir"
+        as_file.write_text("hello")
+        with pytest.raises(StoreError):
+            ArtifactStore(as_file)
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        assert FP == analysis_fingerprint(["*.sys"], {"Scn": (1, 2)}, True)
+
+    def test_scenario_order_canonicalized(self):
+        thresholds_ab = {"A": (1, 2), "B": (3, 4)}
+        thresholds_ba = {"B": (3, 4), "A": (1, 2)}
+        assert analysis_fingerprint(
+            ["*.sys"], thresholds_ab, True
+        ) == analysis_fingerprint(["*.sys"], thresholds_ba, True)
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            analysis_fingerprint(["fv.sys"], {"Scn": (1, 2)}, True),
+            analysis_fingerprint(["*.sys"], {"Scn": (1, 3)}, True),
+            analysis_fingerprint(["*.sys"], {"Other": (1, 2)}, True),
+            analysis_fingerprint(["*.sys"], {"Scn": (1, 2)}, False),
+            analysis_fingerprint(["*.sys"], {"Scn": (1, 2)}, True, ["Scn"]),
+        ],
+    )
+    def test_config_changes_change_the_key(self, other):
+        assert other != FP
+
+    def test_schema_version_participates(self, monkeypatch):
+        import repro.store.fingerprint as fingerprint_module
+
+        monkeypatch.setattr(
+            fingerprint_module, "STORE_SCHEMA_VERSION", STORE_SCHEMA_VERSION + 1
+        )
+        bumped = fingerprint_module.analysis_fingerprint(
+            ["*.sys"], {"Scn": (1, 2)}, True
+        )
+        assert bumped != FP
+
+
+def _entry_paths(store):
+    return [entry.path for entry in store.entries()]
+
+
+def _quarantined(store):
+    return os.listdir(store.quarantine_dir)
+
+
+class TestCorruption:
+    @pytest.mark.parametrize(
+        "damage",
+        [
+            lambda blob: blob[:10],                      # truncated magic/header
+            lambda blob: blob[:-5],                      # truncated payload
+            lambda blob: b"",                            # emptied
+            lambda blob: b"not-a-store-entry" + blob,    # bad magic
+            lambda blob: blob[:40] + b"\x00" + blob[41:],  # header bit rot
+            lambda blob: blob[:-3] + b"xyz",             # payload bit rot
+        ],
+    )
+    def test_damaged_entry_quarantined_and_misses(self, store, damage):
+        store.save(HASH_A, FP, {"value": 42})
+        (path,) = _entry_paths(store)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(damage(blob))
+        assert store.load(HASH_A, FP) is None
+        assert store.quarantined == 1
+        assert not os.path.exists(path)
+        assert len(_quarantined(store)) == 1
+        # A recompute-and-save heals the slot.
+        store.save(HASH_A, FP, {"value": 42})
+        assert store.load(HASH_A, FP) == {"value": 42}
+
+    def test_entry_under_wrong_name_quarantined(self, store):
+        store.save(HASH_A, FP, "payload")
+        (path,) = _entry_paths(store)
+        wrong = store.entry_path(HASH_B, FP)
+        os.makedirs(os.path.dirname(wrong), exist_ok=True)
+        os.rename(path, wrong)
+        assert store.load(HASH_B, FP) is None
+        assert len(_quarantined(store)) == 1
+
+
+class TestVerify:
+    def test_all_ok(self, store):
+        store.save(HASH_A, FP, 1)
+        store.save(HASH_B, FP, 2)
+        report = store.verify()
+        assert report.all_ok
+        assert (report.checked, report.ok) == (2, 2)
+
+    def test_corrupt_entries_reported_and_quarantined(self, store):
+        store.save(HASH_A, FP, 1)
+        store.save(HASH_B, FP, 2)
+        victim = store.entry_path(HASH_A, FP)
+        with open(victim, "r+b") as handle:
+            handle.seek(30)
+            handle.write(b"\xff\xff\xff\xff")
+        report = store.verify()
+        assert not report.all_ok
+        assert report.ok == 1
+        assert [path for path, _ in report.corrupt] == [victim]
+        assert not os.path.exists(victim)
+        assert len(_quarantined(store)) == 1
+        # The survivor still loads.
+        assert store.load(HASH_B, FP) == 2
+
+    def test_deep_verify_checks_payload_decodes(self, store):
+        store.save(HASH_A, FP, {"fine": True})
+        assert store.verify(deep=True).all_ok
+
+
+class TestGcAndStats:
+    def test_gc_without_constraints_keeps_entries(self, store):
+        store.save(HASH_A, FP, 1)
+        report = store.gc()
+        assert report.kept_entries == 1
+        assert store.load(HASH_A, FP) == 1
+
+    def test_gc_drops_dead_traces(self, store):
+        store.save(HASH_A, FP, 1)
+        store.save(HASH_B, FP, 2)
+        report = store.gc(live_content_hashes={HASH_A})
+        assert report.removed_entries == 1
+        assert report.kept_entries == 1
+        assert store.load(HASH_A, FP) == 1
+        store.misses = 0
+        assert store.load(HASH_B, FP) is None
+
+    def test_gc_drops_dead_fingerprints(self, store):
+        store.save(HASH_A, FP, 1)
+        store.save(HASH_A, FP_OTHER, 2)
+        report = store.gc(keep_fingerprints={FP})
+        assert report.removed_entries == 1
+        assert store.load(HASH_A, FP) == 1
+
+    def test_gc_empties_quarantine(self, store):
+        store.save(HASH_A, FP, 1)
+        (path,) = _entry_paths(store)
+        with open(path, "wb") as handle:
+            handle.write(b"junk")
+        assert store.load(HASH_A, FP) is None
+        assert len(_quarantined(store)) == 1
+        report = store.gc()
+        assert report.removed_quarantined == 1
+        assert not _quarantined(store)
+
+    def test_stats(self, store):
+        store.save(HASH_A, FP, "x" * 1000)
+        store.save(HASH_B, FP, 2)
+        store.save(HASH_A, FP_OTHER, 3)
+        stats = store.stats()
+        assert stats.entries == 3
+        assert stats.distinct_traces == 2
+        assert stats.distinct_fingerprints == 2
+        assert stats.fingerprints == {FP: 2, FP_OTHER: 1}
+        assert stats.total_bytes > 0
+        assert stats.quarantined == 0

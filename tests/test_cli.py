@@ -123,6 +123,106 @@ class TestCompare:
         ]) == 2
 
 
+class TestPipelineOptionValidation:
+    @pytest.mark.parametrize("command", ["impact", "causality", "study"])
+    def test_workers_below_one_rejected(self, corpus_dir, command, capsys):
+        argv = [command, str(corpus_dir), "--workers", "0"]
+        if command == "causality":
+            argv += ["--scenario", "WebPageNavigation"]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "--workers must be >= 1" in err
+
+    def test_negative_workers_rejected(self, corpus_dir, capsys):
+        assert main(["study", str(corpus_dir), "--workers", "-3"]) == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_chunk_size_below_one_rejected(self, corpus_dir, capsys):
+        assert main([
+            "study", str(corpus_dir), "--workers", "2", "--chunk-size", "0",
+        ]) == 2
+        assert "--chunk-size must be >= 1" in capsys.readouterr().err
+
+    def test_generate_workers_validated(self, tmp_path, capsys):
+        assert main([
+            "generate", "--streams", "2", "--out", str(tmp_path / "c"),
+            "--workers", "0",
+        ]) == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_prewarm_workers_validated(self, corpus_dir, tmp_path, capsys):
+        assert main([
+            "store", "prewarm", str(tmp_path / "store"), str(corpus_dir),
+            "--workers", "0",
+        ]) == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+
+class TestStoreCli:
+    def test_store_runs_are_byte_identical_and_reported(
+        self, corpus_dir, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        assert main(["study", str(corpus_dir)]) == 0
+        baseline = capsys.readouterr().out
+        assert main(["study", str(corpus_dir), "--store", str(store)]) == 0
+        cold = capsys.readouterr()
+        assert main(["study", str(corpus_dir), "--store", str(store)]) == 0
+        warm = capsys.readouterr()
+        assert cold.out == baseline
+        assert warm.out == baseline
+        assert "0 hits, 3 misses" in cold.err
+        assert "3 hits, 0 misses" in warm.err
+
+    def test_impact_and_causality_accept_store(
+        self, corpus_dir, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        assert main([
+            "impact", str(corpus_dir), "--store", str(store),
+        ]) == 0
+        assert "3 misses" in capsys.readouterr().err
+        assert main([
+            "causality", str(corpus_dir),
+            "--scenario", "WebPageNavigation", "--store", str(store),
+        ]) == 0
+
+    def test_stats_verify_gc(self, corpus_dir, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(["study", str(corpus_dir), "--store", str(store)]) == 0
+        capsys.readouterr()
+
+        assert main(["store", "stats", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "quarantined" in out
+
+        assert main(["store", "verify", str(store), "--deep"]) == 0
+        assert "0 corrupt" in capsys.readouterr().out
+
+        assert main(["store", "gc", str(store), "--corpus", str(corpus_dir)]) == 0
+        assert "kept 3" in capsys.readouterr().out
+
+    def test_verify_flags_corruption(self, corpus_dir, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(["study", str(corpus_dir), "--store", str(store)]) == 0
+        capsys.readouterr()
+        victim = next((store / "objects").rglob("*.partial"))
+        victim.write_bytes(b"rotten")
+        assert main(["store", "verify", str(store)]) == 1
+        assert "1 corrupt" in capsys.readouterr().out
+        # The bad entry is quarantined; a re-verify is clean.
+        assert main(["store", "verify", str(store)]) == 0
+
+    def test_prewarm_then_study_all_hits(self, corpus_dir, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main([
+            "store", "prewarm", str(store), str(corpus_dir), "--workers", "2",
+        ]) == 0
+        assert "3 streams computed" in capsys.readouterr().out
+        assert main(["study", str(corpus_dir), "--store", str(store)]) == 0
+        assert "3 hits, 0 misses" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -131,3 +231,7 @@ class TestParser:
     def test_case_requires_valid_name(self):
         with pytest.raises(SystemExit):
             main(["case", "nope"])
+
+    def test_store_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["store"])

@@ -14,6 +14,7 @@ from repro.trace.serialization import (
     load_corpus,
     load_stream,
     loads_stream,
+    stream_content_hash,
 )
 from repro.trace.stream import ThreadInfo
 from tests.conftest import make_event, make_stream
@@ -187,6 +188,74 @@ class TestCorpusPaths:
         with pytest.raises(SerializationError):
             next(iterator)
 
+class TestStreamContentHash:
+    def test_hashes_file_bytes(self, tmp_path):
+        import hashlib
+
+        stream = build_sample_stream()
+        path = tmp_path / "s.jsonl"
+        dump_stream(stream, path)
+        expected = hashlib.sha256(path.read_bytes()).hexdigest()
+        assert stream_content_hash(path) == expected
+
+    def test_identical_content_different_names_hash_equal(self, tmp_path):
+        stream = build_sample_stream()
+        first = tmp_path / "first.jsonl"
+        second = tmp_path / "second.jsonl"
+        dump_stream(stream, first)
+        dump_stream(stream, second)
+        assert stream_content_hash(first) == stream_content_hash(second)
+
+    def test_different_content_hashes_differ(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        dump_stream(make_stream("a", [make_event(cost=1)]), a)
+        dump_stream(make_stream("b", [make_event(cost=2)]), b)
+        assert stream_content_hash(a) != stream_content_hash(b)
+
+
+class TestDumpCorpusSkipsUnchanged:
+    def test_unchanged_streams_are_not_rewritten(self, tmp_path):
+        import os
+
+        streams = [
+            make_stream("s1", [make_event(cost=10)]),
+            make_stream("s2", [make_event(cost=20)]),
+        ]
+        paths = dump_corpus(streams, tmp_path)
+        before = {path: os.stat(path).st_mtime_ns for path in paths}
+        os.utime(paths[0], ns=(1, 1))  # make any rewrite detectable
+        os.utime(paths[1], ns=(1, 1))
+        again = dump_corpus(streams, tmp_path)
+        assert again == paths
+        after = {path: os.stat(path).st_mtime_ns for path in paths}
+        assert all(after[path] == 1 for path in paths), (before, after)
+
+    def test_changed_stream_is_rewritten(self, tmp_path):
+        import os
+
+        dump_corpus([make_stream("s1", [make_event(cost=10)])], tmp_path)
+        (path,) = iter_corpus_paths(tmp_path)
+        os.utime(path, ns=(1, 1))
+        dump_corpus([make_stream("s1", [make_event(cost=99)])], tmp_path)
+        assert os.stat(path).st_mtime_ns != 1
+        (loaded,) = list(load_corpus(tmp_path))
+        assert loaded.events[0].cost == 99
+
+    def test_growing_a_corpus_only_writes_new_files(self, tmp_path):
+        import os
+
+        base = [make_stream("s1", [make_event(cost=10)])]
+        dump_corpus(base, tmp_path)
+        (first,) = iter_corpus_paths(tmp_path)
+        os.utime(first, ns=(1, 1))
+        grown = base + [make_stream("s2", [make_event(cost=20)])]
+        paths = dump_corpus(grown, tmp_path)
+        assert len(paths) == 2
+        assert os.stat(first).st_mtime_ns == 1
+
+
+class TestLoadedStacks:
     def test_loaded_stack_frames_are_interned(self, tmp_path):
         events = [
             make_event(stack=("app!Main", "fv.sys!Query"), timestamp=0,
