@@ -1,0 +1,109 @@
+"""Trace-codec benchmarks: JSONL vs RTB parse and map-phase throughput.
+
+This bench is the acceptance gate for the binary columnar format (and
+runs as a CI step): over the same logical corpus,
+
+* **parse** — loading every stream ready for analysis must be ≥5×
+  faster from RTB than from JSONL (the mmap reader decodes only the
+  string/stack tables; JSONL pays ``json.loads`` per event);
+* **map phase** — a single-worker ``parallel_impact`` must be ≥5×
+  faster over the RTB corpus (target ~10×; the array-backed wait-graph
+  kernels never materialize ``Event`` objects);
+* **determinism** — the RTB impact result must equal the JSONL one.
+
+Corpus size follows ``REPRO_BENCH_CODEC_STREAMS`` (default 6 — the
+ratios are stable in corpus size, so CI stays quick).
+"""
+
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, print_banner
+from repro.pipeline import parallel_impact
+from repro.sim.corpus import CorpusConfig, generate_corpus
+from repro.trace import dump_corpus, iter_corpus_paths, load_stream
+
+CODEC_STREAMS = int(os.environ.get("REPRO_BENCH_CODEC_STREAMS", "6"))
+
+#: The asserted floor; the observed ratio is typically far higher (the
+#: issue's target is ~10× for the map phase).
+MIN_SPEEDUP = 5.0
+
+
+@pytest.fixture(scope="module")
+def codec_dirs(tmp_path_factory):
+    corpus = generate_corpus(
+        CorpusConfig(streams=CODEC_STREAMS, seed=BENCH_SEED)
+    )
+    jsonl_dir = tmp_path_factory.mktemp("codec-jsonl")
+    rtb_dir = tmp_path_factory.mktemp("codec-rtb")
+    dump_corpus(corpus, jsonl_dir)
+    dump_corpus(corpus, rtb_dir, format="rtb")
+    return jsonl_dir, rtb_dir
+
+
+def _timed(callable_):
+    start = time.perf_counter()
+    result = callable_()
+    return result, time.perf_counter() - start
+
+
+def _parse_all(paths):
+    """Load every stream to analysis-ready form; return the event total."""
+    return sum(len(load_stream(path)) for path in paths)
+
+
+def test_bench_codec_parse_throughput(codec_dirs):
+    jsonl_dir, rtb_dir = codec_dirs
+    jsonl_paths = iter_corpus_paths(jsonl_dir)
+    rtb_paths = iter_corpus_paths(rtb_dir)
+
+    events, jsonl_elapsed = _timed(lambda: _parse_all(jsonl_paths))
+    rtb_events, rtb_elapsed = _timed(lambda: _parse_all(rtb_paths))
+    assert rtb_events == events
+
+    ratio = jsonl_elapsed / rtb_elapsed
+    jsonl_bytes = sum(os.path.getsize(path) for path in jsonl_paths)
+    rtb_bytes = sum(os.path.getsize(path) for path in rtb_paths)
+
+    print_banner(f"Trace codec - parse ({CODEC_STREAMS} streams, {events} events)")
+    print(f"{'format':>7}  {'seconds':>8}  {'events/s':>12}  {'bytes':>10}")
+    print(f"{'jsonl':>7}  {jsonl_elapsed:>8.3f}  "
+          f"{events / jsonl_elapsed:>12,.0f}  {jsonl_bytes:>10,}")
+    print(f"{'rtb':>7}  {rtb_elapsed:>8.3f}  "
+          f"{events / rtb_elapsed:>12,.0f}  {rtb_bytes:>10,}")
+    print(f"parse speedup: {ratio:.1f}x  "
+          f"(size ratio {rtb_bytes / jsonl_bytes:.2f})")
+
+    assert ratio >= MIN_SPEEDUP, (
+        f"RTB parse is only {ratio:.1f}x faster than JSONL "
+        f"(required >= {MIN_SPEEDUP}x)"
+    )
+
+
+def test_bench_codec_map_phase_throughput(codec_dirs):
+    jsonl_dir, rtb_dir = codec_dirs
+    jsonl_paths = iter_corpus_paths(jsonl_dir)
+    rtb_paths = iter_corpus_paths(rtb_dir)
+
+    jsonl_result, jsonl_elapsed = _timed(lambda: parallel_impact(jsonl_paths))
+    rtb_result, rtb_elapsed = _timed(lambda: parallel_impact(rtb_paths))
+    assert rtb_result == jsonl_result, (
+        "RTB and JSONL impact results diverged"
+    )
+
+    ratio = jsonl_elapsed / rtb_elapsed
+    print_banner(
+        f"Trace codec - single-worker map phase ({CODEC_STREAMS} streams)"
+    )
+    print(f"{'format':>7}  {'seconds':>8}")
+    print(f"{'jsonl':>7}  {jsonl_elapsed:>8.2f}")
+    print(f"{'rtb':>7}  {rtb_elapsed:>8.2f}")
+    print(f"map-phase speedup: {ratio:.1f}x (byte-identical output)")
+
+    assert ratio >= MIN_SPEEDUP, (
+        f"RTB map phase is only {ratio:.1f}x faster than JSONL "
+        f"(required >= {MIN_SPEEDUP}x)"
+    )

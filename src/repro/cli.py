@@ -10,15 +10,18 @@ Subcommands cover the full workflow a performance analyst would run:
 * ``repro thresholds`` — suggest T_fast/T_slow from observed durations;
 * ``repro compare``  — diff two corpora's patterns (regression check);
 * ``repro case``     — replay a paper case study (figure1 / hardfault);
-* ``repro store``    — artifact-store maintenance (stats/verify/gc/prewarm).
+* ``repro store``    — artifact-store maintenance (stats/verify/gc/prewarm);
+* ``repro trace``    — trace-file utilities (convert between formats, info).
 
-Traces are directories of ``*.jsonl`` streams as written by
-``repro generate`` (or any producer of the documented schema).  The
-analysis commands accept ``--store DIR`` to cache per-trace partials in
-a content-addressed artifact store (``docs/STORE.md``): re-runs over an
-unchanged corpus are then nearly free, and a grown corpus only pays for
-its new traces.  Output is byte-identical with and without a store;
-cache statistics go to stderr.
+Traces are directories of ``*.jsonl`` and/or ``*.rtb`` streams as
+written by ``repro generate`` (or any producer of the documented
+schema); the two encodings are losslessly interchangeable via ``repro
+trace convert``.  The analysis commands accept ``--store DIR`` to cache
+per-trace partials in a content-addressed artifact store
+(``docs/STORE.md``): re-runs over an unchanged corpus are then nearly
+free, and a grown corpus only pays for its new traces.  Output is
+byte-identical with and without a store and across trace formats; cache
+statistics and ``--verbose`` timing summaries go to stderr.
 """
 
 from __future__ import annotations
@@ -87,6 +90,11 @@ def _add_worker_options(subparser: argparse.ArgumentParser) -> None:
         help="artifact store caching per-trace partials; re-runs only "
              "recompute new or changed traces, output stays identical",
     )
+    subparser.add_argument(
+        "--verbose", action="store_true",
+        help="print a one-line map-phase timing summary "
+             "(events/sec, formats, cache hit rate) to stderr",
+    )
 
 
 def _validate_pipeline_options(args: argparse.Namespace) -> None:
@@ -125,6 +133,35 @@ def _report_store(store) -> None:
     )
 
 
+def _map_phase_stats(args: argparse.Namespace):
+    """A stats sink for the pipeline when --verbose was given, else None."""
+    if not getattr(args, "verbose", False):
+        return None
+    from repro.pipeline import MapPhaseStats
+
+    return MapPhaseStats()
+
+
+def _report_stats(stats) -> None:
+    """Print the map-phase timing summary to stderr (stdout stays clean)."""
+    if stats is not None:
+        print(stats.summary(), file=sys.stderr)
+
+
+def _use_pipeline(args: argparse.Namespace, store) -> bool:
+    """Whether an analysis command routes through the parallel pipeline.
+
+    ``--verbose`` forces the pipeline even at ``--workers 1`` so there
+    is a map phase to time; its output is identical to the sequential
+    path by the pipeline's equivalence guarantee.
+    """
+    return (
+        args.workers > 1
+        or store is not None
+        or getattr(args, "verbose", False)
+    )
+
+
 # ---------------------------------------------------------------------------
 # Subcommand handlers
 # ---------------------------------------------------------------------------
@@ -135,11 +172,11 @@ def cmd_generate(args: argparse.Namespace) -> int:
     config = CorpusConfig(streams=args.streams, seed=args.seed)
     print(f"Generating {args.streams} streams (seed {args.seed}) ...")
     corpus = generate_corpus(config, workers=args.workers)
-    paths = dump_corpus(corpus, args.out)
+    paths = dump_corpus(corpus, args.out, format=args.format)
     events = sum(len(stream.events) for stream in corpus)
     instances = sum(len(stream.instances) for stream in corpus)
     print(
-        f"Wrote {len(paths)} streams ({events} events, "
+        f"Wrote {len(paths)} {args.format} streams ({events} events, "
         f"{instances} scenario instances) to {args.out}"
     )
     return 0
@@ -162,9 +199,10 @@ def cmd_impact(args: argparse.Namespace) -> int:
     _validate_pipeline_options(args)
     scenarios = args.scenario if args.scenario else None
     store = _open_cli_store(args)
-    if args.workers > 1 or store is not None:
+    if _use_pipeline(args, store):
         from repro.pipeline import parallel_impact
 
+        stats = _map_phase_stats(args)
         result = parallel_impact(
             _trace_sources(args.traces),
             component_patterns=args.components,
@@ -172,7 +210,9 @@ def cmd_impact(args: argparse.Namespace) -> int:
             workers=args.workers,
             chunk_size=args.chunk_size,
             store=store,
+            stats=stats,
         )
+        _report_stats(stats)
         _report_store(store)
     else:
         streams = _load_traces(args.traces)
@@ -207,7 +247,7 @@ def cmd_causality(args: argparse.Namespace) -> int:
 
     _validate_pipeline_options(args)
     store = _open_cli_store(args)
-    if args.workers > 1 or store is not None:
+    if _use_pipeline(args, store):
         thresholds = _causality_thresholds(args)
         if thresholds is None:
             print(
@@ -217,6 +257,7 @@ def cmd_causality(args: argparse.Namespace) -> int:
             return 1
         from repro.pipeline import parallel_causality
 
+        stats = _map_phase_stats(args)
         try:
             report = parallel_causality(
                 _trace_sources(args.traces),
@@ -227,10 +268,12 @@ def cmd_causality(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 chunk_size=args.chunk_size,
                 store=store,
+                stats=stats,
             )
         except AnalysisError as error:
             print(str(error), file=sys.stderr)
             return 1
+        _report_stats(stats)
         _report_store(store)
         t_fast, t_slow = thresholds
     else:
@@ -289,15 +332,18 @@ def cmd_causality(args: argparse.Namespace) -> int:
 def cmd_study(args: argparse.Namespace) -> int:
     _validate_pipeline_options(args)
     store = _open_cli_store(args)
-    if args.workers > 1 or store is not None:
+    if _use_pipeline(args, store):
         from repro.pipeline import parallel_study
 
+        stats = _map_phase_stats(args)
         study = parallel_study(
             _trace_sources(args.traces),
             workers=args.workers,
             chunk_size=args.chunk_size,
             store=store,
+            stats=stats,
         )
+        _report_stats(stats)
         _report_store(store)
     else:
         streams = _load_traces(args.traces)
@@ -445,6 +491,73 @@ def cmd_case(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# Trace-file utilities
+# ---------------------------------------------------------------------------
+
+
+_FORMAT_BY_SUFFIX = {".jsonl": "jsonl", ".rtb": "rtb"}
+
+
+def _write_stream_as(stream, path: str, format: str) -> None:
+    from repro.trace import dump_stream, dump_stream_binary
+
+    if format == "rtb":
+        dump_stream_binary(stream, path)
+    else:
+        dump_stream(stream, path)
+
+
+def cmd_trace_convert(args: argparse.Namespace) -> int:
+    import os
+
+    source, dest = args.source, args.out
+    if os.path.isdir(source):
+        # Directory mode: re-dump the whole corpus in the target format.
+        # dump_corpus names files <stream_id>.<format> and skips streams
+        # whose destination already holds identical logical content.
+        format = args.to or "rtb"
+        count = 0
+        for path in _trace_sources(source):
+            stream = load_stream(path)
+            dump_corpus([stream], dest, format=format)
+            count += 1
+        print(f"converted {count} streams to {format} in {dest}")
+        return 0
+    format = args.to or _FORMAT_BY_SUFFIX.get(
+        os.path.splitext(dest)[1].lower()
+    )
+    if format is None:
+        raise ConfigError(
+            f"cannot infer the target format from {dest!r}; "
+            "pass --to jsonl or --to rtb"
+        )
+    stream = load_stream(source)
+    _write_stream_as(stream, dest, format)
+    print(f"converted {source} -> {dest} ({format})")
+    return 0
+
+
+def cmd_trace_info(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.trace import is_rtb_file, stream_content_hash
+
+    path = args.trace
+    stream = load_stream(path)
+    format = "rtb" if is_rtb_file(path) else "jsonl"
+    table = Table(["Field", "Value"], title=f"Trace {path}")
+    table.add_row("format", format)
+    table.add_row("stream id", stream.stream_id)
+    table.add_row("events", len(stream.events))
+    table.add_row("threads", len(stream.threads))
+    table.add_row("instances", len(stream.instances))
+    table.add_row("file bytes", os.path.getsize(path))
+    table.add_row("content hash", stream_content_hash(path))
+    print(table.render())
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # Artifact-store maintenance
 # ---------------------------------------------------------------------------
 
@@ -533,6 +646,11 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--streams", type=int, default=16)
     generate.add_argument("--seed", type=int, default=20140301)
     generate.add_argument("--out", required=True, metavar="DIR")
+    generate.add_argument(
+        "--format", choices=["jsonl", "rtb"], default="jsonl",
+        help="corpus encoding: jsonl (interop default) or rtb "
+             "(binary columnar fast path)",
+    )
     generate.add_argument(
         "--workers", type=int, default=1,
         help="generator processes (identical output for any count)",
@@ -643,6 +761,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="streams per pipeline chunk (default: auto)",
     )
     store_prewarm.set_defaults(handler=cmd_store_prewarm)
+
+    trace = subparsers.add_parser(
+        "trace", help="trace-file utilities (see docs/FORMAT.md)"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_convert = trace_sub.add_parser(
+        "convert",
+        help="losslessly convert traces between JSONL and RTB",
+    )
+    trace_convert.add_argument("source", metavar="SRC_DIR_OR_FILE")
+    trace_convert.add_argument("out", metavar="DEST_DIR_OR_FILE")
+    trace_convert.add_argument(
+        "--to", choices=["jsonl", "rtb"], default=None,
+        help="target format (default: from the destination suffix for "
+             "files, rtb for directories)",
+    )
+    trace_convert.set_defaults(handler=cmd_trace_convert)
+
+    trace_info = trace_sub.add_parser(
+        "info", help="summarize one trace file (format, counts, hash)"
+    )
+    trace_info.add_argument("trace", metavar="FILE")
+    trace_info.set_defaults(handler=cmd_trace_info)
 
     return parser
 

@@ -21,9 +21,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Set, Tuple
 
+from repro.trace.binary import (
+    KIND_RUNNING,
+    KIND_WAIT,
+    ColumnarTraceStream,
+)
 from repro.trace.events import Event, EventKind
 from repro.trace.signatures import ComponentFilter
-from repro.waitgraph.graph import WaitGraph
+from repro.waitgraph.graph import IndexedWaitGraph, WaitGraph
 
 
 @dataclass
@@ -40,7 +45,18 @@ class ImpactAccumulator:
     _distinct_run: Dict[Tuple[str, int], int] = field(default_factory=dict)
 
     def add_graph(self, graph: WaitGraph) -> None:
-        """Accumulate one scenario instance's Wait Graph."""
+        """Accumulate one scenario instance's Wait Graph.
+
+        Indexed graphs over columnar streams take an array-backed path
+        reading the ``kind``/``cost``/``stack_id`` columns directly;
+        totals and distinct-event tables are identical to the
+        object-based walk (``seq`` equals the column index).
+        """
+        if isinstance(graph, IndexedWaitGraph) and isinstance(
+            graph.instance.stream, ColumnarTraceStream
+        ):
+            self._add_graph_indexed(graph)
+            return
         self.graphs += 1
         self.d_scn += graph.top_level_duration
         component = self.component_filter
@@ -75,6 +91,46 @@ class ImpactAccumulator:
                 self._distinct[(stream_id, event.seq)] = event.cost
                 child_under = True
             for child in reversed(graph.children(event)):
+                stack.append((child, child_under))
+
+    def _add_graph_indexed(self, graph: IndexedWaitGraph) -> None:
+        """Column-index twin of :meth:`add_graph` for columnar streams."""
+        self.graphs += 1
+        self.d_scn += graph.top_level_duration
+        stream = graph.instance.stream
+        matcher = stream.stack_matcher(self.component_filter)
+        kinds = stream.kind_col
+        costs = stream.cost_col
+        stack_ids = stream.stack_id_col
+        children_of = graph.children_indices
+        stream_id = stream.stream_id
+
+        stack = [(index, False) for index in reversed(graph.root_indices)]
+        visited_under: Set[Tuple[int, bool]] = set()
+        counted_runs: Set[int] = set()
+        while stack:
+            index, under_counted = stack.pop()
+            state = (index, under_counted)
+            if state in visited_under:
+                continue
+            visited_under.add(state)
+            kind = kinds[index]
+            matches = matcher.matches(stack_ids[index])
+            if kind == KIND_RUNNING:
+                if matches and index not in counted_runs:
+                    counted_runs.add(index)
+                    self.d_run += costs[index]
+                    self._distinct_run[(stream_id, index)] = costs[index]
+                continue
+            if kind != KIND_WAIT:
+                continue
+            child_under = under_counted
+            if matches and not under_counted:
+                self.d_wait += costs[index]
+                self.counted_waits += 1
+                self._distinct[(stream_id, index)] = costs[index]
+                child_under = True
+            for child in reversed(children_of.get(index, ())):
                 stack.append((child, child_under))
 
     def merge(self, other: "ImpactAccumulator") -> None:

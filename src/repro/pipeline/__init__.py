@@ -10,6 +10,7 @@ into results identical to a sequential run (reduce).  See
 
 from repro.pipeline.api import (
     CorpusSource,
+    MapPhaseStats,
     StoreInput,
     open_store,
     parallel_causality,
@@ -34,6 +35,7 @@ __all__ = [
     "ChunkTask",
     "CorpusSource",
     "InstanceRef",
+    "MapPhaseStats",
     "ScenarioPartial",
     "StoreInput",
     "analyze_chunk",

@@ -21,6 +21,8 @@ are identical for any worker count and chunk size.
 from __future__ import annotations
 
 import os
+import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.causality.analyzer import CausalityReport, assemble_report
@@ -72,6 +74,56 @@ def open_store(store: Optional[StoreInput]) -> Optional[ArtifactStore]:
     return ArtifactStore(store)
 
 
+@dataclass
+class MapPhaseStats:
+    """Observability counters for one map phase (one ``_run_chunks``).
+
+    Pass an instance via the ``stats=`` keyword of any parallel entry
+    point and it is filled in place once the map phase completes — the
+    analysis result itself is unaffected.  ``repro impact/causality/study
+    --verbose`` render one through :meth:`summary` on stderr.
+    """
+
+    #: wall-clock seconds spent in the fan-out (chunking + pool + fold
+    #: of the hit/miss counters; reduce time is excluded by design).
+    wall_seconds: float = 0.0
+    streams: int = 0
+    events: int = 0
+    chunks: int = 0
+    workers: int = 0
+    #: corpus sources by encoding: ``"rtb"``, ``"jsonl"`` (any
+    #: non-RTB file path) and ``"memory"`` for in-process streams.
+    formats: Dict[str, int] = field(default_factory=dict)
+    store_hits: int = 0
+    store_misses: int = 0
+
+    @property
+    def events_per_second(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.events / self.wall_seconds
+
+    def summary(self) -> str:
+        """The one-line human-readable rendering of these counters."""
+        fmt = "+".join(
+            f"{count} {name}"
+            for name, count in sorted(self.formats.items())
+        ) or "none"
+        line = (
+            f"map phase: {self.events} events / {self.streams} streams "
+            f"({fmt}) in {self.wall_seconds:.2f}s = "
+            f"{self.events_per_second:,.0f} events/s "
+            f"[workers={self.workers} chunks={self.chunks}]"
+        )
+        lookups = self.store_hits + self.store_misses
+        if lookups:
+            rate = 100.0 * self.store_hits / lookups
+            line += (
+                f" store: {self.store_hits}/{lookups} hits ({rate:.1f}%)"
+            )
+        return line
+
+
 def _run_chunks(
     sources: Sequence[CorpusSource],
     component_patterns: Sequence[str],
@@ -81,14 +133,18 @@ def _run_chunks(
     workers: int,
     chunk_size: Optional[int],
     store: Optional[StoreInput] = None,
+    stats: Optional[MapPhaseStats] = None,
 ) -> List[ChunkPartial]:
     """Chunk the sources, fan out the map phase, return ordered partials.
 
     With a ``store``, each task carries the store directory plus the
     analysis fingerprint so workers run read-through/write-back per
     stream; the workers' hit/miss counts come back on the partials and
-    are folded into the parent-side handle's session counters.
+    are folded into the parent-side handle's session counters.  A
+    ``stats`` object, when given, is filled with the map phase's
+    throughput counters.
     """
+    started = time.perf_counter()
     sources = list(sources)
     if not sources:
         raise AnalysisError("the pipeline needs at least one corpus source")
@@ -136,6 +192,22 @@ def _run_chunks(
             hits=sum(partial.store_hits for partial in partials),
             misses=sum(partial.store_misses for partial in partials),
         )
+    if stats is not None:
+        stats.wall_seconds = time.perf_counter() - started
+        stats.streams = sum(partial.streams for partial in partials)
+        stats.events = sum(partial.events for partial in partials)
+        stats.chunks = len(tasks)
+        stats.workers = workers
+        stats.store_hits = sum(p.store_hits for p in partials)
+        stats.store_misses = sum(p.store_misses for p in partials)
+        for source in sources:
+            if isinstance(source, TraceStream):
+                name = "memory"
+            elif str(os.fspath(source)).endswith(".rtb"):
+                name = "rtb"
+            else:
+                name = "jsonl"
+            stats.formats[name] = stats.formats.get(name, 0) + 1
     return partials
 
 
@@ -217,6 +289,7 @@ def parallel_impact(
     workers: int = 1,
     chunk_size: Optional[int] = None,
     store: Optional[StoreInput] = None,
+    stats: Optional[MapPhaseStats] = None,
 ) -> ImpactResult:
     """Impact analysis (§3) over a corpus, fanned out across workers.
 
@@ -232,6 +305,7 @@ def parallel_impact(
         workers=workers,
         chunk_size=chunk_size,
         store=store,
+        stats=stats,
     )
     merged = _merge_impact(partials, component_patterns)
     if not merged.graphs:
@@ -250,6 +324,7 @@ def parallel_causality(
     workers: int = 1,
     chunk_size: Optional[int] = None,
     store: Optional[StoreInput] = None,
+    stats: Optional[MapPhaseStats] = None,
 ) -> CausalityReport:
     """Causality analysis (§4) of one scenario, fanned out across workers.
 
@@ -271,6 +346,7 @@ def parallel_causality(
         workers=workers,
         chunk_size=chunk_size,
         store=store,
+        stats=stats,
     )
     report, _ = _reduce_scenario(
         scenario, t_fast, t_slow, partials, segment_bound, reduce_hw
@@ -312,6 +388,7 @@ def prewarm_store(
     scenarios: Optional[Sequence[str]] = None,
     workers: int = 1,
     chunk_size: Optional[int] = None,
+    stats: Optional[MapPhaseStats] = None,
 ) -> ArtifactStore:
     """Populate a store with full-study partials without reducing them.
 
@@ -331,6 +408,7 @@ def prewarm_store(
         workers=workers,
         chunk_size=chunk_size,
         store=handle,
+        stats=stats,
     )
     return handle
 
@@ -344,6 +422,7 @@ def parallel_study(
     workers: int = 1,
     chunk_size: Optional[int] = None,
     store: Optional[StoreInput] = None,
+    stats: Optional[MapPhaseStats] = None,
 ) -> StudyResult:
     """The full §5 evaluation over a corpus, fanned out across workers.
 
@@ -362,6 +441,7 @@ def parallel_study(
         workers=workers,
         chunk_size=chunk_size,
         store=store,
+        stats=stats,
     )
     merged_impact = _merge_impact(partials, component_patterns)
     if not merged_impact.graphs:

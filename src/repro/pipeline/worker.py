@@ -220,6 +220,9 @@ class ChunkPartial:
     present: List[str]
     streams: int = 0
     instances: int = 0
+    #: total tracing events across the chunk's streams — the numerator
+    #: of the map-phase events/sec throughput report.
+    events: int = 0
     #: artifact-store lookups resolved from / missing in the store while
     #: mapping this chunk (0/0 for storeless runs).
     store_hits: int = 0
@@ -251,6 +254,7 @@ def merge_chunk_partials(
             merged.impact.merge(partial.impact)
         merged.streams += partial.streams
         merged.instances += partial.instances
+        merged.events += partial.events
         for name in partial.present:
             if name not in seen:
                 seen.add(name)
@@ -309,6 +313,7 @@ def _analyze_sources(
     for source in sources:
         stream = resolve_source(source)
         partial.streams += 1
+        partial.events += len(stream)
         graphs: Dict[tuple, WaitGraph] = {}
         for instance in stream.instances:
             partial.instances += 1

@@ -31,12 +31,27 @@ from typing import Dict, Optional, Sequence, Tuple
 #: payloads.  Bump whenever either changes shape; old entries then miss
 #: cleanly (their fingerprints embed the old version) and are reclaimed
 #: by ``repro store gc``.
-STORE_SCHEMA_VERSION = 1
+#:
+#: Migration note — v1 → v2 (binary trace format release): the content
+#: half of the cache key became the *format-independent* logical hash
+#: (canonical-JSONL digest, read from RTB headers), and
+#: ``ChunkPartial`` grew an ``events`` counter for map-phase
+#: throughput reporting.  v1 entries were keyed by raw JSONL byte
+#: hashes under fingerprints embedding ``store_schema: 1``; they miss
+#: cleanly against v2 fingerprints and are dead weight — reclaim them
+#: with ``repro store gc``.
+STORE_SCHEMA_VERSION = 2
 
 #: Trace file format version the partials were computed from (mirrors
 #: ``repro.trace.serialization._FORMAT_VERSION`` without importing the
 #: private name at call time).
 TRACE_FORMAT_VERSION = 1
+
+#: Binary columnar (RTB) layout version (mirrors
+#: ``repro.trace.binary.RTB_FORMAT_VERSION``).  A codec change reshapes
+#: what the map phase reads, so it must invalidate cached partials even
+#: though the logical content hash is format-independent.
+RTB_FORMAT_VERSION = 1
 
 
 def analysis_fingerprint(
@@ -54,6 +69,7 @@ def analysis_fingerprint(
     payload = {
         "store_schema": STORE_SCHEMA_VERSION,
         "trace_format": TRACE_FORMAT_VERSION,
+        "rtb_format": RTB_FORMAT_VERSION,
         "components": list(component_patterns),
         "thresholds": sorted(
             (name, int(t_fast), int(t_slow))

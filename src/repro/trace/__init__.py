@@ -25,6 +25,16 @@ from repro.trace.serialization import (
     loads_stream,
     stream_content_hash,
 )
+from repro.trace.binary import (
+    RTB_FORMAT_VERSION,
+    ColumnarTraceStream,
+    dump_stream_binary,
+    dumps_stream_binary,
+    is_rtb_file,
+    load_stream_binary,
+    loads_stream_binary,
+    logical_content_hash,
+)
 from repro.trace.importers import (
     FieldMap,
     import_csv,
@@ -37,6 +47,8 @@ from repro.trace.validate import collect_violations, validate_stream
 __all__ = [
     "ALL_DRIVERS",
     "HARDWARE_SIGNATURE",
+    "RTB_FORMAT_VERSION",
+    "ColumnarTraceStream",
     "ComponentFilter",
     "Event",
     "EventKind",
@@ -47,8 +59,11 @@ __all__ = [
     "collect_violations",
     "dump_corpus",
     "dump_stream",
+    "dump_stream_binary",
     "dumps_stream",
+    "dumps_stream_binary",
     "function_of",
+    "is_rtb_file",
     "import_csv",
     "import_csv_text",
     "import_json_events",
@@ -56,7 +71,10 @@ __all__ = [
     "iter_corpus_paths",
     "load_corpus",
     "load_stream",
+    "load_stream_binary",
     "loads_stream",
+    "loads_stream_binary",
+    "logical_content_hash",
     "stream_content_hash",
     "make_signature",
     "module_of",

@@ -1,0 +1,774 @@
+"""RTB — the binary columnar trace format, and its zero-copy reader.
+
+JSONL (``repro.trace.serialization``) is the interop format: flat,
+greppable, line-oriented.  It is also what dominates the map phase —
+``json.loads`` plus one :class:`~repro.trace.events.Event` object per
+event.  RTB stores the *same logical stream* column-wise so analyses can
+run on fixed-width integer arrays instead:
+
+* a small preamble (magic, format version) and a JSON meta block
+  (stream id, canonical content hash, counts, section directory);
+* interned string and callstack tables — every frame, resource name,
+  thread label and scenario name is stored once and referenced by id;
+* fixed-width little-endian event columns (``kind``/``timestamp``/
+  ``cost``/``tid``/``wtid``/``stack_id``/``resource_id``), one slot per
+  event in ``seq`` order, plus equally flat thread and instance tables.
+
+:func:`load_stream_binary` maps the file and exposes the columns as
+:class:`memoryview` casts over the mapping — no bytes are copied and no
+``Event`` is materialized until something asks for one.  The returned
+:class:`ColumnarTraceStream` is a drop-in :class:`TraceStream`: the
+object-based API (``events``, ``events_of_thread`` …) materializes
+events lazily with per-index caching, while the ``*_indices`` kernels
+let the wait-graph builder and the aggregation/impact accumulators work
+on column indices alone (``docs/FORMAT.md`` documents the layout,
+``repro trace convert`` converts losslessly in both directions).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import io
+import json
+import mmap
+import os
+import sys
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import SerializationError
+from repro.trace.events import Event, EventKind
+from repro.trace.stream import HARDWARE_PROCESS, ThreadInfo, TraceStream
+
+#: First bytes of every RTB file.
+RTB_MAGIC = b"RTB\x01"
+
+#: On-disk layout version.  Participates in the store's analysis
+#: fingerprint (``repro.store.fingerprint``) so cached partials never
+#: outlive a codec change.
+RTB_FORMAT_VERSION = 1
+
+#: Preferred file suffix; ``iter_corpus_paths`` treats ``*.rtb`` files
+#: as corpus members next to ``*.jsonl``.
+RTB_SUFFIX = ".rtb"
+
+#: Stable event-kind codes of the ``kind`` column (u8).
+KIND_CODES: Dict[EventKind, int] = {
+    EventKind.RUNNING: 0,
+    EventKind.WAIT: 1,
+    EventKind.UNWAIT: 2,
+    EventKind.HW_SERVICE: 3,
+}
+KIND_BY_CODE: Tuple[EventKind, ...] = tuple(
+    kind for kind, _ in sorted(KIND_CODES.items(), key=lambda item: item[1])
+)
+KIND_RUNNING = KIND_CODES[EventKind.RUNNING]
+KIND_WAIT = KIND_CODES[EventKind.WAIT]
+KIND_UNWAIT = KIND_CODES[EventKind.UNWAIT]
+KIND_HW_SERVICE = KIND_CODES[EventKind.HW_SERVICE]
+
+#: ``resource_id`` sentinel for events without a resource label.
+NO_RESOURCE = 0xFFFFFFFF
+
+#: Section names in on-disk order.  Each section is zero-padded to an
+#: 8-byte boundary; the meta block records ``[offset, length]`` per
+#: section relative to the body start.
+_SECTIONS = (
+    ("string_offsets", "I"),
+    ("string_blob", None),
+    ("stack_offsets", "I"),
+    ("stack_frames", "I"),
+    ("kind", "B"),
+    ("timestamp", "q"),
+    ("cost", "q"),
+    ("tid", "q"),
+    ("wtid", "q"),
+    ("stack_id", "I"),
+    ("resource_id", "I"),
+    ("thread_tid", "q"),
+    ("thread_process", "I"),
+    ("thread_name", "I"),
+    ("inst_scenario", "I"),
+    ("inst_tid", "q"),
+    ("inst_t0", "q"),
+    ("inst_t1", "q"),
+)
+_TYPECODE_OF = dict(_SECTIONS)
+
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+PathOrFile = Union[str, os.PathLike]
+
+
+def _pack(typecode: str, values) -> bytes:
+    """Little-endian bytes of an integer sequence."""
+    import array as _array
+
+    arr = _array.array(typecode, values)
+    if not _LITTLE_ENDIAN:
+        arr.byteswap()
+    return arr.tobytes()
+
+
+class _Interner:
+    """First-use-ordered value → id table (strings or stack tuples)."""
+
+    __slots__ = ("ids", "values")
+
+    def __init__(self) -> None:
+        self.ids: Dict = {}
+        self.values: List = []
+
+    def intern(self, value) -> int:
+        index = self.ids.get(value)
+        if index is None:
+            index = len(self.values)
+            self.ids[value] = index
+            self.values.append(value)
+        return index
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+
+
+def logical_content_hash(stream: TraceStream) -> str:
+    """SHA-256 of the stream's *canonical JSONL* serialization.
+
+    This is the format-independent content identity used by the artifact
+    store: an RTB file records this digest in its header at encode time,
+    and a canonically written ``*.jsonl`` file's raw bytes hash to the
+    same value, so a converted trace hits the same store entries.
+    """
+    from repro.trace.serialization import dumps_stream
+
+    text = dumps_stream(stream)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def dumps_stream_binary(
+    stream: TraceStream, content_hash: Optional[str] = None
+) -> bytes:
+    """Serialize one trace stream to RTB bytes.
+
+    ``content_hash`` lets callers that already computed the canonical
+    :func:`logical_content_hash` skip recomputing it.
+    """
+    strings = _Interner()
+    stacks = _Interner()
+
+    n = len(stream.events)
+    kinds = bytearray(n)
+    timestamps: List[int] = [0] * n
+    costs: List[int] = [0] * n
+    tids: List[int] = [0] * n
+    wtids: List[int] = [0] * n
+    stack_ids: List[int] = [0] * n
+    resource_ids: List[int] = [NO_RESOURCE] * n
+
+    for index, event in enumerate(stream.events):
+        kinds[index] = KIND_CODES[event.kind]
+        timestamps[index] = event.timestamp
+        costs[index] = event.cost
+        tids[index] = event.tid
+        if event.wtid is not None:
+            wtids[index] = event.wtid
+        stack_ids[index] = stacks.intern(event.stack)
+        if event.resource is not None:
+            resource_ids[index] = strings.intern(event.resource)
+
+    # Frame strings are interned while flattening the (already deduped)
+    # stack tuples, so the string table stays first-use ordered.
+    stack_offsets: List[int] = [0]
+    stack_frames: List[int] = []
+    for stack in stacks.values:
+        stack_frames.extend(strings.intern(frame) for frame in stack)
+        stack_offsets.append(len(stack_frames))
+
+    thread_tids: List[int] = []
+    thread_processes: List[int] = []
+    thread_names: List[int] = []
+    for info in stream.threads.values():
+        thread_tids.append(info.tid)
+        thread_processes.append(strings.intern(info.process))
+        thread_names.append(strings.intern(info.name))
+
+    inst_scenarios: List[int] = []
+    inst_tids: List[int] = []
+    inst_t0s: List[int] = []
+    inst_t1s: List[int] = []
+    for instance in stream.instances:
+        inst_scenarios.append(strings.intern(instance.scenario))
+        inst_tids.append(instance.tid)
+        inst_t0s.append(instance.t0)
+        inst_t1s.append(instance.t1)
+
+    string_offsets: List[int] = [0]
+    blob = io.BytesIO()
+    for value in strings.values:
+        blob.write(value.encode("utf-8"))
+        string_offsets.append(blob.tell())
+
+    payloads: Dict[str, bytes] = {
+        "string_offsets": _pack("I", string_offsets),
+        "string_blob": blob.getvalue(),
+        "stack_offsets": _pack("I", stack_offsets),
+        "stack_frames": _pack("I", stack_frames),
+        "kind": bytes(kinds),
+        "timestamp": _pack("q", timestamps),
+        "cost": _pack("q", costs),
+        "tid": _pack("q", tids),
+        "wtid": _pack("q", wtids),
+        "stack_id": _pack("I", stack_ids),
+        "resource_id": _pack("I", resource_ids),
+        "thread_tid": _pack("q", thread_tids),
+        "thread_process": _pack("I", thread_processes),
+        "thread_name": _pack("I", thread_names),
+        "inst_scenario": _pack("I", inst_scenarios),
+        "inst_tid": _pack("q", inst_tids),
+        "inst_t0": _pack("q", inst_t0s),
+        "inst_t1": _pack("q", inst_t1s),
+    }
+
+    body = io.BytesIO()
+    sections: Dict[str, List[int]] = {}
+    for name, _ in _SECTIONS:
+        data = payloads[name]
+        padding = -body.tell() % 8
+        body.write(b"\x00" * padding)
+        sections[name] = [body.tell(), len(data)]
+        body.write(data)
+
+    meta = {
+        "stream_id": stream.stream_id,
+        "content_hash": content_hash or logical_content_hash(stream),
+        "counts": {
+            "events": n,
+            "strings": len(strings.values),
+            "stacks": len(stacks.values),
+            "threads": len(thread_tids),
+            "instances": len(inst_scenarios),
+        },
+        "sections": sections,
+    }
+    meta_bytes = json.dumps(meta, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+
+    out = io.BytesIO()
+    out.write(RTB_MAGIC)
+    out.write(_pack("H", [RTB_FORMAT_VERSION, 0]))  # version, flags
+    out.write(_pack("I", [len(meta_bytes)]))
+    out.write(meta_bytes)
+    out.write(b"\x00" * (-out.tell() % 8))
+    out.write(body.getvalue())
+    return out.getvalue()
+
+
+def dump_stream_binary(stream: TraceStream, destination: PathOrFile) -> None:
+    """Write one trace stream to an RTB file."""
+    data = dumps_stream_binary(stream)
+    with open(os.fspath(destination), "wb") as handle:
+        handle.write(data)
+
+
+# ---------------------------------------------------------------------------
+# Decoding
+# ---------------------------------------------------------------------------
+
+
+def is_rtb_bytes(prefix: bytes) -> bool:
+    """Return True when ``prefix`` starts with the RTB magic."""
+    return prefix[: len(RTB_MAGIC)] == RTB_MAGIC
+
+
+def is_rtb_file(path: PathOrFile) -> bool:
+    """Return True when the file at ``path`` is an RTB trace."""
+    try:
+        with open(os.fspath(path), "rb") as handle:
+            return is_rtb_bytes(handle.read(len(RTB_MAGIC)))
+    except OSError:
+        return False
+
+
+class _Header:
+    """Parsed preamble + meta block of an RTB buffer."""
+
+    __slots__ = ("version", "meta", "body_start")
+
+    def __init__(self, buffer) -> None:
+        view = memoryview(buffer)
+        if len(view) < 12 or bytes(view[:4]) != RTB_MAGIC:
+            raise SerializationError("not an RTB trace file (bad magic)")
+        version = int.from_bytes(view[4:6], "little")
+        if version != RTB_FORMAT_VERSION:
+            raise SerializationError(
+                f"unsupported RTB format version: {version}"
+            )
+        meta_len = int.from_bytes(view[8:12], "little")
+        meta_end = 12 + meta_len
+        if meta_end > len(view):
+            raise SerializationError("truncated RTB meta block")
+        try:
+            meta = json.loads(bytes(view[12:meta_end]).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SerializationError("malformed RTB meta block") from exc
+        self.version = version
+        self.meta = meta
+        self.body_start = meta_end + (-meta_end % 8)
+
+
+def read_content_hash(path: PathOrFile) -> str:
+    """The canonical logical content hash stored in an RTB header.
+
+    Reads only the preamble and meta block — addressing a trace for the
+    artifact store costs one small read, never a full parse.
+    """
+    with open(os.fspath(path), "rb") as handle:
+        prefix = handle.read(12)
+        if not is_rtb_bytes(prefix) or len(prefix) < 12:
+            raise SerializationError(f"{path!r} is not an RTB trace file")
+        meta_len = int.from_bytes(prefix[8:12], "little")
+        data = prefix + handle.read(meta_len)
+    header = _Header(data)
+    content_hash = header.meta.get("content_hash")
+    if not isinstance(content_hash, str):
+        raise SerializationError(f"RTB file {path!r} has no content hash")
+    return content_hash
+
+
+def _column(view: memoryview, sections: Dict, name: str):
+    """A zero-copy typed view (or raw bytes view) of one body section.
+
+    On big-endian hosts the little-endian file bytes are byteswapped
+    into an ``array`` copy instead — correctness over zero-copy there.
+    """
+    try:
+        offset, length = sections[name]
+    except (KeyError, TypeError, ValueError):
+        raise SerializationError(f"RTB section table is missing {name!r}")
+    if offset < 0 or offset + length > len(view):
+        raise SerializationError(f"RTB section {name!r} is out of bounds")
+    raw = view[offset : offset + length]
+    typecode = _TYPECODE_OF[name]
+    if typecode is None or typecode == "B":
+        return raw
+    if _LITTLE_ENDIAN:
+        try:
+            return raw.cast(typecode)
+        except TypeError as exc:
+            raise SerializationError(
+                f"RTB section {name!r} has a misaligned length"
+            ) from exc
+    import array as _array
+
+    arr = _array.array(typecode)
+    arr.frombytes(raw)
+    arr.byteswap()
+    return arr
+
+
+class _LazyEventList(Sequence):
+    """Read-only ``Sequence[Event]`` view over a columnar stream."""
+
+    __slots__ = ("_stream",)
+
+    def __init__(self, stream: "ColumnarTraceStream") -> None:
+        self._stream = stream
+
+    def __len__(self) -> int:
+        return self._stream.event_count
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [
+                self._stream.event_at(i)
+                for i in range(*index.indices(self._stream.event_count))
+            ]
+        if index < 0:
+            index += self._stream.event_count
+        if not 0 <= index < self._stream.event_count:
+            raise IndexError(index)
+        return self._stream.event_at(index)
+
+    def __iter__(self) -> Iterator[Event]:
+        event_at = self._stream.event_at
+        return (event_at(i) for i in range(self._stream.event_count))
+
+    def __eq__(self, other) -> bool:
+        # Drop-in parity with the object path, where ``stream.events``
+        # is a plain list and compares structurally.
+        if isinstance(other, (list, tuple, _LazyEventList)):
+            return len(self) == len(other) and all(
+                mine == theirs for mine, theirs in zip(self, other)
+            )
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+
+class ColumnarTraceStream(TraceStream):
+    """A :class:`TraceStream` backed by RTB columns instead of objects.
+
+    The object API is fully supported — ``events`` is a lazy sequence
+    that materializes (and caches) one :class:`Event` per index on
+    demand — but the analysis kernels never use it: the ``*_indices``
+    queries and raw column attributes let wait-graph construction and
+    aggregation run on integers alone.
+    """
+
+    def __init__(self, buffer, *, source_path: Optional[str] = None):
+        header = _Header(buffer)
+        self._buffer = buffer  # keeps an mmap (if any) alive
+        view = memoryview(buffer)[header.body_start :]
+        meta = header.meta
+        counts = meta.get("counts", {})
+        sections = meta.get("sections", {})
+        self.source_path = source_path
+        self.content_hash: str = meta.get("content_hash", "")
+        self.stream_id = meta.get("stream_id", "")
+
+        self.event_count = int(counts.get("events", 0))
+        self.kind_col = _column(view, sections, "kind")
+        self.timestamp_col = _column(view, sections, "timestamp")
+        self.cost_col = _column(view, sections, "cost")
+        self.tid_col = _column(view, sections, "tid")
+        self.wtid_col = _column(view, sections, "wtid")
+        self.stack_id_col = _column(view, sections, "stack_id")
+        self.resource_id_col = _column(view, sections, "resource_id")
+        for name in (
+            "kind_col",
+            "timestamp_col",
+            "cost_col",
+            "tid_col",
+            "wtid_col",
+            "stack_id_col",
+            "resource_id_col",
+        ):
+            if len(getattr(self, name)) != self.event_count:
+                raise SerializationError(
+                    f"RTB column {name!r} does not match the event count"
+                )
+
+        # String table: the vocabulary is tiny relative to the event
+        # columns (that is the point of interning), so decode it eagerly
+        # and intern every string exactly like the JSONL loader does.
+        string_offsets = _column(view, sections, "string_offsets")
+        blob = _column(view, sections, "string_blob")
+        if len(string_offsets) != int(counts.get("strings", 0)) + 1:
+            raise SerializationError("RTB string table is inconsistent")
+        try:
+            self.strings: List[str] = [
+                sys.intern(
+                    str(
+                        blob[string_offsets[i] : string_offsets[i + 1]],
+                        "utf-8",
+                    )
+                )
+                for i in range(len(string_offsets) - 1)
+            ]
+        except UnicodeDecodeError as exc:
+            raise SerializationError("RTB string blob is corrupt") from exc
+
+        stack_offsets = _column(view, sections, "stack_offsets")
+        stack_frames = _column(view, sections, "stack_frames")
+        if len(stack_offsets) != int(counts.get("stacks", 0)) + 1:
+            raise SerializationError("RTB stack table is inconsistent")
+        strings = self.strings
+        try:
+            self.stacks: List[Tuple[str, ...]] = [
+                tuple(
+                    strings[frame]
+                    for frame in stack_frames[
+                        stack_offsets[i] : stack_offsets[i + 1]
+                    ]
+                )
+                for i in range(len(stack_offsets) - 1)
+            ]
+        except IndexError as exc:
+            raise SerializationError("RTB stack table is corrupt") from exc
+
+        thread_tids = _column(view, sections, "thread_tid")
+        thread_processes = _column(view, sections, "thread_process")
+        thread_names = _column(view, sections, "thread_name")
+        try:
+            self.threads = {
+                thread_tids[i]: ThreadInfo(
+                    tid=thread_tids[i],
+                    process=strings[thread_processes[i]],
+                    name=strings[thread_names[i]],
+                )
+                for i in range(len(thread_tids))
+            }
+        except IndexError as exc:
+            raise SerializationError("RTB thread table is corrupt") from exc
+
+        self.instances = []
+        inst_scenarios = _column(view, sections, "inst_scenario")
+        inst_tids = _column(view, sections, "inst_tid")
+        inst_t0s = _column(view, sections, "inst_t0")
+        inst_t1s = _column(view, sections, "inst_t1")
+        try:
+            for i in range(len(inst_scenarios)):
+                self.add_instance(
+                    scenario=strings[inst_scenarios[i]],
+                    tid=inst_tids[i],
+                    t0=inst_t0s[i],
+                    t1=inst_t1s[i],
+                )
+        except IndexError as exc:
+            raise SerializationError("RTB instance table is corrupt") from exc
+
+        self._event_cache: List[Optional[Event]] = [None] * self.event_count
+        self._events_view = _LazyEventList(self)
+        self._span: Optional[Tuple[int, int]] = None
+        self._by_thread_idx: Optional[Dict[int, Tuple[List[int], List[int]]]] = None
+        self._unwaits_idx: Optional[Dict[int, Tuple[List[int], List[int]]]] = None
+        self._hardware_tids: Optional[frozenset] = None
+        self._matchers: Dict[Tuple[str, ...], object] = {}
+
+        timestamps = self.timestamp_col
+        for i in range(1, self.event_count):
+            if timestamps[i] < timestamps[i - 1]:
+                raise SerializationError(
+                    f"RTB events are not sorted by timestamp at index {i}"
+                )
+
+    # -- lazy event materialization ------------------------------------
+
+    @property
+    def events(self):  # type: ignore[override]
+        return self._events_view
+
+    @events.setter
+    def events(self, value) -> None:  # pragma: no cover - defensive
+        raise AttributeError("ColumnarTraceStream events are read-only")
+
+    def event_at(self, index: int) -> Event:
+        """The :class:`Event` at one column index, built and cached lazily.
+
+        Materialized events are identical — field for field, with
+        interned frames — to what the JSONL loader would produce.
+        """
+        event = self._event_cache[index]
+        if event is None:
+            kind_code = self.kind_col[index]
+            resource_id = self.resource_id_col[index]
+            event = Event(
+                kind=KIND_BY_CODE[kind_code],
+                stack=self.stacks[self.stack_id_col[index]],
+                timestamp=self.timestamp_col[index],
+                cost=self.cost_col[index],
+                tid=self.tid_col[index],
+                seq=index,
+                wtid=(
+                    self.wtid_col[index]
+                    if kind_code == KIND_UNWAIT
+                    else None
+                ),
+                resource=(
+                    self.strings[resource_id]
+                    if resource_id != NO_RESOURCE
+                    else None
+                ),
+            )
+            self._event_cache[index] = event
+        return event
+
+    # -- column-index kernels ------------------------------------------
+
+    @property
+    def hardware_tids(self) -> frozenset:
+        """Tids of device pseudo-threads (process == ``Hardware``)."""
+        if self._hardware_tids is None:
+            self._hardware_tids = frozenset(
+                tid
+                for tid, info in self.threads.items()
+                if info.process == HARDWARE_PROCESS
+            )
+        return self._hardware_tids
+
+    def _index_tables(self):
+        """One pass over the tid/kind columns building both index tables."""
+        if self._by_thread_idx is None:
+            by_thread: Dict[int, Tuple[List[int], List[int]]] = {}
+            unwaits: Dict[int, Tuple[List[int], List[int]]] = {}
+            kinds = self.kind_col
+            tids = self.tid_col
+            wtids = self.wtid_col
+            timestamps = self.timestamp_col
+            for index in range(self.event_count):
+                timestamp = timestamps[index]
+                bucket = by_thread.get(tids[index])
+                if bucket is None:
+                    bucket = ([], [])
+                    by_thread[tids[index]] = bucket
+                bucket[0].append(index)
+                bucket[1].append(timestamp)
+                if kinds[index] == KIND_UNWAIT:
+                    target = unwaits.get(wtids[index])
+                    if target is None:
+                        target = ([], [])
+                        unwaits[wtids[index]] = target
+                    target[0].append(index)
+                    target[1].append(timestamp)
+            self._by_thread_idx = by_thread
+            self._unwaits_idx = unwaits
+        return self._by_thread_idx, self._unwaits_idx
+
+    def thread_event_indices(self, tid: int, t0: int, t1: int) -> List[int]:
+        """Indices of ``tid``'s events whose span intersects ``[t0, t1)``.
+
+        Column-index twin of ``TraceStream.events_of_thread``: events
+        starting inside the window, preceded by any earlier event of the
+        thread that reaches into it, in stream order.
+        """
+        by_thread, _ = self._index_tables()
+        bucket = by_thread.get(tid)
+        if bucket is None:
+            return []
+        indices, starts = bucket
+        costs = self.cost_col
+        lo = bisect.bisect_left(starts, t0)
+        out: List[int] = []
+        for position in range(lo, len(indices)):
+            if starts[position] >= t1:
+                break
+            out.append(indices[position])
+        reach_back: List[int] = []
+        for position in range(lo - 1, -1, -1):
+            index = indices[position]
+            if starts[position] + costs[index] > t0:
+                reach_back.append(index)
+        reach_back.reverse()
+        return reach_back + out
+
+    def unwait_index_at(self, tid: int, timestamp: int) -> Optional[int]:
+        """First unwait targeting ``tid`` at exactly ``timestamp``."""
+        _, unwaits = self._index_tables()
+        bucket = unwaits.get(tid)
+        if bucket is None:
+            return None
+        indices, starts = bucket
+        position = bisect.bisect_left(starts, timestamp)
+        if position < len(starts) and starts[position] == timestamp:
+            return indices[position]
+        return None
+
+    def stack_matcher(self, component_filter):
+        """A memoized :class:`~repro.trace.signatures.StackTableMatcher`.
+
+        Cached per component-pattern tuple: every graph of this stream
+        aggregated under the same filter shares one stack-id memo.
+        """
+        from repro.trace.signatures import StackTableMatcher
+
+        key = component_filter.patterns
+        matcher = self._matchers.get(key)
+        if matcher is None:
+            matcher = StackTableMatcher(component_filter, self.stacks)
+            self._matchers[key] = matcher
+        return matcher
+
+    # -- TraceStream API overrides -------------------------------------
+
+    def __len__(self) -> int:
+        return self.event_count
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events_view)
+
+    @property
+    def span(self) -> Tuple[int, int]:
+        if self._span is None:
+            if not self.event_count:
+                self._span = (0, 0)
+            else:
+                timestamps = self.timestamp_col
+                costs = self.cost_col
+                last = max(
+                    timestamps[i] + costs[i] for i in range(self.event_count)
+                )
+                self._span = (timestamps[0], last)
+        return self._span
+
+    def events_of_thread(
+        self, tid: int, t0: Optional[int] = None, t1: Optional[int] = None
+    ) -> List[Event]:
+        if t0 is None and t1 is None:
+            by_thread, _ = self._index_tables()
+            bucket = by_thread.get(tid)
+            if bucket is None:
+                return []
+            return [self.event_at(i) for i in bucket[0]]
+        start, end = self.span
+        window_start = start if t0 is None else t0
+        window_end = end if t1 is None else t1
+        return [
+            self.event_at(i)
+            for i in self.thread_event_indices(tid, window_start, window_end)
+        ]
+
+    def unwaits_targeting(
+        self, tid: int, t0: Optional[int] = None, t1: Optional[int] = None
+    ) -> List[Event]:
+        _, unwaits = self._index_tables()
+        bucket = unwaits.get(tid)
+        if bucket is None:
+            return []
+        indices, starts = bucket
+        out: List[Event] = []
+        for position, index in enumerate(indices):
+            if t0 is not None and starts[position] < t0:
+                continue
+            if t1 is not None and starts[position] > t1:
+                continue
+            out.append(self.event_at(index))
+        return out
+
+    def events_of_kind(self, kind: EventKind) -> List[Event]:
+        code = KIND_CODES[kind]
+        kinds = self.kind_col
+        return [
+            self.event_at(i)
+            for i in range(self.event_count)
+            if kinds[i] == code
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ColumnarTraceStream(id={self.stream_id!r}, "
+            f"events={self.event_count}, threads={len(self.threads)}, "
+            f"instances={len(self.instances)})"
+        )
+
+
+def loads_stream_binary(data: bytes) -> ColumnarTraceStream:
+    """Parse a columnar stream from RTB bytes (round-trip convenience)."""
+    return ColumnarTraceStream(data)
+
+
+def load_stream_binary(source: PathOrFile) -> ColumnarTraceStream:
+    """Memory-map one RTB file into a zero-copy columnar stream.
+
+    The mapping stays alive for the lifetime of the returned stream; the
+    column views read straight from the page cache, so loading costs a
+    header parse plus string/stack-table decode regardless of how many
+    events the file holds.
+    """
+    path = os.fspath(source)
+    with open(path, "rb") as handle:
+        try:
+            buffer = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError):
+            # Empty files cannot be mapped; zero-length is malformed anyway.
+            buffer = handle.read()
+    try:
+        return ColumnarTraceStream(buffer, source_path=path)
+    except SerializationError as exc:
+        raise SerializationError(f"{path}: {exc}") from None

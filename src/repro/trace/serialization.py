@@ -7,7 +7,11 @@ A trace file holds one JSON object per line:
 * one ``instance`` line per scenario instance.
 
 The format is deliberately flat and line-oriented so large corpora can be
-streamed, grepped and partially loaded without a real database.
+streamed, grepped and partially loaded without a real database.  It is
+the *interop* encoding; the analysis fast path is the binary columnar
+RTB format (``repro.trace.binary``), and the loaders here detect both —
+``load_stream``/``load_corpus`` transparently return a columnar stream
+for ``*.rtb`` sources.
 """
 
 from __future__ import annotations
@@ -96,9 +100,20 @@ def _dump(stream: TraceStream, handle: TextIO) -> None:
 
 
 def load_stream(source: PathOrFile) -> TraceStream:
-    """Read one trace stream from a JSONL file or open text handle."""
+    """Read one trace stream from a trace file or open text handle.
+
+    File sources are format-detected: ``*.rtb`` paths (and any file
+    starting with the RTB magic, whatever its name) load through the
+    binary columnar reader (``repro.trace.binary``), everything else
+    parses as JSONL.  Open handles are always treated as JSONL text.
+    """
     if isinstance(source, (str, os.PathLike)):
-        with open(source, "r", encoding="utf-8") as handle:
+        from repro.trace import binary
+
+        path = os.fspath(source)
+        if str(path).endswith(binary.RTB_SUFFIX) or binary.is_rtb_file(path):
+            return binary.load_stream_binary(path)
+        with open(path, "r", encoding="utf-8") as handle:
             return _load(handle)
     return _load(source)
 
@@ -160,33 +175,72 @@ _HASH_BLOCK_SIZE = 1 << 20
 
 
 def stream_content_hash(path: Union[str, os.PathLike]) -> str:
-    """SHA-256 hex digest of a trace file's bytes, streamed block-wise.
+    """Format-aware SHA-256 identity of a trace file's logical content.
 
     This is the content half of the artifact store's cache key
-    (``repro.store``): it hashes the file *bytes* without parsing them,
-    so addressing a 100 MB stream costs one sequential read instead of a
-    full ``TraceStream`` materialization.  Two byte-identical trace
-    files hash identically regardless of their names.
+    (``repro.store``), and it is *format-independent*: the digest is
+    defined as the SHA-256 of the stream's canonical JSONL serialization
+    (what ``dumps_stream`` renders), so a trace converted between JSONL
+    and RTB addresses the same store entries.
+
+    Neither format pays a parse to be addressed:
+
+    * JSONL files are hashed block-wise over their raw bytes — for
+      canonically written files (``dump_corpus``, ``repro trace
+      convert``) those bytes *are* the canonical serialization.  A
+      hand-edited file with non-canonical spacing hashes to its own
+      identity, which is merely a cache miss, never a wrong hit.
+    * RTB files carry the canonical digest in their header, computed at
+      encode time; addressing one costs a single small read.
     """
+    from repro.trace import binary
+
+    fspath = os.fspath(path)
+    if str(fspath).endswith(binary.RTB_SUFFIX) or binary.is_rtb_file(fspath):
+        return binary.read_content_hash(fspath)
     digest = hashlib.sha256()
-    with open(os.fspath(path), "rb") as handle:
+    with open(fspath, "rb") as handle:
         for block in iter(lambda: handle.read(_HASH_BLOCK_SIZE), b""):
             digest.update(block)
     return digest.hexdigest()
 
 
-def dump_corpus(streams: Iterable[TraceStream], directory: Union[str, os.PathLike]) -> List[str]:
-    """Write each stream to ``<directory>/<stream_id>.jsonl``; return paths.
+def dump_corpus(
+    streams: Iterable[TraceStream],
+    directory: Union[str, os.PathLike],
+    format: str = "jsonl",
+) -> List[str]:
+    """Write each stream to ``<directory>/<stream_id>.<format>``; return paths.
 
-    Files whose on-disk bytes already equal the stream's serialization
-    are left untouched (same inode, same mtime, same content hash), so
-    re-dumping a grown corpus rewrites only new or changed streams and
+    ``format`` selects the encoding: ``"jsonl"`` (interop default) or
+    ``"rtb"`` (binary columnar, ``repro.trace.binary``).  Files whose
+    on-disk content already equals the stream's serialization are left
+    untouched (same inode, same mtime, same content hash), so re-dumping
+    a grown corpus rewrites only new or changed streams and
     artifact-store entries keyed by content hash stay warm.
     """
+    from repro.trace import binary
+
+    if format not in ("jsonl", "rtb"):
+        raise SerializationError(
+            f"unknown corpus format {format!r} (expected 'jsonl' or 'rtb')"
+        )
     os.makedirs(directory, exist_ok=True)
     paths = []
     for stream in streams:
-        path = os.path.join(os.fspath(directory), f"{stream.stream_id}.jsonl")
+        name = f"{stream.stream_id}.{format}"
+        path = os.path.join(os.fspath(directory), name)
+        if format == "rtb":
+            new_hash = binary.logical_content_hash(stream)
+            if os.path.exists(path) and stream_content_hash(path) == new_hash:
+                paths.append(path)
+                continue
+            with open(path, "wb") as handle:
+                handle.write(
+                    binary.dumps_stream_binary(stream, content_hash=new_hash)
+                )
+            paths.append(path)
+            continue
         text = dumps_stream(stream)
         if os.path.exists(path):
             new_hash = hashlib.sha256(text.encode("utf-8")).hexdigest()
@@ -199,14 +253,26 @@ def dump_corpus(streams: Iterable[TraceStream], directory: Union[str, os.PathLik
     return paths
 
 
-def iter_corpus_paths(directory: Union[str, os.PathLike]) -> List[str]:
-    """The ``*.jsonl`` stream paths of a corpus directory, in corpus order.
+#: Suffixes a corpus directory is scanned for, in no particular order;
+#: the corpus order is defined over file names, not formats.
+TRACE_SUFFIXES = (".jsonl", ".rtb")
 
-    Corpus order is the lexicographic (code-point) order of the file
-    *names* — the guarantee documented in ``docs/FORMAT.md``.  It makes
-    every corpus traversal deterministic regardless of filesystem
-    enumeration order, so sequential runs, chunked parallel runs and
-    re-runs on other machines all see streams in the same order.
+
+def iter_corpus_paths(directory: Union[str, os.PathLike]) -> List[str]:
+    """The trace-stream paths of a corpus directory, in corpus order.
+
+    Both ``*.jsonl`` and ``*.rtb`` files are corpus members; corpus
+    order is the lexicographic (code-point) order of the file *names* —
+    the guarantee documented in ``docs/FORMAT.md``.  It makes every
+    corpus traversal deterministic regardless of filesystem enumeration
+    order, so sequential runs, chunked parallel runs and re-runs on
+    other machines all see streams in the same order.
+
+    A corpus holding the *same stream in both formats* (equal file
+    stems, e.g. ``stream00003.jsonl`` next to ``stream00003.rtb``) is
+    ambiguous — analyzing it would silently count that trace twice — so
+    it is rejected with a :class:`SerializationError`; convert or remove
+    one of the duplicates (``repro trace convert``).
 
     Returning paths instead of loaded streams lets callers ship cheap
     path lists to worker processes, each of which deserializes only its
@@ -214,8 +280,20 @@ def iter_corpus_paths(directory: Union[str, os.PathLike]) -> List[str]:
     """
     root = os.fspath(directory)
     names = sorted(
-        name for name in os.listdir(root) if name.endswith(".jsonl")
+        name for name in os.listdir(root) if name.endswith(TRACE_SUFFIXES)
     )
+    seen: dict = {}
+    for name in names:
+        stem = name.rsplit(".", 1)[0]
+        other = seen.get(stem)
+        if other is not None:
+            raise SerializationError(
+                f"corpus {root!r} holds stream {stem!r} in two formats "
+                f"({other!r} and {name!r}); analyzing both would count the "
+                "trace twice - convert or remove one "
+                "(repro trace convert)"
+            )
+        seen[stem] = name
     return [os.path.join(root, name) for name in names]
 
 

@@ -149,5 +149,66 @@ class ComponentFilter:
         return f"ComponentFilter(patterns={self._patterns!r})"
 
 
+#: Unset marker for :class:`StackTableMatcher` memo slots (``None`` is a
+#: valid component-signature result).
+_UNSET = object()
+
+
+class StackTableMatcher:
+    """Array-backed :class:`ComponentFilter` twin over a stack table.
+
+    A columnar trace stream stores each distinct callstack once and
+    refers to it by integer id.  This matcher memoizes the three
+    per-stack questions the analyses ask — *does any frame match*, *what
+    is the component signature*, *what is the node signature* — in flat
+    lists indexed by stack id, so the hot loops of wait-graph
+    aggregation and impact accumulation reduce to one list lookup per
+    event instead of a tuple hash per frame.  Results are exactly those
+    of the underlying filter applied to the materialized stack tuples.
+    """
+
+    __slots__ = ("_filter", "_stacks", "_matches", "_node_sigs")
+
+    def __init__(
+        self,
+        component_filter: ComponentFilter,
+        stacks: Sequence[Tuple[str, ...]],
+    ):
+        self._filter = component_filter
+        self._stacks = stacks
+        self._matches: list = [None] * len(stacks)
+        self._node_sigs: list = [_UNSET] * len(stacks)
+
+    def matches(self, stack_id: int) -> bool:
+        """``matches_stack`` by stack id."""
+        matched = self._matches[stack_id]
+        if matched is None:
+            matched = self._filter.matches_stack(self._stacks[stack_id])
+            self._matches[stack_id] = matched
+        return matched
+
+    def component_signature(self, stack_id: int) -> Optional[str]:
+        """``component_signature`` by stack id."""
+        return self._filter.component_signature(self._stacks[stack_id])
+
+    def node_signature(self, stack_id: int) -> str:
+        """The AWG node signature of a non-hardware event's stack.
+
+        The topmost component-related signature when one exists,
+        otherwise the innermost frame, otherwise (empty stack) the
+        hardware dummy signature — mirroring
+        ``AggregatedWaitGraph._signature_of`` for events that are not
+        hardware services and not on device pseudo-threads.
+        """
+        signature = self._node_sigs[stack_id]
+        if signature is _UNSET:
+            stack = self._stacks[stack_id]
+            signature = self._filter.component_signature(stack)
+            if signature is None:
+                signature = stack[-1] if stack else HARDWARE_SIGNATURE
+            self._node_sigs[stack_id] = signature
+        return signature
+
+
 #: The filter used throughout the paper's evaluation: all device drivers.
 ALL_DRIVERS = ComponentFilter(["*.sys"])

@@ -23,10 +23,15 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import WaitGraphError
+from repro.trace.binary import (
+    KIND_HW_SERVICE,
+    KIND_WAIT,
+    ColumnarTraceStream,
+)
 from repro.trace.events import Event, EventKind
 from repro.trace.signatures import HARDWARE_SIGNATURE, ComponentFilter
 from repro.trace.stream import HARDWARE_PROCESS
-from repro.waitgraph.graph import WaitGraph
+from repro.waitgraph.graph import IndexedWaitGraph, WaitGraph
 
 #: Node statuses (Definition 2).
 WAITING = "waiting"
@@ -159,11 +164,85 @@ class AggregatedWaitGraph:
         return node
 
     def add_graph(self, graph: WaitGraph) -> None:
-        """Aggregate one Wait Graph (steps 1–3 of Algorithm 1)."""
+        """Aggregate one Wait Graph (steps 1–3 of Algorithm 1).
+
+        Indexed graphs over columnar streams take an array-backed path
+        that reads the ``kind``/``cost``/``stack_id`` columns and a
+        memoized per-stack-id signature table instead of materializing
+        events; node keys, costs, counts and trie insertion order are
+        identical to the object-based aggregation.
+        """
+        if isinstance(graph, IndexedWaitGraph) and isinstance(
+            graph.instance.stream, ColumnarTraceStream
+        ):
+            self._add_graph_indexed(graph)
+            return
         self.source_graphs += 1
         effective_roots = self._eliminate_irrelevant_roots(graph)
         for event in effective_roots:
             self._merge(graph, event, self.roots, None, on_path=frozenset())
+
+    def _add_graph_indexed(self, graph: IndexedWaitGraph) -> None:
+        """Column-index twin of steps 1–3 for columnar streams."""
+        self.source_graphs += 1
+        stream = graph.instance.stream
+        matcher = stream.stack_matcher(self.component_filter)
+        kinds = stream.kind_col
+        stack_ids = stream.stack_id_col
+        hardware_tids = stream.hardware_tids
+        tids = stream.tid_col
+        children_of = graph.children_indices
+
+        # Step 1: eliminate irrelevant roots, promoting wait children.
+        frontier = list(graph.root_indices)
+        accepted: List[int] = []
+        seen = set()
+        while frontier:
+            index = frontier.pop(0)
+            if index in seen:
+                continue
+            seen.add(index)
+            if matcher.matches(stack_ids[index]):
+                accepted.append(index)
+            elif kinds[index] == KIND_WAIT:
+                frontier.extend(children_of.get(index, ()))
+
+        def signature_of(index: int) -> str:
+            if kinds[index] == KIND_HW_SERVICE or tids[index] in hardware_tids:
+                return HARDWARE_SIGNATURE
+            return matcher.node_signature(stack_ids[index])
+
+        costs = stream.cost_col
+        unwait_of = graph.unwait_indices
+
+        def merge(
+            index: int,
+            table: Dict[NodeKey, AwgNode],
+            parent: Optional[AwgNode],
+            on_path: frozenset,
+        ) -> None:
+            if index in on_path:  # defensive: malformed cyclic input
+                return
+            kind = kinds[index]
+            if kind == KIND_WAIT:
+                wait_sig = signature_of(index)
+                unwait = unwait_of.get(index)
+                unwait_sig = (
+                    wait_sig if unwait is None else signature_of(unwait)
+                )
+                key = (WAITING, wait_sig, unwait_sig)
+            elif kind == KIND_HW_SERVICE:
+                key = (HARDWARE, HARDWARE_SIGNATURE)
+            else:
+                key = (RUNNING, signature_of(index))
+            node = self._node_for(key, table, parent)
+            node.add_occurrence(costs[index])
+            if kind == KIND_WAIT:
+                for child in children_of.get(index, ()):
+                    merge(child, node.children, node, on_path | {index})
+
+        for index in accepted:
+            merge(index, self.roots, None, frozenset())
 
     def _eliminate_irrelevant_roots(self, graph: WaitGraph) -> List[Event]:
         """Promote children of component-irrelevant roots until all match."""

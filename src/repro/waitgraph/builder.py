@@ -22,9 +22,15 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.errors import WaitGraphError
+from repro.trace.binary import (
+    KIND_HW_SERVICE,
+    KIND_RUNNING,
+    KIND_WAIT,
+    ColumnarTraceStream,
+)
 from repro.trace.events import Event, EventKind
 from repro.trace.stream import HARDWARE_PROCESS, ScenarioInstance, TraceStream
-from repro.waitgraph.graph import WaitGraph
+from repro.waitgraph.graph import IndexedWaitGraph, WaitGraph
 
 
 def _find_unwait(stream: TraceStream, wait: Event) -> Optional[Event]:
@@ -39,6 +45,81 @@ def _is_hardware_thread(stream: TraceStream, tid: int) -> bool:
     return stream.thread_info(tid).process == HARDWARE_PROCESS
 
 
+def _build_wait_graph_indexed(
+    instance: ScenarioInstance, strict: bool
+) -> IndexedWaitGraph:
+    """Array-backed construction over a columnar stream.
+
+    Mirrors :func:`build_wait_graph` step for step — same window
+    queries, same expansion order, same unwait pairing — but every node
+    is a column index: the whole graph is built from the ``kind``/
+    ``timestamp``/``cost``/``tid`` columns without materializing one
+    :class:`Event`.  Because ``seq`` equals the column index by format
+    construction, the resulting structure is node-for-node identical to
+    the object-based build.
+    """
+    stream: ColumnarTraceStream = instance.stream
+    kinds = stream.kind_col
+    timestamps = stream.timestamp_col
+    costs = stream.cost_col
+    tids = stream.tid_col
+    hardware_tids = stream.hardware_tids
+
+    roots = [
+        index
+        for index in stream.thread_event_indices(
+            instance.tid, instance.t0, instance.t1
+        )
+        if kinds[index] == KIND_WAIT or kinds[index] == KIND_RUNNING
+    ]
+
+    children: Dict[int, List[int]] = {}
+    unwait_of: Dict[int, int] = {}
+    pending = [index for index in roots if kinds[index] == KIND_WAIT]
+
+    while pending:
+        wait = pending.pop()
+        if wait in children:
+            continue
+        wait_end = timestamps[wait] + costs[wait]
+        unwait = stream.unwait_index_at(tids[wait], wait_end)
+        if unwait is None:
+            if strict:
+                raise WaitGraphError(
+                    f"wait event #{wait} of thread {tids[wait]} in stream "
+                    f"{stream.stream_id!r} has no matching unwait"
+                )
+            children[wait] = []
+            continue
+        unwait_of[wait] = unwait
+
+        unwaiter = tids[unwait]
+        if unwaiter in hardware_tids:
+            # Attach exactly the hardware service completed by this unwait.
+            child_indices = [
+                index
+                for index in stream.thread_event_indices(
+                    unwaiter, timestamps[wait], wait_end + 1
+                )
+                if kinds[index] == KIND_HW_SERVICE
+                and timestamps[index] + costs[index] == wait_end
+            ]
+        else:
+            child_indices = [
+                index
+                for index in stream.thread_event_indices(
+                    unwaiter, timestamps[wait], wait_end
+                )
+                if kinds[index] == KIND_WAIT or kinds[index] == KIND_RUNNING
+            ]
+        children[wait] = child_indices
+        for child in child_indices:
+            if kinds[child] == KIND_WAIT and child not in children:
+                pending.append(child)
+
+    return IndexedWaitGraph(instance, roots, children, unwait_of)
+
+
 def build_wait_graph(
     instance: ScenarioInstance, strict: bool = False
 ) -> WaitGraph:
@@ -47,8 +128,14 @@ def build_wait_graph(
     ``strict`` raises :class:`WaitGraphError` when a wait event cannot be
     paired with an unwait; the default leaves such waits as leaves (real
     traces are lossy at their edges).
+
+    Columnar streams (RTB, ``repro.trace.binary``) take the array-backed
+    fast path and return an :class:`IndexedWaitGraph`; the result is
+    interchangeable with the object-based graph.
     """
     stream = instance.stream
+    if isinstance(stream, ColumnarTraceStream):
+        return _build_wait_graph_indexed(instance, strict)
     roots = [
         event
         for event in stream.events_of_thread(

@@ -103,3 +103,61 @@ class WaitGraph:
             f"WaitGraph({self.instance.scenario}@{self.instance.t0} "
             f"roots={len(self.roots)})"
         )
+
+
+class IndexedWaitGraph(WaitGraph):
+    """A Wait Graph held as column indices into a columnar stream.
+
+    Built by the array-backed construction fast path when the owning
+    stream is a :class:`~repro.trace.binary.ColumnarTraceStream`: nodes
+    are event *indices* (``seq`` equals the column index by format
+    construction), so building and aggregating never materializes an
+    :class:`Event`.  The full object API of :class:`WaitGraph` still
+    works — ``roots``/``children``/``unwait_of`` materialize events
+    lazily through the stream's per-index cache — which keeps report
+    rendering, path extraction and any external consumer unchanged.
+    """
+
+    def __init__(
+        self,
+        instance: ScenarioInstance,
+        root_indices: List[int],
+        children_indices: Dict[int, List[int]],
+        unwait_indices: Dict[int, int],
+    ):
+        # Deliberately not calling WaitGraph.__init__: events stay
+        # un-materialized until the object API is used.
+        self.instance = instance
+        self.root_indices = root_indices
+        self.children_indices = children_indices
+        self.unwait_indices = unwait_indices
+        self._roots: Optional[List[Event]] = None
+
+    @property
+    def roots(self) -> List[Event]:  # type: ignore[override]
+        if self._roots is None:
+            event_at = self.instance.stream.event_at
+            self._roots = [event_at(i) for i in self.root_indices]
+        return self._roots
+
+    @roots.setter
+    def roots(self, value) -> None:  # pragma: no cover - defensive
+        raise AttributeError("IndexedWaitGraph roots are derived")
+
+    def children(self, event: Event) -> List[Event]:
+        indices = self.children_indices.get(event.seq)
+        if not indices:
+            return []
+        event_at = self.instance.stream.event_at
+        return [event_at(i) for i in indices]
+
+    def unwait_of(self, event: Event) -> Optional[Event]:
+        index = self.unwait_indices.get(event.seq)
+        if index is None:
+            return None
+        return self.instance.stream.event_at(index)
+
+    @property
+    def top_level_duration(self) -> int:  # type: ignore[override]
+        costs = self.instance.stream.cost_col
+        return sum(costs[i] for i in self.root_indices)

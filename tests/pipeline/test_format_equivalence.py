@@ -1,0 +1,99 @@
+"""Cross-format pipeline equivalence: JSONL, RTB and mixed corpora.
+
+The acceptance bar for the binary fast path: impact, causality and study
+over the *same logical corpus* must produce byte-identical results
+whether the streams are stored as JSONL (object-path analysis), RTB
+(array-backed kernels) or a mixture — at any worker count.
+"""
+
+import pytest
+
+from repro.pipeline import parallel_causality, parallel_impact, parallel_study
+from repro.report.markdown import study_to_markdown
+from repro.sim.workloads.registry import scenario_spec
+from repro.trace import dump_corpus, iter_corpus_paths
+from repro.trace.binary import dump_stream_binary
+from repro.trace.serialization import dump_stream
+
+
+@pytest.fixture(scope="module")
+def format_dirs(small_corpus, tmp_path_factory):
+    """The same corpus in three layouts: all-JSONL, all-RTB, mixed."""
+    jsonl_dir = tmp_path_factory.mktemp("fmt-jsonl")
+    rtb_dir = tmp_path_factory.mktemp("fmt-rtb")
+    mixed_dir = tmp_path_factory.mktemp("fmt-mixed")
+    dump_corpus(small_corpus, jsonl_dir)
+    dump_corpus(small_corpus, rtb_dir, format="rtb")
+    for index, stream in enumerate(small_corpus):
+        if index % 2:
+            dump_stream_binary(stream, mixed_dir / f"{stream.stream_id}.rtb")
+        else:
+            dump_stream(stream, mixed_dir / f"{stream.stream_id}.jsonl")
+    return {"jsonl": jsonl_dir, "rtb": rtb_dir, "mixed": mixed_dir}
+
+
+@pytest.fixture(scope="module")
+def jsonl_study_markdown(format_dirs):
+    """The object-path baseline every other configuration must match."""
+    return study_to_markdown(
+        parallel_study(iter_corpus_paths(format_dirs["jsonl"]))
+    )
+
+
+class TestStudyAcrossFormats:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_rtb_study_byte_identical(
+        self, format_dirs, jsonl_study_markdown, workers
+    ):
+        markdown = study_to_markdown(
+            parallel_study(
+                iter_corpus_paths(format_dirs["rtb"]), workers=workers
+            )
+        )
+        assert markdown == jsonl_study_markdown
+
+    def test_mixed_corpus_study_byte_identical(
+        self, format_dirs, jsonl_study_markdown
+    ):
+        markdown = study_to_markdown(
+            parallel_study(
+                iter_corpus_paths(format_dirs["mixed"]), workers=2
+            )
+        )
+        assert markdown == jsonl_study_markdown
+
+
+class TestImpactAcrossFormats:
+    def test_all_layouts_agree(self, format_dirs):
+        results = {
+            name: parallel_impact(iter_corpus_paths(path), workers=2)
+            for name, path in format_dirs.items()
+        }
+        assert results["rtb"] == results["jsonl"]
+        assert results["mixed"] == results["jsonl"]
+
+
+class TestCausalityAcrossFormats:
+    def test_reports_agree(self, format_dirs):
+        name = "WebPageNavigation"
+        spec = scenario_spec(name)
+        baseline = parallel_causality(
+            iter_corpus_paths(format_dirs["jsonl"]),
+            name,
+            spec.t_fast,
+            spec.t_slow,
+        )
+        for layout in ("rtb", "mixed"):
+            report = parallel_causality(
+                iter_corpus_paths(format_dirs[layout]),
+                name,
+                spec.t_fast,
+                spec.t_slow,
+                workers=2,
+            )
+            assert report.summary() == baseline.summary()
+            assert report.patterns == baseline.patterns
+            assert report.slow_meta_patterns == baseline.slow_meta_patterns
+            assert [i.key for i in report.classes.slow] == [
+                i.key for i in baseline.classes.slow
+            ]

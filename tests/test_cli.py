@@ -223,6 +223,92 @@ class TestStoreCli:
         assert "3 hits, 0 misses" in capsys.readouterr().err
 
 
+class TestTraceUtilities:
+    def test_generate_rtb_corpus(self, tmp_path, capsys):
+        out_dir = tmp_path / "rtb-corpus"
+        assert main([
+            "generate", "--streams", "2", "--seed", "11",
+            "--out", str(out_dir), "--format", "rtb",
+        ]) == 0
+        assert "2 rtb streams" in capsys.readouterr().out
+        assert len(list(out_dir.glob("*.rtb"))) == 2
+        assert not list(out_dir.glob("*.jsonl"))
+
+    def test_convert_corpus_directory_and_analyze(
+        self, corpus_dir, tmp_path, capsys
+    ):
+        converted = tmp_path / "rtb"
+        assert main([
+            "trace", "convert", str(corpus_dir), str(converted),
+        ]) == 0
+        assert "converted 3 streams to rtb" in capsys.readouterr().out
+        assert len(list(converted.glob("*.rtb"))) == 3
+        assert main(["impact", str(converted)]) == 0
+        rtb_out = capsys.readouterr().out
+        assert main(["impact", str(corpus_dir)]) == 0
+        assert capsys.readouterr().out == rtb_out
+
+    def test_convert_single_file_round_trip(self, corpus_dir, tmp_path, capsys):
+        from repro.trace import load_stream
+
+        source = sorted(corpus_dir.glob("*.jsonl"))[0]
+        rtb = tmp_path / "one.rtb"
+        back = tmp_path / "back.jsonl"
+        assert main(["trace", "convert", str(source), str(rtb)]) == 0
+        assert main(["trace", "convert", str(rtb), str(back)]) == 0
+        capsys.readouterr()
+        assert back.read_bytes() == source.read_bytes()
+        assert load_stream(rtb).events == load_stream(source).events
+
+    def test_convert_needs_inferable_format(self, corpus_dir, tmp_path):
+        source = sorted(corpus_dir.glob("*.jsonl"))[0]
+        assert main([
+            "trace", "convert", str(source), str(tmp_path / "out.bin"),
+        ]) == 2
+
+    def test_info_reports_format_and_hash(self, corpus_dir, tmp_path, capsys):
+        source = sorted(corpus_dir.glob("*.jsonl"))[0]
+        rtb = tmp_path / "one.rtb"
+        assert main(["trace", "convert", str(source), str(rtb)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "info", str(rtb)]) == 0
+        out = capsys.readouterr().out
+        assert "rtb" in out
+        assert "content hash" in out
+        assert main(["trace", "info", str(source)]) == 0
+        assert "jsonl" in capsys.readouterr().out
+
+
+class TestVerboseTiming:
+    def test_verbose_prints_map_phase_summary(self, corpus_dir, capsys):
+        assert main(["impact", str(corpus_dir), "--verbose"]) == 0
+        captured = capsys.readouterr()
+        assert "map phase:" in captured.err
+        assert "events/s" in captured.err
+        assert "3 jsonl" in captured.err
+        assert "map phase" not in captured.out
+
+    def test_verbose_output_matches_quiet_run(self, corpus_dir, capsys):
+        assert main(["study", str(corpus_dir)]) == 0
+        quiet = capsys.readouterr().out
+        assert main(["study", str(corpus_dir), "--verbose"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == quiet
+        assert "map phase:" in captured.err
+
+    def test_verbose_reports_store_hit_rate(self, corpus_dir, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main([
+            "impact", str(corpus_dir), "--store", str(store), "--verbose",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "impact", str(corpus_dir), "--store", str(store), "--verbose",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "store: 3/3 hits (100.0%)" in err
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -235,3 +321,7 @@ class TestParser:
     def test_store_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main(["store"])
+
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])

@@ -1,0 +1,392 @@
+"""Tests for RTB, the binary columnar trace format.
+
+The bar for the codec is losslessness: every stream must round-trip
+JSONL ↔ RTB with identical events, threads and instances — down to the
+canonical JSONL serialization of the restored stream being byte-equal —
+and the lazy :class:`ColumnarTraceStream` must answer every
+``TraceStream`` query exactly like the object-backed stream does.
+"""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SerializationError
+from repro.trace.binary import (
+    KIND_CODES,
+    RTB_FORMAT_VERSION,
+    RTB_MAGIC,
+    ColumnarTraceStream,
+    dump_stream_binary,
+    dumps_stream_binary,
+    is_rtb_bytes,
+    is_rtb_file,
+    load_stream_binary,
+    loads_stream_binary,
+    logical_content_hash,
+    read_content_hash,
+)
+from repro.trace.events import EventKind
+from repro.trace.serialization import (
+    dump_stream,
+    dumps_stream,
+    load_stream,
+    stream_content_hash,
+)
+from repro.trace.stream import ThreadInfo
+from tests.conftest import make_event, make_stream
+from tests.trace.test_serialization import build_sample_stream
+
+
+def assert_streams_equal(restored, original):
+    assert restored.stream_id == original.stream_id
+    assert list(restored.events) == list(original.events)
+    assert restored.threads == original.threads
+    assert [i.key for i in restored.instances] == [
+        i.key for i in original.instances
+    ]
+    # The strongest form: both serialize to the same canonical JSONL.
+    assert dumps_stream(restored) == dumps_stream(original)
+
+
+class TestRoundTrip:
+    def test_bytes_round_trip(self):
+        original = build_sample_stream()
+        restored = loads_stream_binary(dumps_stream_binary(original))
+        assert_streams_equal(restored, original)
+
+    def test_file_round_trip(self, tmp_path):
+        original = build_sample_stream()
+        path = tmp_path / "trace.rtb"
+        dump_stream_binary(original, path)
+        assert is_rtb_file(path)
+        restored = load_stream_binary(path)
+        assert_streams_equal(restored, original)
+
+    def test_load_stream_detects_rtb_suffix(self, tmp_path):
+        original = build_sample_stream()
+        path = tmp_path / "trace.rtb"
+        dump_stream_binary(original, path)
+        restored = load_stream(path)
+        assert isinstance(restored, ColumnarTraceStream)
+        assert_streams_equal(restored, original)
+
+    def test_load_stream_detects_rtb_magic_despite_name(self, tmp_path):
+        original = build_sample_stream()
+        path = tmp_path / "mislabeled.jsonl"
+        dump_stream_binary(original, path)
+        restored = load_stream(path)
+        assert isinstance(restored, ColumnarTraceStream)
+        assert_streams_equal(restored, original)
+
+    def test_simulated_stream_round_trips(self, small_corpus):
+        original = small_corpus[0]
+        restored = loads_stream_binary(dumps_stream_binary(original))
+        assert_streams_equal(restored, original)
+
+    def test_double_conversion_is_identity(self, tmp_path):
+        """jsonl -> rtb -> jsonl reproduces the canonical bytes."""
+        original = build_sample_stream()
+        jsonl_path = tmp_path / "a.jsonl"
+        dump_stream(original, jsonl_path)
+        rtb = loads_stream_binary(dumps_stream_binary(load_stream(jsonl_path)))
+        back = tmp_path / "b.jsonl"
+        dump_stream(rtb, back)
+        assert back.read_bytes() == jsonl_path.read_bytes()
+
+    def test_resource_and_wtid_preserved(self):
+        original = build_sample_stream()
+        restored = loads_stream_binary(dumps_stream_binary(original))
+        assert restored.events[1].resource == "lock:x"
+        assert restored.events[2].wtid == 1
+        assert restored.events[3].stack == ()
+        assert restored.events[3].resource is None
+
+    def test_empty_stream_round_trips(self):
+        original = make_stream("empty")
+        restored = loads_stream_binary(dumps_stream_binary(original))
+        assert_streams_equal(restored, original)
+        assert len(restored) == 0
+        assert restored.span == (0, 0)
+
+
+# A small vocabulary keeps the interner paths (dedup, reuse across
+# events) well exercised without blowing up example sizes.
+_FRAMES = ["app!Main", "fv.sys!Query", "kernel!Lock", "net.sys!Send"]
+_EVENT_SPECS = st.tuples(
+    st.sampled_from(list(EventKind)),
+    st.lists(st.sampled_from(_FRAMES), min_size=1, max_size=3).map(tuple),
+    st.integers(0, 500),  # timestamp delta
+    st.integers(0, 1000),  # cost
+    st.integers(1, 4),  # tid
+    st.integers(1, 4),  # wtid (unwaits only)
+    st.one_of(st.none(), st.sampled_from(["lock:a", "device:Disk"])),
+)
+
+
+class TestRoundTripProperty:
+    @given(st.lists(_EVENT_SPECS, max_size=30))
+    def test_any_stream_round_trips(self, specs):
+        events = []
+        now = 0
+        for kind, stack, delta, cost, tid, wtid, resource in specs:
+            now += delta
+            events.append(
+                make_event(
+                    kind,
+                    stack if kind is not EventKind.HW_SERVICE else (),
+                    timestamp=now,
+                    cost=cost,
+                    tid=tid,
+                    wtid=wtid if kind is EventKind.UNWAIT else None,
+                    resource=resource,
+                )
+            )
+        threads = [
+            ThreadInfo(1, "App", "UI"),
+            ThreadInfo(2, "App", "Worker"),
+            ThreadInfo(3, "App", "Pool"),
+            ThreadInfo(4, "Hardware", "Disk"),
+        ]
+        stream = make_stream("prop", events, threads)
+        if events:
+            stream.add_instance("Scn", tid=1, t0=0, t1=now + 2000)
+        restored = loads_stream_binary(dumps_stream_binary(stream))
+        assert_streams_equal(restored, stream)
+
+
+class TestContentHash:
+    def test_header_hash_is_canonical_jsonl_digest(self):
+        import hashlib
+
+        stream = build_sample_stream()
+        expected = hashlib.sha256(
+            dumps_stream(stream).encode("utf-8")
+        ).hexdigest()
+        assert logical_content_hash(stream) == expected
+        restored = loads_stream_binary(dumps_stream_binary(stream))
+        assert restored.content_hash == expected
+
+    def test_read_content_hash_without_full_parse(self, tmp_path):
+        stream = build_sample_stream()
+        path = tmp_path / "t.rtb"
+        dump_stream_binary(stream, path)
+        assert read_content_hash(path) == logical_content_hash(stream)
+
+    def test_hash_format_independent(self, tmp_path):
+        stream = build_sample_stream()
+        jsonl_path = tmp_path / "t.jsonl"
+        rtb_path = tmp_path / "t.rtb"
+        dump_stream(stream, jsonl_path)
+        dump_stream_binary(stream, rtb_path)
+        assert stream_content_hash(jsonl_path) == stream_content_hash(rtb_path)
+
+    def test_fingerprint_module_mirrors_codec_version(self):
+        from repro.store import fingerprint
+
+        assert fingerprint.RTB_FORMAT_VERSION == RTB_FORMAT_VERSION
+
+
+class TestColumnarAPIEquivalence:
+    """ColumnarTraceStream answers like the object-backed TraceStream."""
+
+    @pytest.fixture(scope="class")
+    def pair(self, small_corpus):
+        baseline = small_corpus[0]
+        columnar = loads_stream_binary(dumps_stream_binary(baseline))
+        return baseline, columnar
+
+    def test_len_and_iter(self, pair):
+        baseline, columnar = pair
+        assert len(columnar) == len(baseline)
+        assert list(columnar) == list(baseline.events)
+
+    def test_span(self, pair):
+        baseline, columnar = pair
+        assert columnar.span == baseline.span
+
+    def test_events_of_thread_windows(self, pair):
+        baseline, columnar = pair
+        for instance in baseline.instances[:10]:
+            expected = baseline.events_of_thread(
+                instance.tid, instance.t0, instance.t1
+            )
+            actual = columnar.events_of_thread(
+                instance.tid, instance.t0, instance.t1
+            )
+            assert actual == expected
+
+    def test_events_of_thread_unbounded(self, pair):
+        baseline, columnar = pair
+        tid = baseline.events[0].tid
+        assert columnar.events_of_thread(tid) == baseline.events_of_thread(tid)
+        assert columnar.events_of_thread(-1) == []
+
+    def test_thread_event_indices_match_object_path(self, pair):
+        baseline, columnar = pair
+        for instance in baseline.instances[:10]:
+            expected = [
+                event.seq
+                for event in baseline.events_of_thread(
+                    instance.tid, instance.t0, instance.t1
+                )
+            ]
+            assert (
+                columnar.thread_event_indices(
+                    instance.tid, instance.t0, instance.t1
+                )
+                == expected
+            )
+
+    def test_unwaits_targeting(self, pair):
+        baseline, columnar = pair
+        unwaits = baseline.events_of_kind(EventKind.UNWAIT)
+        targets = {event.wtid for event in unwaits[:20]}
+        for tid in targets:
+            assert columnar.unwaits_targeting(tid) == (
+                baseline.unwaits_targeting(tid)
+            )
+        event = unwaits[0]
+        assert columnar.unwaits_targeting(
+            event.wtid, event.timestamp, event.timestamp
+        ) == baseline.unwaits_targeting(
+            event.wtid, event.timestamp, event.timestamp
+        )
+
+    def test_unwait_index_at_finds_first_match(self, pair):
+        baseline, columnar = pair
+        for event in baseline.events_of_kind(EventKind.UNWAIT)[:20]:
+            expected = next(
+                candidate.seq
+                for candidate in baseline.events
+                if candidate.kind is EventKind.UNWAIT
+                and candidate.wtid == event.wtid
+                and candidate.timestamp == event.timestamp
+            )
+            assert (
+                columnar.unwait_index_at(event.wtid, event.timestamp)
+                == expected
+            )
+        assert columnar.unwait_index_at(-1, 0) is None
+
+    def test_events_of_kind(self, pair):
+        baseline, columnar = pair
+        for kind in EventKind:
+            assert columnar.events_of_kind(kind) == (
+                baseline.events_of_kind(kind)
+            )
+
+    def test_hardware_tids(self, pair):
+        baseline, columnar = pair
+        expected = {
+            tid
+            for tid, info in baseline.threads.items()
+            if info.process == "Hardware"
+        }
+        assert columnar.hardware_tids == expected
+
+    def test_events_are_cached_by_index(self, pair):
+        _, columnar = pair
+        assert columnar.events[0] is columnar.events[0]
+
+    def test_events_are_read_only(self, pair):
+        _, columnar = pair
+        with pytest.raises(AttributeError):
+            columnar.events = []
+
+    def test_negative_and_slice_indexing(self, pair):
+        baseline, columnar = pair
+        assert columnar.events[-1] == baseline.events[-1]
+        assert columnar.events[2:5] == list(baseline.events[2:5])
+        with pytest.raises(IndexError):
+            columnar.events[len(baseline.events)]
+
+
+def _sections_of(data: bytes):
+    meta_len = int.from_bytes(data[8:12], "little")
+    meta = json.loads(data[12 : 12 + meta_len])
+    body_start = 12 + meta_len + (-(12 + meta_len) % 8)
+    return meta, body_start
+
+
+class TestMalformedInput:
+    def test_bad_magic(self):
+        with pytest.raises(SerializationError, match="magic"):
+            loads_stream_binary(b"NOPE" + b"\x00" * 32)
+        assert not is_rtb_bytes(b"NOPE")
+
+    def test_truncated_preamble(self):
+        with pytest.raises(SerializationError, match="magic"):
+            loads_stream_binary(RTB_MAGIC)
+
+    def test_unsupported_version(self):
+        data = bytearray(dumps_stream_binary(build_sample_stream()))
+        data[4:6] = (99).to_bytes(2, "little")
+        with pytest.raises(SerializationError, match="version"):
+            loads_stream_binary(bytes(data))
+
+    def test_truncated_meta_block(self):
+        data = dumps_stream_binary(build_sample_stream())
+        with pytest.raises(SerializationError, match="meta"):
+            loads_stream_binary(data[:16])
+
+    def test_unsorted_timestamps_rejected(self):
+        stream = make_stream(
+            "s",
+            [
+                make_event(timestamp=0, cost=10, tid=1),
+                make_event(timestamp=100, cost=10, tid=1),
+            ],
+        )
+        data = bytearray(dumps_stream_binary(stream))
+        meta, body_start = _sections_of(bytes(data))
+        offset, _ = meta["sections"]["timestamp"]
+        start = body_start + offset
+        first = data[start : start + 8]
+        second = data[start + 8 : start + 16]
+        data[start : start + 8] = second
+        data[start + 8 : start + 16] = first
+        with pytest.raises(SerializationError, match="sorted"):
+            loads_stream_binary(bytes(data))
+
+    def test_out_of_bounds_section_rejected(self):
+        data = bytearray(dumps_stream_binary(build_sample_stream()))
+        meta, _ = _sections_of(bytes(data))
+        # Grow one section's recorded length past the buffer end.
+        text = json.dumps(meta, sort_keys=True, separators=(",", ":"))
+        meta["sections"]["kind"][1] = 1 << 30
+        tampered = json.dumps(meta, sort_keys=True, separators=(",", ":"))
+        assert len(tampered) >= len(text)
+        with pytest.raises(SerializationError, match="out of bounds|missing"):
+            loads_stream_binary(
+                bytes(data[:8])
+                + len(tampered).to_bytes(4, "little")
+                + tampered.encode("utf-8")
+                + b"\x00" * (-(12 + len(tampered)) % 8)
+                + bytes(data[12 + len(text) + (-(12 + len(text)) % 8) :])
+            )
+
+    def test_read_content_hash_rejects_jsonl(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        dump_stream(build_sample_stream(), path)
+        with pytest.raises(SerializationError, match="not an RTB"):
+            read_content_hash(path)
+
+    def test_load_error_names_the_file(self, tmp_path):
+        path = tmp_path / "bad.rtb"
+        path.write_bytes(RTB_MAGIC + b"\x00" * 4)
+        with pytest.raises(SerializationError, match="bad.rtb"):
+            load_stream_binary(path)
+
+
+class TestKindCodes:
+    def test_codes_are_stable(self):
+        # On-disk codes are a format contract: changing them without a
+        # version bump would silently reinterpret existing files.
+        assert KIND_CODES[EventKind.RUNNING] == 0
+        assert KIND_CODES[EventKind.WAIT] == 1
+        assert KIND_CODES[EventKind.UNWAIT] == 2
+        assert KIND_CODES[EventKind.HW_SERVICE] == 3
+        assert RTB_FORMAT_VERSION == 1

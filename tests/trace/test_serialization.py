@@ -255,6 +255,65 @@ class TestDumpCorpusSkipsUnchanged:
         assert os.stat(first).st_mtime_ns == 1
 
 
+class TestMixedFormatCorpus:
+    def test_mixed_corpus_loads_in_name_order(self, tmp_path):
+        from repro.trace.binary import ColumnarTraceStream, dump_stream_binary
+
+        dump_stream(make_stream("a", [make_event(cost=1)]), tmp_path / "a.jsonl")
+        dump_stream_binary(
+            make_stream("b", [make_event(cost=2)]), tmp_path / "b.rtb"
+        )
+        dump_stream(make_stream("c", [make_event(cost=3)]), tmp_path / "c.jsonl")
+        names = [path.rsplit("/", 1)[-1] for path in iter_corpus_paths(tmp_path)]
+        assert names == ["a.jsonl", "b.rtb", "c.jsonl"]
+        loaded = list(load_corpus(tmp_path))
+        assert [stream.stream_id for stream in loaded] == ["a", "b", "c"]
+        assert isinstance(loaded[1], ColumnarTraceStream)
+        assert not isinstance(loaded[0], ColumnarTraceStream)
+
+    def test_duplicate_stem_rejected(self, tmp_path):
+        from repro.trace.binary import dump_stream_binary
+
+        stream = build_sample_stream()
+        dump_stream(stream, tmp_path / "sample.jsonl")
+        dump_stream_binary(stream, tmp_path / "sample.rtb")
+        with pytest.raises(SerializationError, match="two formats"):
+            iter_corpus_paths(tmp_path)
+
+    def test_dump_corpus_rtb_round_trips(self, tmp_path):
+        streams = [build_sample_stream() for _ in range(2)]
+        for index, stream in enumerate(streams):
+            stream.stream_id = f"s{index}"
+        paths = dump_corpus(streams, tmp_path, format="rtb")
+        assert all(path.endswith(".rtb") for path in paths)
+        restored = list(load_corpus(tmp_path))
+        assert [s.stream_id for s in restored] == ["s0", "s1"]
+        assert list(restored[0].events) == list(streams[0].events)
+
+    def test_dump_corpus_rtb_skips_unchanged(self, tmp_path):
+        import os
+
+        streams = [make_stream("s1", [make_event(cost=10)])]
+        (path,) = dump_corpus(streams, tmp_path, format="rtb")
+        os.utime(path, ns=(1, 1))
+        assert dump_corpus(streams, tmp_path, format="rtb") == [path]
+        assert os.stat(path).st_mtime_ns == 1
+
+    def test_dump_corpus_rejects_unknown_format(self, tmp_path):
+        with pytest.raises(SerializationError, match="unknown corpus format"):
+            dump_corpus([build_sample_stream()], tmp_path, format="xml")
+
+    def test_content_hash_is_format_independent(self, tmp_path):
+        from repro.trace.binary import dump_stream_binary
+
+        stream = build_sample_stream()
+        dump_stream(stream, tmp_path / "a.jsonl")
+        dump_stream_binary(stream, tmp_path / "b.rtb")
+        assert stream_content_hash(tmp_path / "a.jsonl") == (
+            stream_content_hash(tmp_path / "b.rtb")
+        )
+
+
 class TestLoadedStacks:
     def test_loaded_stack_frames_are_interned(self, tmp_path):
         events = [
