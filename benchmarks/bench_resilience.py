@@ -1,0 +1,134 @@
+"""Resilience benchmarks: fault-isolation overhead and hostile-corpus runs.
+
+Two questions decide whether ``--on-error skip`` can be the default for
+continuous-monitoring deployments:
+
+* **overhead** — on a clean corpus, how much slower is the resilient
+  executor (future-per-chunk, crash detection armed) than the plain
+  ``Pool.map`` fan-out?  Output must stay byte-identical.
+* **hostile throughput** — on a fuzzed corpus, what does a skip/salvage
+  run cost relative to the clean strict run, and how much of the corpus
+  survives?
+
+Corpus size follows ``REPRO_BENCH_RESILIENCE_STREAMS`` (default 24).
+Ratios are printed, not asserted — wall-clock depends on the host —
+except determinism: the skip-mode result over a fuzzed corpus must equal
+the strict analysis of its surviving traces.
+"""
+
+import os
+import shutil
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, print_banner
+from repro.pipeline import parallel_study
+from repro.report.markdown import study_to_markdown
+from repro.resilience import RunHealth, fuzz_corpus
+from repro.sim.corpus import CorpusConfig, generate_corpus
+from repro.trace.serialization import dump_corpus, iter_corpus_paths
+
+RESILIENCE_STREAMS = int(
+    os.environ.get("REPRO_BENCH_RESILIENCE_STREAMS", "24")
+)
+WORKER_COUNTS = (1, 2, 4)
+FUZZ_SEED = 20140301
+
+
+@pytest.fixture(scope="module")
+def clean_corpus_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("bench-resilience-corpus")
+    corpus = generate_corpus(
+        CorpusConfig(streams=RESILIENCE_STREAMS, seed=BENCH_SEED)
+    )
+    dump_corpus(corpus, directory)
+    return directory
+
+
+def _timed(callable_):
+    start = time.perf_counter()
+    result = callable_()
+    return result, time.perf_counter() - start
+
+
+def test_bench_resilient_executor_overhead(clean_corpus_dir):
+    """Plain vs resilient fan-out on a clean corpus, same output."""
+    paths = iter_corpus_paths(clean_corpus_dir)
+    rows = []
+    baseline = None
+    for workers in WORKER_COUNTS:
+        strict_md, strict = _timed(
+            lambda: study_to_markdown(parallel_study(paths, workers=workers))
+        )
+        if baseline is None:
+            baseline = strict_md
+        assert strict_md == baseline
+        health = RunHealth()
+        skip_md, skip = _timed(
+            lambda: study_to_markdown(
+                parallel_study(
+                    paths, workers=workers, on_error="skip", health=health
+                )
+            )
+        )
+        assert skip_md == baseline
+        assert health.analyzed == len(paths)
+        assert health.ok
+        rows.append((workers, strict, skip))
+
+    print_banner(
+        f"Resilience - clean-corpus overhead ({RESILIENCE_STREAMS} streams)"
+    )
+    print(f"{'workers':>7}  {'strict s':>8}  {'skip s':>8}  {'overhead':>8}")
+    for workers, strict, skip, in rows:
+        print(
+            f"{workers:>7}  {strict:>8.2f}  {skip:>8.2f}  "
+            f"{(skip / strict - 1.0):>7.1%}"
+        )
+
+
+def test_bench_hostile_corpus_runs(clean_corpus_dir, tmp_path_factory):
+    """Skip/salvage study of a fuzzed corpus vs its survivor baseline."""
+    hostile_dir = tmp_path_factory.mktemp("bench-resilience-hostile")
+    for path in iter_corpus_paths(clean_corpus_dir):
+        shutil.copy2(path, hostile_dir)
+    records = fuzz_corpus(hostile_dir, seed=FUZZ_SEED, fraction=0.5)
+    paths = iter_corpus_paths(hostile_dir)
+
+    rows = []
+    skip_md = None
+    for policy in ("skip", "salvage"):
+        health = RunHealth()
+        markdown, elapsed = _timed(
+            lambda: study_to_markdown(
+                parallel_study(
+                    paths, workers=2, on_error=policy, health=health
+                )
+            )
+        )
+        if policy == "skip":
+            skip_md = markdown
+        assert health.analyzed + health.skipped == len(paths)
+        assert health.quarantined == 0
+        rows.append((policy, elapsed, health))
+
+    # Determinism: the skip-mode study equals the strict study of the
+    # traces skip-mode kept (salvage may keep more, so only skip is
+    # checked against a strict baseline).
+    skip_health = rows[0][2]
+    skipped_sources = {failure.source for failure in skip_health.failures}
+    survivors = [path for path in paths if path not in skipped_sources]
+    assert study_to_markdown(parallel_study(survivors, workers=2)) == skip_md
+
+    print_banner(
+        f"Resilience - hostile corpus ({len(records)} of {len(paths)} "
+        f"files fuzzed, seed {FUZZ_SEED})"
+    )
+    print(f"{'policy':>8}  {'seconds':>8}  {'analyzed':>8}  "
+          f"{'skipped':>7}  {'salvaged':>8}")
+    for policy, elapsed, health in rows:
+        print(
+            f"{policy:>8}  {elapsed:>8.2f}  {health.analyzed:>8}  "
+            f"{health.skipped:>7}  {health.salvaged:>8}"
+        )

@@ -30,11 +30,14 @@ from repro.errors import (
     ConfigError,
     DeadlockError,
     ReproError,
+    ResilienceError,
     SerializationError,
     SimulationError,
     TraceError,
+    TraceSalvageError,
     TraceValidationError,
     WaitGraphError,
+    WorkerCrashError,
 )
 from repro.evaluation import (
     StudyResult,
@@ -53,6 +56,7 @@ from repro.pipeline import (
     parallel_impact,
     parallel_study,
 )
+from repro.resilience import RunHealth, TraceFailure, fuzz_corpus
 from repro.sim import CorpusConfig, Machine, MachineConfig, generate_corpus
 from repro.trace import (
     ALL_DRIVERS,
@@ -95,6 +99,8 @@ __all__ = [
     "Machine",
     "MachineConfig",
     "ReproError",
+    "ResilienceError",
+    "RunHealth",
     "ScenarioInstance",
     "SerializationError",
     "SignatureSetTuple",
@@ -102,10 +108,13 @@ __all__ = [
     "StudyResult",
     "ThreadInfo",
     "TraceError",
+    "TraceFailure",
+    "TraceSalvageError",
     "TraceStream",
     "TraceValidationError",
     "WaitGraph",
     "WaitGraphError",
+    "WorkerCrashError",
     "aggregate_wait_graphs",
     "build_wait_graph",
     "breakdown_by_module",
@@ -113,6 +122,7 @@ __all__ = [
     "compare_patterns",
     "critical_path",
     "dump_stream",
+    "fuzz_corpus",
     "generate_corpus",
     "load_stream",
     "parallel_causality",

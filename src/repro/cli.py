@@ -11,7 +11,9 @@ Subcommands cover the full workflow a performance analyst would run:
 * ``repro compare``  — diff two corpora's patterns (regression check);
 * ``repro case``     — replay a paper case study (figure1 / hardfault);
 * ``repro store``    — artifact-store maintenance (stats/verify/gc/prewarm);
-* ``repro trace``    — trace-file utilities (convert between formats, info).
+* ``repro trace``    — trace-file utilities (convert between formats, info);
+* ``repro corpus``   — corpus health tools (doctor triages damaged traces,
+  fuzz injects deterministic corruption for resilience testing).
 
 Traces are directories of ``*.jsonl`` and/or ``*.rtb`` streams as
 written by ``repro generate`` (or any producer of the documented
@@ -22,6 +24,12 @@ per-trace partials in a content-addressed artifact store
 free, and a grown corpus only pays for its new traces.  Output is
 byte-identical with and without a store and across trace formats; cache
 statistics and ``--verbose`` timing summaries go to stderr.
+
+Hostile corpora are handled by the resilience layer
+(``docs/RESILIENCE.md``): ``--on-error skip|salvage`` makes the
+analysis commands tolerate damaged trace files and crashing workers,
+``--max-retries`` bounds the crash-retry budget, and ``--health-json``
+writes a machine-readable run-health report for CI gates.
 """
 
 from __future__ import annotations
@@ -95,6 +103,26 @@ def _add_worker_options(subparser: argparse.ArgumentParser) -> None:
         help="print a one-line map-phase timing summary "
              "(events/sec, formats, cache hit rate) to stderr",
     )
+    _add_resilience_options(subparser)
+
+
+def _add_resilience_options(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--on-error", default="strict", metavar="POLICY",
+        help="damaged-trace policy: strict (default, fail the run), "
+             "skip (drop and record), or salvage (keep the valid "
+             "portion; see docs/RESILIENCE.md)",
+    )
+    subparser.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="extra attempts per chunk after a worker crash before "
+             "bisection/fallback (default: 2)",
+    )
+    subparser.add_argument(
+        "--health-json", default=None, metavar="FILE",
+        help="write a machine-readable run-health report (analyzed/"
+             "skipped/salvaged/quarantined counts plus failures)",
+    )
 
 
 def _validate_pipeline_options(args: argparse.Namespace) -> None:
@@ -111,6 +139,10 @@ def _validate_pipeline_options(args: argparse.Namespace) -> None:
             f"--chunk-size must be >= 1, got {chunk_size} "
             "(omit the flag to size chunks automatically)"
         )
+    from repro.resilience import validate_max_retries, validate_on_error
+
+    validate_on_error(getattr(args, "on_error", "strict"))
+    validate_max_retries(getattr(args, "max_retries", 0))
 
 
 def _open_cli_store(args: argparse.Namespace):
@@ -153,13 +185,46 @@ def _use_pipeline(args: argparse.Namespace, store) -> bool:
 
     ``--verbose`` forces the pipeline even at ``--workers 1`` so there
     is a map phase to time; its output is identical to the sequential
-    path by the pipeline's equivalence guarantee.
+    path by the pipeline's equivalence guarantee.  A non-strict
+    ``--on-error`` policy or a ``--health-json`` sidecar also force it:
+    fault isolation and run-health accounting live in the map phase.
     """
     return (
         args.workers > 1
         or store is not None
         or getattr(args, "verbose", False)
+        or getattr(args, "on_error", "strict") != "strict"
+        or getattr(args, "health_json", None) is not None
     )
+
+
+def _run_health(args: argparse.Namespace):
+    """A RunHealth collector for this invocation, or None when unwanted.
+
+    Health is tracked whenever someone will see it: a non-strict
+    ``--on-error`` policy, a ``--health-json`` sidecar, or ``--verbose``.
+    """
+    wanted = (
+        getattr(args, "on_error", "strict") != "strict"
+        or getattr(args, "health_json", None) is not None
+        or getattr(args, "verbose", False)
+    )
+    if not wanted:
+        return None
+    from repro.resilience import RunHealth
+
+    return RunHealth()
+
+
+def _report_health(args: argparse.Namespace, health) -> None:
+    """Emit the run-health summary (stderr) and sidecar (``--health-json``)."""
+    if health is None:
+        return
+    if getattr(args, "verbose", False):
+        print(health.summary(), file=sys.stderr)
+    path = getattr(args, "health_json", None)
+    if path:
+        health.write_json(path)
 
 
 # ---------------------------------------------------------------------------
@@ -203,6 +268,7 @@ def cmd_impact(args: argparse.Namespace) -> int:
         from repro.pipeline import parallel_impact
 
         stats = _map_phase_stats(args)
+        health = _run_health(args)
         result = parallel_impact(
             _trace_sources(args.traces),
             component_patterns=args.components,
@@ -211,9 +277,13 @@ def cmd_impact(args: argparse.Namespace) -> int:
             chunk_size=args.chunk_size,
             store=store,
             stats=stats,
+            on_error=args.on_error,
+            max_retries=args.max_retries,
+            health=health,
         )
         _report_stats(stats)
         _report_store(store)
+        _report_health(args, health)
     else:
         streams = _load_traces(args.traces)
         result = ImpactAnalysis(args.components).analyze_corpus(
@@ -258,6 +328,7 @@ def cmd_causality(args: argparse.Namespace) -> int:
         from repro.pipeline import parallel_causality
 
         stats = _map_phase_stats(args)
+        health = _run_health(args)
         try:
             report = parallel_causality(
                 _trace_sources(args.traces),
@@ -269,12 +340,16 @@ def cmd_causality(args: argparse.Namespace) -> int:
                 chunk_size=args.chunk_size,
                 store=store,
                 stats=stats,
+                on_error=args.on_error,
+                max_retries=args.max_retries,
+                health=health,
             )
         except AnalysisError as error:
             print(str(error), file=sys.stderr)
             return 1
         _report_stats(stats)
         _report_store(store)
+        _report_health(args, health)
         t_fast, t_slow = thresholds
     else:
         streams = _load_traces(args.traces)
@@ -336,15 +411,20 @@ def cmd_study(args: argparse.Namespace) -> int:
         from repro.pipeline import parallel_study
 
         stats = _map_phase_stats(args)
+        health = _run_health(args)
         study = parallel_study(
             _trace_sources(args.traces),
             workers=args.workers,
             chunk_size=args.chunk_size,
             store=store,
             stats=stats,
+            on_error=args.on_error,
+            max_retries=args.max_retries,
+            health=health,
         )
         _report_stats(stats)
         _report_store(store)
+        _report_health(args, health)
     else:
         streams = _load_traces(args.traces)
         study = run_study(streams)
@@ -558,6 +638,115 @@ def cmd_trace_info(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# Corpus health tools
+# ---------------------------------------------------------------------------
+
+
+def cmd_corpus_doctor(args: argparse.Namespace) -> int:
+    """Triage every trace file in a corpus without failing on any of them.
+
+    Unlike the analysis commands, ``doctor`` does its own file listing:
+    a corpus holding the same stream in two formats (duplicate stems,
+    which :func:`iter_corpus_paths` rejects) is reported as a finding
+    instead of aborting the checkup.
+    """
+    import os
+
+    from repro.errors import TraceError, TraceSalvageError
+    from repro.resilience import (
+        RunHealth,
+        failure_from_exception,
+        validate_on_error,
+    )
+    from repro.trace.serialization import TRACE_SUFFIXES
+
+    validate_on_error(args.on_error)
+    root = args.corpus
+    if not os.path.isdir(root):
+        raise ConfigError(f"corpus must be a directory, got {root!r}")
+    names = sorted(
+        name for name in os.listdir(root) if name.endswith(TRACE_SUFFIXES)
+    )
+    if not names:
+        raise ReproError(f"no trace streams found at {root!r}")
+
+    health = RunHealth()
+    problems = 0
+    stem_owner: dict = {}
+    for name in names:
+        path = os.path.join(root, name)
+        stem = name.rsplit(".", 1)[0]
+        if stem in stem_owner:
+            problems += 1
+            health.record_failure(failure_from_exception(
+                path, "corpus", "skipped",
+                ReproError(
+                    f"duplicate stem: same stream as {stem_owner[stem]} "
+                    "(analysis would count it twice; convert or remove one)"
+                ),
+            ))
+            print(f"DUPLICATE {name}: same stream as {stem_owner[stem]}")
+            continue
+        stem_owner[stem] = name
+        try:
+            stream = load_stream(path, on_error=args.on_error)
+        except (TraceError, TraceSalvageError, OSError,
+                UnicodeDecodeError) as error:
+            problems += 1
+            health.record_failure(
+                failure_from_exception(path, "ingest", "skipped", error)
+            )
+            print(f"BROKEN    {name}: {error}")
+            continue
+        health.analyzed += 1
+        if getattr(stream, "salvaged", False):
+            dropped = getattr(stream, "salvage_dropped", 0)
+            health.record_failure(failure_from_exception(
+                path, "ingest", "salvaged",
+                TraceSalvageError(
+                    f"recovered {len(stream.events)} events, "
+                    f"{len(stream.instances)} instances "
+                    f"(dropped {dropped} damaged records)"
+                ),
+            ))
+            print(
+                f"salvaged  {name}: {len(stream.events)} events recovered "
+                f"({dropped} damaged records dropped)"
+            )
+        else:
+            print(
+                f"ok        {name}: {len(stream.events)} events, "
+                f"{len(stream.instances)} instances"
+            )
+    print(health.summary(), file=sys.stderr)
+    if args.health_json:
+        health.write_json(args.health_json)
+    return 1 if problems else 0
+
+
+def cmd_corpus_fuzz(args: argparse.Namespace) -> int:
+    """Deterministically corrupt part of a corpus (resilience testing)."""
+    from repro.resilience import fuzz_corpus, resolve_corruptors
+
+    corruptors = (
+        resolve_corruptors(args.corruptor) if args.corruptor else None
+    )
+    records = fuzz_corpus(
+        args.corpus,
+        seed=args.seed,
+        fraction=args.fraction,
+        corruptors=corruptors,
+    )
+    for record in records:
+        print(f"{record.corruptor:<14} seed={record.seed:<10} {record.path}")
+    print(
+        f"corrupted {len(records)} trace files in {args.corpus} "
+        f"(seed {args.seed})"
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # Artifact-store maintenance
 # ---------------------------------------------------------------------------
 
@@ -761,6 +950,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="streams per pipeline chunk (default: auto)",
     )
     store_prewarm.set_defaults(handler=cmd_store_prewarm)
+
+    corpus = subparsers.add_parser(
+        "corpus", help="corpus health tools (see docs/RESILIENCE.md)"
+    )
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+
+    corpus_doctor = corpus_sub.add_parser(
+        "doctor",
+        help="triage every trace file: ok / salvageable / broken",
+    )
+    corpus_doctor.add_argument("corpus", metavar="DIR")
+    corpus_doctor.add_argument(
+        "--on-error", default="salvage", metavar="POLICY",
+        help="checkup policy: salvage (default) also attempts recovery "
+             "of broken files; strict or skip just verdicts them",
+    )
+    corpus_doctor.add_argument(
+        "--health-json", default=None, metavar="FILE",
+        help="write the checkup's run-health report as JSON",
+    )
+    corpus_doctor.set_defaults(handler=cmd_corpus_doctor)
+
+    corpus_fuzz = corpus_sub.add_parser(
+        "fuzz",
+        help="deterministically corrupt part of a corpus IN PLACE "
+             "(resilience testing; run on a copy)",
+    )
+    corpus_fuzz.add_argument("corpus", metavar="DIR")
+    corpus_fuzz.add_argument(
+        "--seed", type=int, required=True,
+        help="fuzzing seed; the same seed always corrupts the same "
+             "files the same way",
+    )
+    corpus_fuzz.add_argument(
+        "--fraction", type=float, default=0.5,
+        help="fraction of the corpus to corrupt, in (0, 1] (default: 0.5)",
+    )
+    corpus_fuzz.add_argument(
+        "--corruptor", nargs="+", default=None, metavar="NAME",
+        help="restrict to specific corruptors (default: all); see "
+             "repro.resilience.CORRUPTORS",
+    )
+    corpus_fuzz.set_defaults(handler=cmd_corpus_fuzz)
 
     trace = subparsers.add_parser(
         "trace", help="trace-file utilities (see docs/FORMAT.md)"

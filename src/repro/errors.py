@@ -46,3 +46,35 @@ class ConfigError(ReproError):
 
 class StoreError(ReproError):
     """The artifact store directory is unusable (not a store, wrong layout)."""
+
+
+class ResilienceError(ReproError):
+    """The fault-isolation layer could not keep a corpus run alive.
+
+    Base class for everything raised by ``repro.resilience``: salvage
+    attempts that found nothing recoverable, worker crashes that
+    exhausted their retry budget, and invalid ``on_error`` policies.
+    """
+
+
+class TraceSalvageError(ResilienceError):
+    """A damaged trace could not be salvaged into a valid stream.
+
+    Raised by the lenient loaders (``on_error="salvage"``) when no valid
+    event prefix survives — the header is unreadable, or what remains
+    after trimming fails :func:`repro.trace.validate.validate_stream`.
+    Under corpus-level policies the trace is then skipped and recorded
+    as a :class:`repro.resilience.TraceFailure` instead of aborting.
+    """
+
+
+class WorkerCrashError(ResilienceError):
+    """A pipeline worker process died (non-zero exit, signal, OOM kill).
+
+    Distinct from an exception *raised* inside a worker: the process
+    vanished mid-chunk, taking its pool with it.  The resilient executor
+    retries the chunk with backoff, bisects it to isolate the poison
+    trace, and raises this only when recovery is impossible (or reports
+    it inside a :class:`repro.resilience.TraceFailure` when the policy
+    allows dropping the trace).
+    """

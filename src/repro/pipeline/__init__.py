@@ -19,7 +19,11 @@ from repro.pipeline.api import (
     prewarm_store,
 )
 from repro.pipeline.chunking import chunk_sources, default_chunk_size
-from repro.pipeline.executor import fork_available, process_map
+from repro.pipeline.executor import (
+    fork_available,
+    process_map,
+    process_map_resilient,
+)
 from repro.pipeline.worker import (
     ChunkPartial,
     ChunkTask,
@@ -50,4 +54,5 @@ __all__ = [
     "parallel_study",
     "prewarm_store",
     "process_map",
+    "process_map_resilient",
 ]

@@ -22,14 +22,14 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.causality.analyzer import CausalityReport, assemble_report
 from repro.causality.classes import ContrastClasses
 from repro.causality.mining import DEFAULT_SEGMENT_BOUND
 from repro.causality.ranking import coverage_curve
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, WorkerCrashError
 from repro.evaluation.coverage import coverage_from_impact
 from repro.evaluation.drivertypes import categorize_top_patterns
 from repro.evaluation.study import (
@@ -39,14 +39,22 @@ from repro.evaluation.study import (
 )
 from repro.impact.metrics import ImpactAccumulator, ImpactResult
 from repro.pipeline.chunking import chunk_sources, default_chunk_size
-from repro.pipeline.executor import process_map
+from repro.pipeline.executor import process_map, process_map_resilient
 from repro.pipeline.worker import (
     ChunkPartial,
     ChunkTask,
     ScenarioPartial,
     analyze_chunk,
+    merge_chunk_partials,
     restore_inherited_corpus,
     set_inherited_corpus,
+    source_label,
+)
+from repro.resilience.health import (
+    RunHealth,
+    failure_from_exception,
+    validate_max_retries,
+    validate_on_error,
 )
 from repro.sim.workloads.registry import (
     SCENARIO_NAMES,
@@ -134,6 +142,9 @@ def _run_chunks(
     chunk_size: Optional[int],
     store: Optional[StoreInput] = None,
     stats: Optional[MapPhaseStats] = None,
+    on_error: str = "strict",
+    max_retries: int = 2,
+    health: Optional[RunHealth] = None,
 ) -> List[ChunkPartial]:
     """Chunk the sources, fan out the map phase, return ordered partials.
 
@@ -143,7 +154,17 @@ def _run_chunks(
     are folded into the parent-side handle's session counters.  A
     ``stats`` object, when given, is filled with the map phase's
     throughput counters.
+
+    ``on_error``, ``max_retries`` and ``health`` are the fault-isolation
+    surface (``repro.resilience``): any non-strict policy — and any
+    multi-worker run — executes through the crash-recovering executor,
+    per-trace failures recorded inside the partials are folded into
+    ``health``, and a trace that persistently kills workers is
+    quarantined (non-strict) or aborts with
+    :class:`~repro.errors.WorkerCrashError` (strict).
     """
+    validate_on_error(on_error)
+    validate_max_retries(max_retries)
     started = time.perf_counter()
     sources = list(sources)
     if not sources:
@@ -179,14 +200,67 @@ def _run_chunks(
                 store_handle.directory if store_handle is not None else None
             ),
             store_fingerprint=fingerprint,
+            on_error=on_error,
         )
         for chunk in chunk_sources(task_sources, chunk_size)
     ]
+
+    def split_chunk(task: ChunkTask):
+        if len(task.sources) < 2:
+            return None
+        mid = len(task.sources) // 2
+        return (
+            replace(task, sources=task.sources[:mid]),
+            replace(task, sources=task.sources[mid:]),
+        )
+
+    def failed_chunk(task: ChunkTask, exc: BaseException) -> ChunkPartial:
+        labels = ", ".join(source_label(s) for s in task.sources)
+        if on_error == "strict":
+            raise WorkerCrashError(
+                f"worker kept dying while analyzing {labels}; retry, "
+                "bisection and in-process fallback budgets are exhausted "
+                "(rerun with --on-error skip to quarantine the trace)"
+            ) from exc
+        partial = ChunkPartial(impact=None, scenarios={}, present=[])
+        for source in task.sources:
+            partial.failures.append(
+                failure_from_exception(
+                    source_label(source),
+                    "executor",
+                    "quarantined",
+                    exc,
+                    note="persistently failing trace",
+                )
+            )
+            if store_handle is not None and isinstance(source, str):
+                store_handle.quarantine_trace(
+                    source, f"{exc.__class__.__name__}: {exc}"
+                )
+        return partial
+
     previous = set_inherited_corpus(in_memory)
     try:
-        partials = process_map(analyze_chunk, tasks, workers)
+        if on_error == "strict" and workers <= 1:
+            partials = process_map(analyze_chunk, tasks, workers)
+        else:
+            partials = process_map_resilient(
+                analyze_chunk,
+                tasks,
+                workers,
+                split=split_chunk,
+                merge=lambda parts: merge_chunk_partials(parts, tasks[0]),
+                failed=failed_chunk,
+                max_retries=max_retries,
+                health=health,
+            )
     finally:
         restore_inherited_corpus(previous)
+    if health is not None:
+        health.analyzed += sum(partial.streams for partial in partials)
+        for partial in partials:
+            for failure in partial.failures:
+                health.record_failure(failure)
     if store_handle is not None:
         store_handle.record_session(
             hits=sum(partial.store_hits for partial in partials),
@@ -290,11 +364,17 @@ def parallel_impact(
     chunk_size: Optional[int] = None,
     store: Optional[StoreInput] = None,
     stats: Optional[MapPhaseStats] = None,
+    on_error: str = "strict",
+    max_retries: int = 2,
+    health: Optional[RunHealth] = None,
 ) -> ImpactResult:
     """Impact analysis (§3) over a corpus, fanned out across workers.
 
     Equivalent to ``ImpactAnalysis(patterns).analyze_corpus(...)`` for
-    any worker count, with or without an artifact ``store``.
+    any worker count, with or without an artifact ``store``.  Under a
+    non-strict ``on_error`` policy the result equals the strict analysis
+    of the corpus's surviving traces; ``health`` collects what was
+    skipped, salvaged and quarantined.
     """
     partials = _run_chunks(
         sources,
@@ -306,6 +386,9 @@ def parallel_impact(
         chunk_size=chunk_size,
         store=store,
         stats=stats,
+        on_error=on_error,
+        max_retries=max_retries,
+        health=health,
     )
     merged = _merge_impact(partials, component_patterns)
     if not merged.graphs:
@@ -325,6 +408,9 @@ def parallel_causality(
     chunk_size: Optional[int] = None,
     store: Optional[StoreInput] = None,
     stats: Optional[MapPhaseStats] = None,
+    on_error: str = "strict",
+    max_retries: int = 2,
+    health: Optional[RunHealth] = None,
 ) -> CausalityReport:
     """Causality analysis (§4) of one scenario, fanned out across workers.
 
@@ -347,6 +433,9 @@ def parallel_causality(
         chunk_size=chunk_size,
         store=store,
         stats=stats,
+        on_error=on_error,
+        max_retries=max_retries,
+        health=health,
     )
     report, _ = _reduce_scenario(
         scenario, t_fast, t_slow, partials, segment_bound, reduce_hw
@@ -389,6 +478,9 @@ def prewarm_store(
     workers: int = 1,
     chunk_size: Optional[int] = None,
     stats: Optional[MapPhaseStats] = None,
+    on_error: str = "strict",
+    max_retries: int = 2,
+    health: Optional[RunHealth] = None,
 ) -> ArtifactStore:
     """Populate a store with full-study partials without reducing them.
 
@@ -409,6 +501,9 @@ def prewarm_store(
         chunk_size=chunk_size,
         store=handle,
         stats=stats,
+        on_error=on_error,
+        max_retries=max_retries,
+        health=health,
     )
     return handle
 
@@ -423,6 +518,9 @@ def parallel_study(
     chunk_size: Optional[int] = None,
     store: Optional[StoreInput] = None,
     stats: Optional[MapPhaseStats] = None,
+    on_error: str = "strict",
+    max_retries: int = 2,
+    health: Optional[RunHealth] = None,
 ) -> StudyResult:
     """The full §5 evaluation over a corpus, fanned out across workers.
 
@@ -430,6 +528,10 @@ def parallel_study(
     tables, same pattern rankings, same coverages — for any worker count
     and chunk size.  The map phase builds each instance's Wait Graph
     exactly once per chunk and ships back only mergeable partials.
+    Under ``on_error="skip"``/``"salvage"`` the tables are byte-identical
+    to a strict study of the corpus's surviving traces (the fuzz
+    property the resilience tests pin down); ``health`` collects every
+    skip, salvage, retry and quarantine.
     """
     thresholds = _study_thresholds(scenarios)
     partials = _run_chunks(
@@ -442,6 +544,9 @@ def parallel_study(
         chunk_size=chunk_size,
         store=store,
         stats=stats,
+        on_error=on_error,
+        max_retries=max_retries,
+        health=health,
     )
     merged_impact = _merge_impact(partials, component_patterns)
     if not merged_impact.graphs:

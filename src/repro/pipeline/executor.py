@@ -5,12 +5,26 @@ are forked so they inherit the parent's address space (cheap access to
 in-memory corpora), and platforms without the ``fork`` start method —
 or single-task runs — degrade to an in-process loop with identical
 results.
+
+Two executors live here:
+
+* :func:`process_map` — the plain fan-out.  ``Pool.map`` semantics; a
+  worker process dying mid-chunk is fatal to the run.
+* :func:`process_map_resilient` — the fault-isolating fan-out.  Worker
+  death is detected (the pool breaks), the pool is rebuilt, and the
+  affected chunks are retried with exponential backoff and bisected to
+  isolate the poison trace; a single-source chunk that keeps killing
+  workers is attempted once in-process and finally handed to the
+  caller's ``failed`` callback.  Results are reassembled from the
+  bisection tree in task order, so the fold downstream is exactly as
+  deterministic as with :func:`process_map`.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import Callable, List, Sequence, TypeVar
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 TaskT = TypeVar("TaskT")
 ResultT = TypeVar("ResultT")
@@ -47,3 +61,127 @@ def process_map(
         return [func(task) for task in tasks]
     with context.Pool(min(workers, len(tasks))) as pool:
         return pool.map(func, tasks)
+
+
+#: Longest single backoff sleep between crash-retry rounds, seconds.
+_MAX_BACKOFF = 1.0
+
+
+def process_map_resilient(
+    func: Callable[[TaskT], ResultT],
+    tasks: Sequence[TaskT],
+    workers: int,
+    *,
+    split: Callable[[TaskT], Optional[Tuple[TaskT, TaskT]]],
+    merge: Callable[[List[ResultT]], ResultT],
+    failed: Callable[[TaskT, BaseException], ResultT],
+    max_retries: int = 2,
+    backoff_base: float = 0.05,
+    health=None,
+) -> List[ResultT]:
+    """``[func(t) for t in tasks]`` that survives worker-process death.
+
+    Tasks run in a forked :class:`~concurrent.futures.ProcessPoolExecutor`
+    so a worker dying mid-task (signal, OOM kill, ``os._exit``) surfaces
+    as a broken pool instead of a hang.  When that happens the pool is
+    rebuilt and every task it took down is rescheduled:
+
+    * a multi-source task is retried once, then **bisected** via
+      ``split`` — halving until the poison source sits alone in a
+      single-source task (innocent co-victims converge the same way and
+      merge back losslessly);
+    * a single-source task is retried up to ``max_retries`` more times
+      with exponential backoff, then attempted **in-process** once (a
+      crash confined to worker children cannot follow it there), and
+      only if that also fails is ``failed(task, exc)`` asked for a
+      substitute result — which may raise to abort the run (strict
+      policy) or return an empty partial recording a quarantine.
+
+    ``split`` returns ``None`` for unsplittable tasks.  ``merge`` folds
+    a ``[left, right]`` result pair back into one, in order, so the
+    returned list matches ``tasks`` position for position and the
+    downstream fold stays byte-deterministic.  ``health``, when given,
+    receives executor-level counters (``retries``, ``worker_restarts``,
+    ``sequential_fallbacks``) by attribute increment.
+
+    Exceptions *raised* by ``func`` inside a live worker are not crash
+    recovery's business: they propagate unchanged, exactly as under
+    :func:`process_map`.  Without a ``fork`` context the whole map runs
+    in-process (no crash isolation is possible on spawn-only platforms).
+    """
+    tasks = list(tasks)
+    context = fork_context()
+    if context is None or not tasks:
+        return [func(task) for task in tasks]
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    pool_size = max(1, min(workers, len(tasks)))
+    #: bisection-tree path -> result; roots are ``(index,)``.
+    results: Dict[Tuple[int, ...], ResultT] = {}
+    pending: Dict[Tuple[int, ...], TaskT] = {
+        (index,): task for index, task in enumerate(tasks)
+    }
+    attempts: Dict[Tuple[int, ...], int] = {path: 0 for path in pending}
+    broken_rounds = 0
+    pool = ProcessPoolExecutor(max_workers=pool_size, mp_context=context)
+    try:
+        while pending:
+            futures = {
+                path: pool.submit(func, task)
+                for path, task in sorted(pending.items())
+            }
+            crashed: List[Tuple[int, ...]] = []
+            for path, future in futures.items():
+                try:
+                    results[path] = future.result()
+                    del pending[path]
+                except BrokenProcessPool:
+                    crashed.append(path)
+            if not crashed:
+                continue
+            broken_rounds += 1
+            if health is not None:
+                health.worker_restarts += 1
+            pool.shutdown(wait=False)
+            pool = ProcessPoolExecutor(
+                max_workers=pool_size, mp_context=context
+            )
+            for path in crashed:
+                task = pending[path]
+                attempts[path] += 1
+                if health is not None:
+                    health.retries += 1
+                halves = (
+                    split(task)
+                    if attempts[path] > 1 or max_retries == 0
+                    else None
+                )
+                if halves is not None:
+                    del pending[path], attempts[path]
+                    for side, half in enumerate(halves):
+                        pending[path + (side,)] = half
+                        attempts[path + (side,)] = 0
+                elif attempts[path] <= max_retries:
+                    continue  # stays pending; retried next round
+                else:
+                    del pending[path], attempts[path]
+                    if health is not None:
+                        health.sequential_fallbacks += 1
+                    try:
+                        results[path] = func(task)
+                    except Exception as exc:
+                        results[path] = failed(task, exc)
+            if backoff_base > 0.0:
+                time.sleep(
+                    min(_MAX_BACKOFF, backoff_base * 2 ** (broken_rounds - 1))
+                )
+    finally:
+        pool.shutdown(wait=False)
+
+    def resolve(path: Tuple[int, ...]) -> ResultT:
+        if path in results:
+            return results[path]
+        return merge([resolve(path + (0,)), resolve(path + (1,))])
+
+    return [resolve((index,)) for index in range(len(tasks))]

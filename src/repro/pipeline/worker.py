@@ -37,8 +37,9 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ResilienceError, TraceError
 from repro.impact.metrics import ImpactAccumulator
+from repro.resilience.health import TraceFailure, failure_from_exception
 from repro.store import ArtifactStore
 from repro.trace.serialization import load_stream, stream_content_hash
 from repro.trace.signatures import ComponentFilter
@@ -71,8 +72,14 @@ def restore_inherited_corpus(streams: List[TraceStream]) -> None:
     _INHERITED_STREAMS = streams
 
 
-def resolve_source(source: TaskSource) -> TraceStream:
-    """Materialize one task source into a loaded trace stream."""
+def resolve_source(
+    source: TaskSource, on_error: str = "strict"
+) -> TraceStream:
+    """Materialize one task source into a loaded trace stream.
+
+    ``on_error`` is forwarded to the loaders for path sources; in-memory
+    sources are already loaded, so no policy applies to them.
+    """
     if isinstance(source, int):
         try:
             return _INHERITED_STREAMS[source]
@@ -81,7 +88,14 @@ def resolve_source(source: TaskSource) -> TraceStream:
                 f"in-memory corpus index {source} is out of range; "
                 "was the registry installed before forking?"
             ) from None
-    return load_stream(os.fspath(source))
+    return load_stream(os.fspath(source), on_error=on_error)
+
+
+def source_label(source: TaskSource) -> str:
+    """How one task source is named in failure records and error text."""
+    if isinstance(source, int):
+        return f"<memory:{source}>"
+    return str(source)
 
 
 @dataclass(frozen=True)
@@ -206,6 +220,12 @@ class ChunkTask:
     store_dir: Optional[str] = None
     #: pre-computed analysis fingerprint; set iff ``store_dir`` is.
     store_fingerprint: Optional[str] = None
+    #: ingestion/error policy (``repro.resilience``): ``"strict"`` raises
+    #: on the first damaged trace, ``"skip"`` drops damaged traces,
+    #: ``"salvage"`` recovers their valid portion first.  Non-strict
+    #: policies also confine per-trace *analysis* exceptions to the
+    #: failing trace.
+    on_error: str = "strict"
 
 
 @dataclass
@@ -227,6 +247,10 @@ class ChunkPartial:
     #: mapping this chunk (0/0 for storeless runs).
     store_hits: int = 0
     store_misses: int = 0
+    #: trace-level incidents under a non-strict policy (skipped damaged
+    #: traces, salvage records, executor quarantines) — folded into the
+    #: run's :class:`~repro.resilience.RunHealth` by the api layer.
+    failures: List[TraceFailure] = field(default_factory=list)
 
 
 def merge_chunk_partials(
@@ -255,6 +279,9 @@ def merge_chunk_partials(
         merged.streams += partial.streams
         merged.instances += partial.instances
         merged.events += partial.events
+        merged.store_hits += partial.store_hits
+        merged.store_misses += partial.store_misses
+        merged.failures.extend(partial.failures)
         for name in partial.present:
             if name not in seen:
                 seen.add(name)
@@ -266,28 +293,86 @@ def merge_chunk_partials(
     return merged
 
 
+def _isolated_partial(task: ChunkTask, source: TaskSource) -> ChunkPartial:
+    """Analyze one source with its failure confined to that source.
+
+    The fault-isolation unit of a non-strict chunk: whatever the trace
+    does — fails to parse, fails to salvage, raises from Wait Graph
+    construction — the damage is one empty partial carrying a
+    :class:`TraceFailure`, and the chunk's other traces are unaffected.
+    """
+    try:
+        return _analyze_sources(task, (source,))
+    except Exception as exc:
+        stage = (
+            "ingest"
+            if isinstance(
+                exc, (TraceError, ResilienceError, OSError, UnicodeDecodeError)
+            )
+            else "analysis"
+        )
+        partial = ChunkPartial(impact=None, scenarios={}, present=[])
+        partial.failures.append(
+            failure_from_exception(source_label(source), stage, "skipped", exc)
+        )
+        return partial
+
+
 def analyze_chunk(task: ChunkTask) -> ChunkPartial:
     """Map one chunk of corpus sources to its partial analysis results.
 
-    Storeless tasks analyze the whole chunk in one pass.  Tasks carrying
-    a store analyze path sources stream-by-stream through the store
-    (read-through on the content hash + fingerprint key, write-back on
-    miss) and fold the per-stream partials; in-memory sources have no
-    bytes to address, so they are always computed.
+    Storeless strict tasks analyze the whole chunk in one pass.  Under a
+    non-strict policy every source is analyzed in isolation (so one
+    damaged trace costs exactly that trace) and the per-source partials
+    fold — the same merge the reduce phase uses, so the result is
+    indistinguishable from the one-pass analysis of the surviving
+    sources.
+
+    Tasks carrying a store analyze path sources stream-by-stream through
+    the store (read-through on the content hash + fingerprint key,
+    write-back on miss) and fold the per-stream partials; in-memory
+    sources have no bytes to address, so they are always computed.
+    Partials touched by any failure or salvage are **never written
+    back**: a salvaged or skipped rendering of a damaged file must not
+    be served as a cache hit to a run under a different policy.
     """
     if task.store_dir is None:
-        return _analyze_sources(task, task.sources)
+        if task.on_error == "strict":
+            return _analyze_sources(task, task.sources)
+        per_source = [
+            _isolated_partial(task, source) for source in task.sources
+        ]
+        return merge_chunk_partials(per_source, task)
     store = ArtifactStore(task.store_dir)
-    per_source: List[ChunkPartial] = []
+    per_source = []
     for source in task.sources:
         if isinstance(source, int):
-            per_source.append(_analyze_sources(task, (source,)))
+            partial = (
+                _analyze_sources(task, (source,))
+                if task.on_error == "strict"
+                else _isolated_partial(task, source)
+            )
+            per_source.append(partial)
             continue
-        content_hash = stream_content_hash(source)
+        try:
+            content_hash = stream_content_hash(source)
+        except (TraceError, OSError, UnicodeDecodeError) as exc:
+            if task.on_error == "strict":
+                raise
+            # Unaddressable bytes (e.g. an RTB header too damaged to
+            # carry its hash) bypass the store entirely; salvage may
+            # still recover the trace.
+            per_source.append(_isolated_partial(task, source))
+            continue
         cached = store.load(content_hash, task.store_fingerprint)
         if cached is None or not isinstance(cached, ChunkPartial):
-            cached = _analyze_sources(task, (source,))
-            store.save(content_hash, task.store_fingerprint, cached)
+            cached = (
+                _analyze_sources(task, (source,))
+                if task.on_error == "strict"
+                else _isolated_partial(task, source)
+            )
+            if not cached.failures:
+                store.save(content_hash, task.store_fingerprint, cached)
         per_source.append(cached)
     merged = merge_chunk_partials(per_source, task)
     merged.store_hits = store.hits
@@ -311,7 +396,22 @@ def _analyze_sources(
     partial = ChunkPartial(impact=impact, scenarios={}, present=[])
     seen = set()
     for source in sources:
-        stream = resolve_source(source)
+        stream = resolve_source(source, task.on_error)
+        if getattr(stream, "salvaged", False):
+            partial.failures.append(
+                TraceFailure(
+                    source=source_label(source),
+                    stage="ingest",
+                    action="salvaged",
+                    error=(
+                        f"recovered {len(stream.events)} events, "
+                        f"{len(stream.instances)} instances (dropped "
+                        f"{getattr(stream, 'salvage_dropped', 0)} damaged "
+                        "records)"
+                    ),
+                    error_type="TraceSalvageError",
+                )
+            )
         partial.streams += 1
         partial.events += len(stream)
         graphs: Dict[tuple, WaitGraph] = {}

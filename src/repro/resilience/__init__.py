@@ -1,0 +1,59 @@
+"""Fault isolation for hostile corpora (``repro.resilience``).
+
+Real-world trace corpora are hostile: captures get truncated mid-write,
+files bit-rot, a single pathological trace can crash a worker process.
+The paper's methodology only pays off if a 10,000-trace overnight run
+survives all of that — one damaged stream must cost *that stream*, not
+the run.
+
+This package is the fault-isolation layer the pipeline and loaders lean
+on:
+
+* **policies** — the ``on_error`` ingestion policies (``strict`` /
+  ``skip`` / ``salvage``) with their shared validators;
+* **health** — :class:`RunHealth` and :class:`TraceFailure`, the
+  structured accounting of every drop, salvage, retry and worker
+  restart, surfaced by ``--verbose``, ``repro corpus doctor`` and the
+  ``--health-json`` CI sidecar;
+* **fuzz** — deterministic seeded corruptors and
+  :func:`~repro.resilience.fuzz.fuzz_corpus`, the fault-injection
+  harness that proves the recovery properties instead of asserting
+  them.
+
+The lenient loaders live with their formats
+(``repro.trace.serialization``, ``repro.trace.binary``); the resilient
+executor lives with the pipeline (``repro.pipeline.executor``).  See
+``docs/RESILIENCE.md`` for the end-to-end story.
+"""
+
+from repro.resilience.fuzz import (
+    CORRUPTORS,
+    FuzzRecord,
+    corrupt_bytes,
+    corrupt_file,
+    fuzz_corpus,
+    resolve_corruptors,
+)
+from repro.resilience.health import (
+    ON_ERROR_POLICIES,
+    RunHealth,
+    TraceFailure,
+    failure_from_exception,
+    validate_max_retries,
+    validate_on_error,
+)
+
+__all__ = [
+    "CORRUPTORS",
+    "FuzzRecord",
+    "ON_ERROR_POLICIES",
+    "RunHealth",
+    "TraceFailure",
+    "corrupt_bytes",
+    "corrupt_file",
+    "failure_from_exception",
+    "fuzz_corpus",
+    "resolve_corruptors",
+    "validate_max_retries",
+    "validate_on_error",
+]

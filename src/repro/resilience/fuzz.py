@@ -1,0 +1,190 @@
+"""Deterministic trace-corpus fault injection.
+
+The hostile-corpus property the resilience layer promises — *a damaged
+corpus never aborts a run, never crashes a worker pool for good, and
+yields exactly the analysis of its surviving traces* — is only worth
+stating if it is exercised.  This module is the exerciser: a small set
+of seeded corruptors over trace files (JSONL and RTB alike) plus
+:func:`fuzz_corpus`, which damages a deterministic subset of a corpus
+directory in place.
+
+Everything is driven by ``random.Random(seed)`` — same seed, same
+victims, same damage, byte for byte — so the fuzz property tests and the
+hostile-corpus CI gate are reproducible, and a failure seed can be
+replayed locally with ``repro corpus fuzz --seed N``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigError
+
+Corruptor = Callable[[bytes, random.Random], bytes]
+
+
+def truncate(data: bytes, rng: random.Random) -> bytes:
+    """Cut the file at a random point — the classic interrupted capture."""
+    if len(data) <= 1:
+        return b""
+    return data[: rng.randrange(1, len(data))]
+
+
+def bit_flip(data: bytes, rng: random.Random) -> bytes:
+    """Flip 1–8 random bits — storage rot, bad transfers."""
+    if not data:
+        return data
+    out = bytearray(data)
+    for _ in range(rng.randint(1, 8)):
+        position = rng.randrange(len(out))
+        out[position] ^= 1 << rng.randrange(8)
+    return bytes(out)
+
+
+def mangle_section(data: bytes, rng: random.Random) -> bytes:
+    """Overwrite one contiguous run with random bytes.
+
+    On an RTB file this lands in the meta block or a column section
+    (hence the name); on JSONL it shreds a run of lines.  Either way it
+    models a partially overwritten file.
+    """
+    if not data:
+        return data
+    start = rng.randrange(len(data))
+    length = min(len(data) - start, rng.randint(1, 256))
+    out = bytearray(data)
+    out[start : start + length] = bytes(
+        rng.randrange(256) for _ in range(length)
+    )
+    return bytes(out)
+
+
+def duplicate_line(data: bytes, rng: random.Random) -> bytes:
+    """Duplicate one line — a re-played writer, a botched append."""
+    lines = data.split(b"\n")
+    if len(lines) < 2:
+        return data
+    index = rng.randrange(len(lines) - 1)
+    lines.insert(index, lines[index])
+    return b"\n".join(lines)
+
+
+def reorder_lines(data: bytes, rng: random.Random) -> bytes:
+    """Swap two lines — out-of-order flushes from a multi-writer capture."""
+    lines = data.split(b"\n")
+    if len(lines) < 3:
+        return data
+    first = rng.randrange(len(lines) - 1)
+    second = rng.randrange(len(lines) - 1)
+    lines[first], lines[second] = lines[second], lines[first]
+    return b"\n".join(lines)
+
+
+def zero_length(data: bytes, rng: random.Random) -> bytes:
+    """Replace the file with nothing — a crashed writer's empty temp file."""
+    return b""
+
+
+#: Name → corruptor registry, in deterministic iteration order.  The CLI
+#: (``repro corpus fuzz --corruptor``) and the property tests iterate
+#: this table; adding a corruptor here automatically widens both.
+CORRUPTORS: Dict[str, Corruptor] = {
+    "truncate": truncate,
+    "bit-flip": bit_flip,
+    "mangle-section": mangle_section,
+    "duplicate-line": duplicate_line,
+    "reorder-lines": reorder_lines,
+    "zero-length": zero_length,
+}
+
+
+@dataclass(frozen=True)
+class FuzzRecord:
+    """What :func:`fuzz_corpus` did to one file (for replay and gating)."""
+
+    path: str
+    corruptor: str
+    seed: int
+
+    def to_json(self) -> Dict[str, object]:
+        return {"path": self.path, "corruptor": self.corruptor, "seed": self.seed}
+
+
+def resolve_corruptors(names: Optional[Sequence[str]]) -> List[str]:
+    """Validate corruptor names against the registry (``None`` = all)."""
+    if names is None:
+        return list(CORRUPTORS)
+    for name in names:
+        if name not in CORRUPTORS:
+            raise ConfigError(
+                f"--corruptor must be one of {', '.join(CORRUPTORS)}, "
+                f"got {name!r}"
+            )
+    return list(names)
+
+
+def corrupt_bytes(data: bytes, corruptor: str, seed: int) -> bytes:
+    """Apply one named corruptor deterministically to a byte string."""
+    names = resolve_corruptors([corruptor])
+    return CORRUPTORS[names[0]](data, random.Random(seed))
+
+
+def corrupt_file(
+    path: Union[str, os.PathLike],
+    corruptor: str,
+    seed: int,
+    destination: Optional[Union[str, os.PathLike]] = None,
+) -> FuzzRecord:
+    """Corrupt one trace file (in place unless ``destination`` is given)."""
+    source = os.fspath(path)
+    with open(source, "rb") as handle:
+        data = handle.read()
+    damaged = corrupt_bytes(data, corruptor, seed)
+    target = os.fspath(destination) if destination is not None else source
+    with open(target, "wb") as handle:
+        handle.write(damaged)
+    return FuzzRecord(path=target, corruptor=corruptor, seed=seed)
+
+
+def fuzz_corpus(
+    directory: Union[str, os.PathLike],
+    seed: int,
+    fraction: float = 0.5,
+    corruptors: Optional[Sequence[str]] = None,
+) -> List[FuzzRecord]:
+    """Damage a deterministic subset of a corpus directory, in place.
+
+    ``fraction`` of the corpus files (at least one, when any exist) are
+    picked by a ``random.Random(seed)`` draw over the corpus-ordered
+    path list, and each victim gets one corruptor from ``corruptors``
+    (default: the whole registry) with a per-file derived seed.  The
+    same ``(corpus, seed, fraction, corruptors)`` always yields the same
+    damaged bytes — that is what lets the CI gate pin expected
+    ``RunHealth`` counts.
+
+    This **mutates the corpus**; fuzz a copy, not your only one.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigError(
+            f"--fraction must be in (0, 1], got {fraction}"
+        )
+    from repro.trace.serialization import iter_corpus_paths
+
+    names = resolve_corruptors(corruptors)
+    paths = iter_corpus_paths(directory)
+    if not paths:
+        return []
+    rng = random.Random(seed)
+    count = max(1, round(fraction * len(paths)))
+    victims = sorted(rng.sample(range(len(paths)), count))
+    records: List[FuzzRecord] = []
+    for index in victims:
+        corruptor = names[rng.randrange(len(names))]
+        file_seed = rng.randrange(1 << 30)
+        records.append(
+            corrupt_file(paths[index], corruptor, file_seed)
+        )
+    return records

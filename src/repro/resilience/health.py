@@ -1,0 +1,185 @@
+"""Run-health accounting for fault-isolated corpus runs.
+
+A hostile corpus — truncated captures, bit-rotted sections, garbage
+files, traces that crash a worker — must not abort a run, but it also
+must not fail *silently*: every drop, salvage and retry is recorded.
+:class:`TraceFailure` is the structured record of one trace-level
+incident; :class:`RunHealth` aggregates them with executor-level
+counters (retries, worker restarts, sequential fallbacks) into the
+report surfaced by ``--verbose``, ``repro corpus doctor`` and the
+``--health-json`` CI sidecar.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.errors import ConfigError
+
+#: The three ingestion/error policies of the fault-isolation layer.
+ON_ERROR_POLICIES = ("strict", "skip", "salvage")
+
+
+def validate_on_error(policy: str) -> str:
+    """Return ``policy`` if it is a known ``on_error`` value, else raise.
+
+    Shared by the CLI flag validation and the pipeline entry points so
+    both reject unknown policies with the same :class:`ConfigError`
+    message style as the ``--workers``/``--chunk-size`` checks.
+    """
+    if policy not in ON_ERROR_POLICIES:
+        raise ConfigError(
+            f"--on-error must be one of {', '.join(ON_ERROR_POLICIES)}, "
+            f"got {policy!r}"
+        )
+    return policy
+
+
+def validate_max_retries(max_retries: int) -> int:
+    """Return ``max_retries`` if it is a usable retry budget, else raise."""
+    if max_retries < 0:
+        raise ConfigError(
+            f"--max-retries must be >= 0, got {max_retries} "
+            "(0 = no retries, N = N extra attempts per chunk)"
+        )
+    return max_retries
+
+
+@dataclass(frozen=True)
+class TraceFailure:
+    """One trace-level incident recorded during a fault-isolated run.
+
+    ``action`` says how the run proceeded:
+
+    * ``"skipped"`` — the trace was dropped (unreadable, or its analysis
+      raised under the ``skip`` policy);
+    * ``"salvaged"`` — a valid prefix of a damaged trace was recovered
+      and analyzed in place of the full stream;
+    * ``"quarantined"`` — the trace persistently crashed workers and was
+      dropped after retry/bisection exhausted the budget.
+    """
+
+    source: str
+    #: which layer hit the problem: ``"ingest"`` (loading/parsing),
+    #: ``"analysis"`` (wait-graph construction and accumulation) or
+    #: ``"executor"`` (worker process death).
+    stage: str
+    action: str
+    error: str
+    error_type: str
+
+    def to_json(self) -> Dict[str, str]:
+        """A plain-dict rendering for the JSON sidecar."""
+        return asdict(self)
+
+
+@dataclass
+class RunHealth:
+    """Aggregate health of one pipeline run over a (possibly hostile) corpus.
+
+    Filled in place by the parallel entry points when passed via their
+    ``health=`` keyword, exactly like ``MapPhaseStats`` — the analysis
+    result itself is unaffected.
+    """
+
+    #: streams that contributed to the result (salvaged ones included).
+    analyzed: int = 0
+    skipped: int = 0
+    salvaged: int = 0
+    quarantined: int = 0
+    #: chunk attempts beyond the first (includes innocent chunks whose
+    #: pool a poison neighbour tore down).
+    retries: int = 0
+    #: process pools torn down by worker death and rebuilt.
+    worker_restarts: int = 0
+    #: single-trace chunks that fell back to in-process execution after
+    #: exhausting their retry budget.
+    sequential_fallbacks: int = 0
+    failures: List[TraceFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every trace was analyzed un-salvaged, no recovery used."""
+        return not self.failures and self.retries == 0
+
+    def record_failure(self, failure: TraceFailure) -> None:
+        """Append one incident and bump its action counter."""
+        self.failures.append(failure)
+        if failure.action == "skipped":
+            self.skipped += 1
+        elif failure.action == "salvaged":
+            self.salvaged += 1
+        elif failure.action == "quarantined":
+            self.quarantined += 1
+
+    def summary(self) -> str:
+        """The one-line human-readable rendering (``--verbose`` stderr)."""
+        line = (
+            f"run health: {self.analyzed} analyzed, {self.skipped} skipped, "
+            f"{self.salvaged} salvaged, {self.quarantined} quarantined"
+        )
+        if self.retries or self.worker_restarts or self.sequential_fallbacks:
+            line += (
+                f" [retries={self.retries} "
+                f"worker_restarts={self.worker_restarts} "
+                f"sequential_fallbacks={self.sequential_fallbacks}]"
+            )
+        return line
+
+    def to_json(self) -> Dict:
+        """A plain-dict rendering for the ``--health-json`` sidecar."""
+        return {
+            "analyzed": self.analyzed,
+            "skipped": self.skipped,
+            "salvaged": self.salvaged,
+            "quarantined": self.quarantined,
+            "retries": self.retries,
+            "worker_restarts": self.worker_restarts,
+            "sequential_fallbacks": self.sequential_fallbacks,
+            "failures": [failure.to_json() for failure in self.failures],
+        }
+
+    def write_json(self, path: Union[str, os.PathLike]) -> None:
+        """Write the JSON sidecar (used by the hostile-corpus CI gate)."""
+        with open(os.fspath(path), "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "RunHealth":
+        """Rebuild a health report from its sidecar dict."""
+        health = cls(
+            analyzed=int(data.get("analyzed", 0)),
+            skipped=int(data.get("skipped", 0)),
+            salvaged=int(data.get("salvaged", 0)),
+            quarantined=int(data.get("quarantined", 0)),
+            retries=int(data.get("retries", 0)),
+            worker_restarts=int(data.get("worker_restarts", 0)),
+            sequential_fallbacks=int(data.get("sequential_fallbacks", 0)),
+        )
+        for record in data.get("failures", []):
+            health.failures.append(TraceFailure(**record))
+        return health
+
+
+def failure_from_exception(
+    source: str,
+    stage: str,
+    action: str,
+    error: BaseException,
+    note: Optional[str] = None,
+) -> TraceFailure:
+    """Build a :class:`TraceFailure` from a caught exception."""
+    message = str(error) or error.__class__.__name__
+    if note:
+        message = f"{note}: {message}"
+    return TraceFailure(
+        source=str(source),
+        stage=stage,
+        action=action,
+        error=message,
+        error_type=error.__class__.__name__,
+    )

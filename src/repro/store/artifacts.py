@@ -286,6 +286,35 @@ class ArtifactStore:
             pass
         self.quarantined += 1
 
+    def quarantine_trace(self, trace_path: str, reason: str) -> Optional[str]:
+        """Copy a persistently-failing trace file into ``quarantine/``.
+
+        Used by the resilient executor for poison traces — ones that
+        kept crashing workers through the retry/bisection budget.  The
+        original corpus file is **copied, never moved**: the store does
+        not own the corpus, so the evidence is preserved here (with a
+        ``.reason.txt`` sidecar saying why) while the user decides what
+        to do with the original.  Returns the quarantined copy's path,
+        or ``None`` when the bytes could not be read (nothing to keep).
+        """
+        name = os.path.basename(os.fspath(trace_path))
+        destination = os.path.join(self.quarantine_dir, name)
+        suffix = 0
+        while os.path.exists(destination):
+            suffix += 1
+            destination = os.path.join(self.quarantine_dir, f"{name}.{suffix}")
+        try:
+            with open(os.fspath(trace_path), "rb") as source:
+                data = source.read()
+        except OSError:
+            return None
+        with open(destination, "wb") as target:
+            target.write(data)
+        with open(f"{destination}.reason.txt", "w", encoding="utf-8") as note:
+            note.write(reason.rstrip("\n") + "\n")
+        self.quarantined += 1
+        return destination
+
     # -- session accounting ---------------------------------------------------
 
     def record_session(self, hits: int, misses: int) -> None:

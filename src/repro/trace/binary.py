@@ -36,7 +36,7 @@ import os
 import sys
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import SerializationError
+from repro.errors import SerializationError, TraceError, TraceSalvageError
 from repro.trace.events import Event, EventKind
 from repro.trace.stream import HARDWARE_PROCESS, ThreadInfo, TraceStream
 
@@ -300,7 +300,10 @@ class _Header:
     def __init__(self, buffer) -> None:
         view = memoryview(buffer)
         if len(view) < 12 or bytes(view[:4]) != RTB_MAGIC:
-            raise SerializationError("not an RTB trace file (bad magic)")
+            raise SerializationError(
+                "not an RTB trace file (bad magic in the first 4 bytes; "
+                f"file is {len(view)} bytes)"
+            )
         version = int.from_bytes(view[4:6], "little")
         if version != RTB_FORMAT_VERSION:
             raise SerializationError(
@@ -309,11 +312,21 @@ class _Header:
         meta_len = int.from_bytes(view[8:12], "little")
         meta_end = 12 + meta_len
         if meta_end > len(view):
-            raise SerializationError("truncated RTB meta block")
+            raise SerializationError(
+                f"truncated RTB meta block: need {meta_len} bytes at "
+                f"offset 12, file holds {len(view) - 12}"
+            )
         try:
             meta = json.loads(bytes(view[12:meta_end]).decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise SerializationError("malformed RTB meta block") from exc
+            raise SerializationError(
+                f"malformed RTB meta block at offset 12..{meta_end}"
+            ) from exc
+        if not isinstance(meta, dict):
+            raise SerializationError(
+                f"malformed RTB meta block at offset 12..{meta_end}: "
+                "not a JSON object"
+            )
         self.version = version
         self.meta = meta
         self.body_start = meta_end + (-meta_end % 8)
@@ -348,8 +361,17 @@ def _column(view: memoryview, sections: Dict, name: str):
         offset, length = sections[name]
     except (KeyError, TypeError, ValueError):
         raise SerializationError(f"RTB section table is missing {name!r}")
-    if offset < 0 or offset + length > len(view):
-        raise SerializationError(f"RTB section {name!r} is out of bounds")
+    if not isinstance(offset, int) or not isinstance(length, int):
+        raise SerializationError(
+            f"RTB section {name!r} has non-integer bounds "
+            f"[{offset!r}, {length!r}]"
+        )
+    if offset < 0 or length < 0 or offset + length > len(view):
+        raise SerializationError(
+            f"RTB section {name!r} is out of bounds: "
+            f"[offset {offset}, length {length}] does not fit the "
+            f"{len(view)}-byte body"
+        )
     raw = view[offset : offset + length]
     typecode = _TYPECODE_OF[name]
     if typecode is None or typecode == "B":
@@ -748,18 +770,60 @@ class ColumnarTraceStream(TraceStream):
         )
 
 
-def loads_stream_binary(data: bytes) -> ColumnarTraceStream:
+def _parse_columnar(buffer, source_path: Optional[str], where: str):
+    """Strict parse with every residual decode error mapped to the library.
+
+    A hostile meta block can steer the reader into ``TypeError``/
+    ``ValueError``/``IndexError`` territory (non-integer counts, list
+    where a dict belongs, offsets used as slice bounds).  Callers must
+    never see a bare builtin exception for a corrupt *file*, so anything
+    the targeted checks miss is wrapped here, with the source named.
+    """
+    try:
+        return ColumnarTraceStream(buffer, source_path=source_path)
+    except SerializationError as exc:
+        raise SerializationError(f"{where}: {exc}") from None
+    except (
+        ValueError,
+        TypeError,
+        IndexError,
+        KeyError,
+        AttributeError,
+        OverflowError,
+        UnicodeDecodeError,
+    ) as exc:
+        raise SerializationError(
+            f"{where}: RTB body is corrupt "
+            f"({exc.__class__.__name__}: {exc})"
+        ) from exc
+
+
+def loads_stream_binary(data: bytes, on_error: str = "strict"):
     """Parse a columnar stream from RTB bytes (round-trip convenience)."""
-    return ColumnarTraceStream(data)
+    if on_error == "salvage":
+        try:
+            return _parse_columnar(data, None, "<bytes>")
+        except SerializationError:
+            return _salvage_binary(data, "<bytes>")
+    return _parse_columnar(data, None, "<bytes>")
 
 
-def load_stream_binary(source: PathOrFile) -> ColumnarTraceStream:
+def load_stream_binary(source: PathOrFile, on_error: str = "strict"):
     """Memory-map one RTB file into a zero-copy columnar stream.
 
     The mapping stays alive for the lifetime of the returned stream; the
     column views read straight from the page cache, so loading costs a
     header parse plus string/stack-table decode regardless of how many
     events the file holds.
+
+    With ``on_error="salvage"`` a file the strict reader rejects is
+    re-read leniently: section bounds are clamped to the bytes actually
+    present, rows referencing damaged table entries are dropped, and the
+    surviving events/instances are returned as a plain (object-backed)
+    :class:`TraceStream` carrying ``.salvaged = True`` — provided the
+    result still passes validation.  Raises
+    :class:`~repro.errors.TraceSalvageError` when nothing recoverable
+    remains.
     """
     path = os.fspath(source)
     with open(path, "rb") as handle:
@@ -768,7 +832,223 @@ def load_stream_binary(source: PathOrFile) -> ColumnarTraceStream:
         except (ValueError, OSError):
             # Empty files cannot be mapped; zero-length is malformed anyway.
             buffer = handle.read()
+    if on_error == "salvage":
+        try:
+            return _parse_columnar(buffer, path, path)
+        except SerializationError:
+            return _salvage_binary(buffer, path)
+    return _parse_columnar(buffer, path, path)
+
+
+# ---------------------------------------------------------------------------
+# Salvage (lenient decoding of damaged RTB files)
+# ---------------------------------------------------------------------------
+
+_ITEM_SIZE = {"B": 1, "I": 4, "q": 8}
+
+
+def _lenient_column(view: memoryview, sections, name: str):
+    """Best-effort typed view of one section; ``None`` when unreadable.
+
+    Unlike :func:`_column` this never raises: bounds are clamped to the
+    bytes actually present (a truncated file keeps its complete rows)
+    and structurally hopeless entries — missing, non-integer, starting
+    past the end — yield ``None`` so the caller treats the section as
+    empty.
+    """
+    entry = sections.get(name) if isinstance(sections, dict) else None
+    if (
+        not isinstance(entry, (list, tuple))
+        or len(entry) != 2
+        or not all(isinstance(value, int) for value in entry)
+    ):
+        return None
+    offset, length = entry
+    if offset < 0 or length < 0 or offset > len(view):
+        return None
+    length = min(length, len(view) - offset)
+    typecode = _TYPECODE_OF[name]
+    raw = view[offset : offset + length]
+    if typecode is None or typecode == "B":
+        return raw
+    usable = len(raw) - (len(raw) % _ITEM_SIZE[typecode])
+    raw = raw[:usable]
+    if _LITTLE_ENDIAN:
+        return raw.cast(typecode)
+    import array as _array
+
+    arr = _array.array(typecode)
+    arr.frombytes(raw)
+    arr.byteswap()
+    return arr
+
+
+def _salvage_binary(buffer, source: str) -> TraceStream:
+    """Decode the recoverable portion of a damaged RTB buffer.
+
+    The salvage contract mirrors the JSONL side: the preamble and meta
+    block must still parse (a stream with no identity or no section
+    directory is unrecoverable); past that, every table is read with
+    clamped bounds, every row is kept only when all of its references
+    resolve, dangling waits are trimmed by
+    :func:`repro.trace.validate.salvage_events`, and the result must
+    pass the full validator.  Returns a plain object-backed
+    :class:`TraceStream` — zero-copy column access is a property of
+    intact files.
+    """
+    from repro.trace.validate import is_valid_stream, salvage_events
+
     try:
-        return ColumnarTraceStream(buffer, source_path=path)
+        header = _Header(buffer)
     except SerializationError as exc:
-        raise SerializationError(f"{path}: {exc}") from None
+        raise TraceSalvageError(
+            f"cannot salvage {source!r}: RTB header is unreadable ({exc})"
+        ) from exc
+    meta = header.meta
+    stream_id = meta.get("stream_id")
+    if not isinstance(stream_id, str):
+        raise TraceSalvageError(
+            f"cannot salvage {source!r}: RTB meta block has no stream id"
+        )
+    view = memoryview(buffer)[header.body_start :]
+    sections = meta.get("sections")
+    columns = {name: _lenient_column(view, sections, name) for name, _ in _SECTIONS}
+
+    def rows(*names: str) -> int:
+        return min(
+            len(columns[name]) if columns[name] is not None else 0
+            for name in names
+        )
+
+    dropped = 0
+
+    # String table: entries with broken offsets become ``None`` holes;
+    # anything referencing a hole is dropped, not guessed at.
+    strings: List[Optional[str]] = []
+    string_offsets = columns["string_offsets"]
+    blob = columns["string_blob"]
+    if string_offsets is not None and blob is not None:
+        for i in range(len(string_offsets) - 1):
+            start, end = string_offsets[i], string_offsets[i + 1]
+            if 0 <= start <= end <= len(blob):
+                strings.append(
+                    sys.intern(str(blob[start:end], "utf-8", "replace"))
+                )
+            else:
+                strings.append(None)
+
+    stacks: List[Optional[Tuple[str, ...]]] = []
+    stack_offsets = columns["stack_offsets"]
+    stack_frames = columns["stack_frames"]
+    if stack_offsets is not None:
+        frame_count = len(stack_frames) if stack_frames is not None else 0
+        for i in range(len(stack_offsets) - 1):
+            start, end = stack_offsets[i], stack_offsets[i + 1]
+            if not 0 <= start <= end <= frame_count:
+                stacks.append(None)
+                continue
+            frames: List[str] = []
+            for position in range(start, end):
+                frame_id = stack_frames[position]
+                if frame_id < len(strings) and strings[frame_id] is not None:
+                    frames.append(strings[frame_id])
+                else:
+                    frames = []
+                    break
+            else:
+                stacks.append(tuple(frames))
+                continue
+            stacks.append(None)
+
+    events: List[Event] = []
+    event_rows = rows(
+        "kind", "timestamp", "cost", "tid", "wtid", "stack_id", "resource_id"
+    )
+    for i in range(event_rows):
+        kind_code = columns["kind"][i]
+        if not 0 <= kind_code < len(KIND_BY_CODE):
+            dropped += 1
+            continue
+        stack_id = columns["stack_id"][i]
+        if stack_id >= len(stacks) or stacks[stack_id] is None:
+            dropped += 1
+            continue
+        resource_id = columns["resource_id"][i]
+        resource = None
+        if resource_id != NO_RESOURCE:
+            if resource_id >= len(strings) or strings[resource_id] is None:
+                dropped += 1
+                continue
+            resource = strings[resource_id]
+        try:
+            events.append(
+                Event(
+                    kind=KIND_BY_CODE[kind_code],
+                    stack=stacks[stack_id],
+                    timestamp=columns["timestamp"][i],
+                    cost=columns["cost"][i],
+                    tid=columns["tid"][i],
+                    seq=len(events),
+                    wtid=(
+                        columns["wtid"][i]
+                        if kind_code == KIND_UNWAIT
+                        else None
+                    ),
+                    resource=resource,
+                )
+            )
+        except TraceError:
+            dropped += 1
+
+    kept, dropped_events = salvage_events(events)
+
+    threads: List[ThreadInfo] = []
+    for i in range(rows("thread_tid", "thread_process", "thread_name")):
+        process_id = columns["thread_process"][i]
+        name_id = columns["thread_name"][i]
+        if (
+            process_id < len(strings)
+            and name_id < len(strings)
+            and strings[process_id] is not None
+            and strings[name_id] is not None
+        ):
+            threads.append(
+                ThreadInfo(
+                    tid=columns["thread_tid"][i],
+                    process=strings[process_id],
+                    name=strings[name_id],
+                )
+            )
+        else:
+            dropped += 1
+
+    stream = TraceStream(stream_id, kept, threads)
+
+    for i in range(rows("inst_scenario", "inst_tid", "inst_t0", "inst_t1")):
+        scenario_id = columns["inst_scenario"][i]
+        tid = columns["inst_tid"][i]
+        t0 = columns["inst_t0"][i]
+        t1 = columns["inst_t1"][i]
+        if (
+            scenario_id >= len(strings)
+            or strings[scenario_id] is None
+            or not stream.admits_instance(tid, t0, t1)
+        ):
+            dropped += 1
+            continue
+        stream.add_instance(
+            scenario=strings[scenario_id], tid=tid, t0=t0, t1=t1
+        )
+
+    if not stream.events and not stream.instances:
+        raise TraceSalvageError(
+            f"cannot salvage {source!r}: no events or instances survive"
+        )
+    if not is_valid_stream(stream):
+        raise TraceSalvageError(
+            f"cannot salvage {source!r}: surviving content still fails "
+            "validation"
+        )
+    stream.salvaged = True
+    stream.salvage_dropped = dropped + dropped_events
+    return stream

@@ -23,9 +23,10 @@ import os
 import sys
 from typing import Iterable, Iterator, List, TextIO, Union
 
-from repro.errors import SerializationError
+from repro.errors import SerializationError, TraceError, TraceSalvageError
 from repro.trace.events import Event, EventKind
 from repro.trace.stream import ScenarioInstance, ThreadInfo, TraceStream
+from repro.trace.validate import is_valid_stream, salvage_events
 
 _FORMAT_VERSION = 1
 
@@ -99,22 +100,50 @@ def _dump(stream: TraceStream, handle: TextIO) -> None:
         handle.write(json.dumps(record) + "\n")
 
 
-def load_stream(source: PathOrFile) -> TraceStream:
+def load_stream(source: PathOrFile, on_error: str = "strict") -> TraceStream:
     """Read one trace stream from a trace file or open text handle.
 
     File sources are format-detected: ``*.rtb`` paths (and any file
     starting with the RTB magic, whatever its name) load through the
     binary columnar reader (``repro.trace.binary``), everything else
     parses as JSONL.  Open handles are always treated as JSONL text.
+
+    ``on_error`` selects the ingestion policy for damaged files.
+    ``"strict"`` (and ``"skip"``, whose skipping happens at the corpus
+    level) raises :class:`SerializationError` exactly as before;
+    ``"salvage"`` falls back to the lenient loaders, which keep the
+    valid portion of a truncated or corrupted stream when it still
+    passes validation — the result then carries ``.salvaged = True``.
+    Raises :class:`~repro.errors.TraceSalvageError` when nothing
+    recoverable remains.
     """
+    if on_error != "strict":
+        from repro.resilience.health import validate_on_error
+
+        validate_on_error(on_error)
     if isinstance(source, (str, os.PathLike)):
         from repro.trace import binary
 
         path = os.fspath(source)
         if str(path).endswith(binary.RTB_SUFFIX) or binary.is_rtb_file(path):
-            return binary.load_stream_binary(path)
+            return binary.load_stream_binary(path, on_error=on_error)
+        if on_error == "salvage":
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    return _load(handle)
+            except (TraceError, OSError, UnicodeDecodeError):
+                with open(
+                    path, "r", encoding="utf-8", errors="replace"
+                ) as handle:
+                    return _load_salvage(handle, source=path)
         with open(path, "r", encoding="utf-8") as handle:
             return _load(handle)
+    if on_error == "salvage":
+        try:
+            return _load(source)
+        except TraceError:
+            source.seek(0)
+            return _load_salvage(source)
     return _load(source)
 
 
@@ -166,6 +195,107 @@ def _load(handle: TextIO) -> TraceStream:
             raise SerializationError(
                 f"malformed instance record: {record!r}"
             ) from exc
+    return stream
+
+
+def _load_salvage(handle: TextIO, source: str = "<stream>") -> TraceStream:
+    """Lenient JSONL load: keep every parseable, schema-consistent line.
+
+    The salvage contract: the header must still parse (a stream with no
+    identity is unrecoverable), every other line is kept when it parses
+    and dropped when it does not, dangling events are trimmed by
+    :func:`repro.trace.validate.salvage_events`, and instance records a
+    shortened stream can no longer support are pruned.  The result must
+    pass the full validator — salvage never trades corruption for a
+    quietly wrong analysis — and carries ``.salvaged = True`` plus the
+    number of dropped lines/events in ``.salvage_dropped``.
+    """
+    first = handle.readline()
+    try:
+        header = json.loads(first) if first else None
+    except json.JSONDecodeError:
+        header = None
+    if (
+        not isinstance(header, dict)
+        or header.get("type") != "header"
+        or header.get("version") != _FORMAT_VERSION
+        or not isinstance(header.get("stream_id"), str)
+    ):
+        raise TraceSalvageError(
+            f"cannot salvage {source!r}: header line is unreadable "
+            "(a stream with no identity is unrecoverable)"
+        )
+
+    threads: List[ThreadInfo] = []
+    for item in header.get("threads", []):
+        try:
+            threads.append(
+                ThreadInfo(
+                    tid=int(item["tid"]),
+                    process=str(item["process"]),
+                    name=str(item["name"]),
+                )
+            )
+        except (TypeError, KeyError, ValueError):
+            continue
+
+    dropped_lines = 0
+    events: List[Event] = []
+    instance_records: List[dict] = []
+    for line in handle:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            dropped_lines += 1
+            continue
+        if not isinstance(record, dict):
+            dropped_lines += 1
+            continue
+        if record.get("type") == "instance":
+            instance_records.append(record)
+            continue
+        try:
+            events.append(_event_from_record(record, seq=len(events)))
+        except (TraceError, TypeError):
+            dropped_lines += 1
+
+    kept, dropped_events = salvage_events(events)
+    try:
+        stream = TraceStream(header["stream_id"], kept, threads)
+    except TraceError as exc:  # pragma: no cover - salvage_events sorts
+        raise TraceSalvageError(
+            f"cannot salvage {source!r}: surviving events are inconsistent"
+        ) from exc
+
+    dropped_instances = 0
+    for record in instance_records:
+        try:
+            scenario = str(record["scenario"])
+            tid = int(record["tid"])
+            t0 = int(record["t0"])
+            t1 = int(record["t1"])
+        except (TypeError, KeyError, ValueError):
+            dropped_instances += 1
+            continue
+        if not stream.admits_instance(tid, t0, t1):
+            dropped_instances += 1
+            continue
+        stream.add_instance(scenario=scenario, tid=tid, t0=t0, t1=t1)
+
+    if not stream.events and not stream.instances:
+        raise TraceSalvageError(
+            f"cannot salvage {source!r}: no events or instances survive"
+        )
+    if not is_valid_stream(stream):
+        raise TraceSalvageError(
+            f"cannot salvage {source!r}: surviving content still fails "
+            "validation"
+        )
+    stream.salvaged = True
+    stream.salvage_dropped = dropped_lines + dropped_events + dropped_instances
     return stream
 
 
@@ -297,15 +427,55 @@ def iter_corpus_paths(directory: Union[str, os.PathLike]) -> List[str]:
     return [os.path.join(root, name) for name in names]
 
 
-def load_corpus(directory: Union[str, os.PathLike]) -> Iterator[TraceStream]:
+def load_corpus(
+    directory: Union[str, os.PathLike],
+    on_error: str = "strict",
+    health=None,
+) -> Iterator[TraceStream]:
     """Lazily yield a directory's trace streams, in corpus order.
 
     Streams are loaded one at a time as the iterator is consumed, so a
     corpus much larger than memory can be folded without materializing
     it; ordering follows :func:`iter_corpus_paths`.
+
+    ``on_error`` is the corpus-level ingestion policy.  ``"strict"``
+    (the default) raises on the first damaged file; ``"skip"`` drops
+    unreadable files and keeps going; ``"salvage"`` additionally tries
+    the lenient loaders first and drops a file only when nothing
+    recoverable remains.  With ``health`` (a
+    :class:`repro.resilience.RunHealth`), every drop and salvage is
+    recorded as a structured ``TraceFailure``.
     """
+    from repro.resilience.health import failure_from_exception, validate_on_error
+
+    validate_on_error(on_error)
     for path in iter_corpus_paths(directory):
-        yield load_stream(path)
+        if on_error == "strict":
+            yield load_stream(path)
+            continue
+        try:
+            stream = load_stream(path, on_error=on_error)
+        except (TraceError, TraceSalvageError, OSError, UnicodeDecodeError) as exc:
+            if health is not None:
+                health.record_failure(
+                    failure_from_exception(path, "ingest", "skipped", exc)
+                )
+            continue
+        if health is not None and getattr(stream, "salvaged", False):
+            health.record_failure(
+                failure_from_exception(
+                    path,
+                    "ingest",
+                    "salvaged",
+                    TraceSalvageError(
+                        f"recovered {len(stream.events)} events, "
+                        f"{len(stream.instances)} instances "
+                        f"(dropped {getattr(stream, 'salvage_dropped', 0)} "
+                        "damaged records)"
+                    ),
+                )
+            )
+        yield stream
 
 
 def dumps_stream(stream: TraceStream) -> str:

@@ -180,6 +180,25 @@ class TraceStream:
         self.instances.append(instance)
         return instance
 
+    def admits_instance(self, tid: int, t0: int, t1: int) -> bool:
+        """Whether an instance window would satisfy the schema invariants.
+
+        The lenient loaders use this to prune instance records that a
+        salvaged (shortened) stream can no longer support: inverted
+        windows, windows entirely outside the surviving event span, and
+        initiating threads missing from the thread table.  Mirrors the
+        instance checks of :func:`repro.trace.validate.collect_violations`.
+        """
+        if t1 < t0:
+            return False
+        if self.events:
+            start, end = self.span
+            if t1 < start or t0 > end:
+                return False
+        if self.threads and tid not in self.threads:
+            return False
+        return True
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

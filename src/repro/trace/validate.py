@@ -9,10 +9,10 @@ with full context instead of producing quietly wrong graphs.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Iterable, List, Tuple
 
 from repro.errors import TraceValidationError
-from repro.trace.events import EventKind
+from repro.trace.events import Event, EventKind
 from repro.trace.stream import TraceStream
 
 
@@ -76,3 +76,67 @@ def validate_stream(stream: TraceStream) -> None:
         raise TraceValidationError(
             f"trace stream {stream.stream_id!r} is invalid:\n  - {summary}{more}"
         )
+
+
+def is_valid_stream(stream: TraceStream) -> bool:
+    """True when the stream satisfies every schema invariant."""
+    return not collect_violations(stream)
+
+
+def salvage_events(events: Iterable[Event]) -> Tuple[List[Event], int]:
+    """The largest self-consistent subset of a damaged stream's events.
+
+    Used by the lenient loaders (``on_error="salvage"``): given the
+    events that survived parsing a truncated or corrupted trace, return
+    ``(kept, dropped)`` where ``kept`` is sorted, per-event valid
+    (no zero-cost waits, no self-unwaits) and **closed under wait
+    matching** — every wait kept has its resolving unwait kept too, so
+    :func:`validate_stream` has nothing to object to at the event level.
+    Truncation typically cuts a stream mid-wait; dropping the dangling
+    wait is what turns "invalid file" into "the first N microseconds of
+    a valid one".  Unwaits never depend on their wait being present, so
+    only unmatched waits are removed.
+    """
+    dropped = 0
+    cleaned: List[Event] = []
+    for event in events:
+        if event.kind is EventKind.WAIT and event.cost == 0:
+            dropped += 1
+            continue
+        if event.kind is EventKind.UNWAIT and event.wtid == event.tid:
+            dropped += 1
+            continue
+        cleaned.append(event)
+    cleaned.sort(key=lambda event: (event.timestamp, event.seq))
+
+    # A wait is resolvable when some other thread's unwait targets the
+    # waiter at exactly the wait's end.
+    unwait_keys = {
+        (event.wtid, event.timestamp)
+        for event in cleaned
+        if event.kind is EventKind.UNWAIT and event.wtid is not None
+    }
+    kept: List[Event] = []
+    for event in cleaned:
+        if (
+            event.kind is EventKind.WAIT
+            and (event.tid, event.end) not in unwait_keys
+        ):
+            dropped += 1
+            continue
+        kept.append(event)
+
+    renumbered = [
+        Event(
+            kind=event.kind,
+            stack=event.stack,
+            timestamp=event.timestamp,
+            cost=event.cost,
+            tid=event.tid,
+            seq=index,
+            wtid=event.wtid,
+            resource=event.resource,
+        )
+        for index, event in enumerate(kept)
+    ]
+    return renumbered, dropped

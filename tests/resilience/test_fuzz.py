@@ -1,0 +1,148 @@
+"""Tests for the deterministic trace fuzzer."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.resilience import (
+    CORRUPTORS,
+    corrupt_bytes,
+    corrupt_file,
+    fuzz_corpus,
+    resolve_corruptors,
+)
+
+SAMPLE = b"header line\n" + b"".join(
+    b"line %d with some payload bytes\n" % i for i in range(40)
+)
+
+
+def _write_corpus(directory, files=5):
+    directory.mkdir(parents=True, exist_ok=True)
+    for index in range(files):
+        (directory / f"stream{index:05d}.jsonl").write_bytes(
+            SAMPLE + b"tail %d\n" % index
+        )
+    return directory
+
+
+class TestRegistry:
+    def test_expected_corruptors_present(self):
+        assert set(CORRUPTORS) == {
+            "truncate", "bit-flip", "mangle-section",
+            "duplicate-line", "reorder-lines", "zero-length",
+        }
+
+    def test_resolve_none_is_all(self):
+        assert resolve_corruptors(None) == list(CORRUPTORS)
+
+    def test_resolve_keeps_given_order(self):
+        assert resolve_corruptors(["zero-length", "truncate"]) == [
+            "zero-length", "truncate",
+        ]
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ConfigError, match="--corruptor must be one of"):
+            resolve_corruptors(["rot13"])
+
+
+class TestCorruptBytes:
+    @pytest.mark.parametrize("name", sorted(CORRUPTORS))
+    def test_deterministic(self, name):
+        assert corrupt_bytes(SAMPLE, name, 99) == corrupt_bytes(SAMPLE, name, 99)
+
+    @pytest.mark.parametrize(
+        "name", ["truncate", "bit-flip", "mangle-section", "duplicate-line"]
+    )
+    def test_actually_damages(self, name):
+        assert corrupt_bytes(SAMPLE, name, 7) != SAMPLE
+
+    def test_truncate_shortens(self):
+        assert len(corrupt_bytes(SAMPLE, "truncate", 3)) < len(SAMPLE)
+
+    def test_zero_length_empties(self):
+        assert corrupt_bytes(SAMPLE, "zero-length", 0) == b""
+
+    def test_duplicate_line_grows_by_one_line(self):
+        damaged = corrupt_bytes(SAMPLE, "duplicate-line", 5)
+        assert damaged.count(b"\n") == SAMPLE.count(b"\n") + 1
+
+    def test_bit_flip_preserves_length(self):
+        assert len(corrupt_bytes(SAMPLE, "bit-flip", 11)) == len(SAMPLE)
+
+
+class TestCorruptFile:
+    def test_in_place(self, tmp_path):
+        victim = tmp_path / "t.jsonl"
+        victim.write_bytes(SAMPLE)
+        record = corrupt_file(victim, "truncate", 21)
+        assert record.path == str(victim)
+        assert victim.read_bytes() == corrupt_bytes(SAMPLE, "truncate", 21)
+
+    def test_to_destination_keeps_source(self, tmp_path):
+        source = tmp_path / "t.jsonl"
+        dest = tmp_path / "damaged.jsonl"
+        source.write_bytes(SAMPLE)
+        corrupt_file(source, "bit-flip", 4, destination=dest)
+        assert source.read_bytes() == SAMPLE
+        assert dest.read_bytes() == corrupt_bytes(SAMPLE, "bit-flip", 4)
+
+    def test_record_is_json_serializable(self, tmp_path):
+        import json
+
+        victim = tmp_path / "t.jsonl"
+        victim.write_bytes(SAMPLE)
+        record = corrupt_file(victim, "truncate", 21)
+        assert json.dumps(record.to_json())
+
+
+class TestFuzzCorpus:
+    def test_same_seed_same_damage(self, tmp_path):
+        first = _write_corpus(tmp_path / "a")
+        second = _write_corpus(tmp_path / "b")
+        records_a = fuzz_corpus(first, seed=1234)
+        records_b = fuzz_corpus(second, seed=1234)
+        assert [
+            (r.path.rsplit("/", 1)[-1], r.corruptor, r.seed)
+            for r in records_a
+        ] == [
+            (r.path.rsplit("/", 1)[-1], r.corruptor, r.seed)
+            for r in records_b
+        ]
+        for name in sorted(p.name for p in first.iterdir()):
+            assert (first / name).read_bytes() == (second / name).read_bytes()
+
+    def test_different_seed_different_damage(self, tmp_path):
+        first = _write_corpus(tmp_path / "a")
+        second = _write_corpus(tmp_path / "b")
+        bytes_a = sorted(p.read_bytes() for p in first.iterdir())
+        fuzz_corpus(first, seed=1)
+        fuzz_corpus(second, seed=2)
+        assert sorted(p.read_bytes() for p in first.iterdir()) != bytes_a
+        assert sorted(p.read_bytes() for p in first.iterdir()) != sorted(
+            p.read_bytes() for p in second.iterdir()
+        )
+
+    def test_fraction_scales_victim_count(self, tmp_path):
+        corpus = _write_corpus(tmp_path / "c", files=10)
+        records = fuzz_corpus(corpus, seed=5, fraction=0.3)
+        assert len(records) == 3
+
+    def test_at_least_one_victim(self, tmp_path):
+        corpus = _write_corpus(tmp_path / "c", files=4)
+        assert len(fuzz_corpus(corpus, seed=5, fraction=0.01)) == 1
+
+    def test_restricted_corruptors_respected(self, tmp_path):
+        corpus = _write_corpus(tmp_path / "c")
+        records = fuzz_corpus(
+            corpus, seed=8, fraction=1.0, corruptors=["zero-length"]
+        )
+        assert {r.corruptor for r in records} == {"zero-length"}
+        assert all(
+            p.stat().st_size == 0 for p in corpus.glob("*.jsonl")
+        )
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.5, 1.5])
+    def test_bad_fraction_rejected(self, tmp_path, fraction):
+        corpus = _write_corpus(tmp_path / "c")
+        with pytest.raises(ConfigError, match="--fraction must be in"):
+            fuzz_corpus(corpus, seed=1, fraction=fraction)

@@ -1,0 +1,115 @@
+"""Tests for run-health accounting and the resilience policy validators."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.resilience import (
+    ON_ERROR_POLICIES,
+    RunHealth,
+    TraceFailure,
+    failure_from_exception,
+    validate_max_retries,
+    validate_on_error,
+)
+
+
+class TestValidators:
+    @pytest.mark.parametrize("policy", ON_ERROR_POLICIES)
+    def test_known_policies_pass_through(self, policy):
+        assert validate_on_error(policy) == policy
+
+    @pytest.mark.parametrize("policy", ["", "lenient", "Strict", None])
+    def test_unknown_policies_rejected(self, policy):
+        with pytest.raises(ConfigError, match="--on-error must be one of"):
+            validate_on_error(policy)
+
+    @pytest.mark.parametrize("retries", [0, 1, 7])
+    def test_retry_budgets_pass_through(self, retries):
+        assert validate_max_retries(retries) == retries
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ConfigError, match="--max-retries must be >= 0"):
+            validate_max_retries(-1)
+
+
+class TestTraceFailure:
+    def test_from_exception_captures_type_and_message(self):
+        failure = failure_from_exception(
+            "corpus/a.jsonl", "ingest", "skipped", ValueError("boom")
+        )
+        assert failure.source == "corpus/a.jsonl"
+        assert failure.stage == "ingest"
+        assert failure.action == "skipped"
+        assert failure.error == "boom"
+        assert failure.error_type == "ValueError"
+
+    def test_empty_message_falls_back_to_class_name(self):
+        failure = failure_from_exception("t", "analysis", "skipped", OSError())
+        assert failure.error == "OSError"
+
+    def test_note_prefixes_message(self):
+        failure = failure_from_exception(
+            "t", "ingest", "salvaged", ValueError("bad"), note="while loading"
+        )
+        assert failure.error.startswith("while loading: ")
+
+    def test_to_json_is_plain_data(self):
+        failure = failure_from_exception(
+            "t", "ingest", "skipped", ValueError("x")
+        )
+        assert json.loads(json.dumps(failure.to_json())) == failure.to_json()
+
+
+class TestRunHealth:
+    def test_fresh_health_is_ok(self):
+        health = RunHealth()
+        assert health.ok
+        assert health.analyzed == 0
+
+    def test_record_failure_bumps_action_counter(self):
+        health = RunHealth()
+        health.record_failure(failure_from_exception(
+            "a", "ingest", "skipped", ValueError("x")))
+        health.record_failure(failure_from_exception(
+            "b", "ingest", "salvaged", ValueError("y")))
+        health.record_failure(failure_from_exception(
+            "c", "analysis", "quarantined", ValueError("z")))
+        assert (health.skipped, health.salvaged, health.quarantined) == (1, 1, 1)
+        assert len(health.failures) == 3
+        assert not health.ok
+
+    def test_any_failure_breaks_ok(self):
+        health = RunHealth()
+        health.record_failure(failure_from_exception(
+            "a", "ingest", "salvaged", ValueError("x")))
+        assert not health.ok
+
+    def test_retries_alone_break_ok(self):
+        health = RunHealth()
+        health.retries = 1
+        assert not health.ok
+
+    def test_summary_mentions_every_counter(self):
+        health = RunHealth()
+        health.analyzed = 5
+        text = health.summary()
+        assert "5 analyzed" in text
+        assert "skipped" in text and "salvaged" in text
+
+    def test_json_round_trip(self, tmp_path):
+        health = RunHealth()
+        health.analyzed = 3
+        health.retries = 2
+        health.worker_restarts = 1
+        health.record_failure(failure_from_exception(
+            "a", "ingest", "skipped", ValueError("x")))
+        path = tmp_path / "health.json"
+        health.write_json(path)
+        restored = RunHealth.from_json(json.loads(path.read_text()))
+        assert restored.analyzed == 3
+        assert restored.retries == 2
+        assert restored.worker_restarts == 1
+        assert restored.skipped == 1
+        assert restored.failures[0].source == "a"

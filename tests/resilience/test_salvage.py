@@ -1,0 +1,182 @@
+"""Lenient ingestion: salvage/skip policies and diagnosable RTB errors."""
+
+import pytest
+
+from repro.errors import SerializationError, TraceError, TraceSalvageError
+from repro.resilience import RunHealth
+from repro.trace import (
+    dump_stream,
+    dump_stream_binary,
+    load_corpus,
+    load_stream,
+    validate_stream,
+)
+
+
+@pytest.fixture()
+def jsonl_path(propagation_stream, tmp_path):
+    path = tmp_path / "prop.jsonl"
+    dump_stream(propagation_stream, path)
+    return path
+
+
+@pytest.fixture()
+def rtb_path(small_corpus, tmp_path):
+    path = tmp_path / "big.rtb"
+    dump_stream_binary(small_corpus[0], path)
+    return path
+
+
+class TestJsonlSalvage:
+    def test_intact_file_loads_unmarked(self, jsonl_path):
+        stream = load_stream(jsonl_path, on_error="salvage")
+        assert not getattr(stream, "salvaged", False)
+
+    def test_truncated_file_salvages_prefix(self, jsonl_path, propagation_stream):
+        data = jsonl_path.read_bytes()
+        jsonl_path.write_bytes(data[: int(len(data) * 0.6)])
+        with pytest.raises(TraceError):
+            load_stream(jsonl_path)
+        stream = load_stream(jsonl_path, on_error="salvage")
+        assert stream.salvaged
+        assert 0 < len(stream.events) < len(propagation_stream.events)
+        validate_stream(stream)
+
+    def test_garbage_line_is_dropped(self, jsonl_path):
+        lines = jsonl_path.read_bytes().split(b"\n")
+        lines.insert(3, b"{not json at all")
+        jsonl_path.write_bytes(b"\n".join(lines))
+        stream = load_stream(jsonl_path, on_error="salvage")
+        assert stream.salvaged
+        assert stream.salvage_dropped >= 1
+        validate_stream(stream)
+
+    def test_destroyed_header_is_unrecoverable(self, jsonl_path):
+        lines = jsonl_path.read_bytes().split(b"\n")
+        jsonl_path.write_bytes(b"\n".join([b"???"] + lines[1:]))
+        with pytest.raises(TraceSalvageError):
+            load_stream(jsonl_path, on_error="salvage")
+
+    def test_empty_file_is_unrecoverable(self, jsonl_path):
+        jsonl_path.write_bytes(b"")
+        with pytest.raises(TraceSalvageError):
+            load_stream(jsonl_path, on_error="salvage")
+
+    def test_skip_policy_still_raises_per_file(self, jsonl_path):
+        # Skipping happens at the corpus level; a single-file load under
+        # "skip" is as strict as "strict".
+        jsonl_path.write_bytes(b"")
+        with pytest.raises(TraceError):
+            load_stream(jsonl_path, on_error="skip")
+
+    def test_unknown_policy_rejected(self, jsonl_path):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="--on-error"):
+            load_stream(jsonl_path, on_error="lenient")
+
+
+class TestRtbSalvage:
+    def test_truncated_file_salvages_prefix(self, rtb_path, small_corpus):
+        # Cut inside the trailing instance/thread sections: the event
+        # columns survive, the damaged tail is dropped.
+        data = rtb_path.read_bytes()
+        rtb_path.write_bytes(data[: int(len(data) * 0.99)])
+        with pytest.raises(SerializationError):
+            load_stream(rtb_path)
+        stream = load_stream(rtb_path, on_error="salvage")
+        assert stream.salvaged
+        assert 0 < len(stream.events) <= len(small_corpus[0].events)
+        validate_stream(stream)
+
+    def test_bytes_salvage_matches_file_salvage(self, rtb_path):
+        from repro.trace.binary import loads_stream_binary
+
+        data = rtb_path.read_bytes()[: int(rtb_path.stat().st_size * 0.99)]
+        rtb_path.write_bytes(data)
+        from_file = load_stream(rtb_path, on_error="salvage")
+        from_bytes = loads_stream_binary(data, on_error="salvage")
+        assert from_bytes.salvaged
+        assert list(from_bytes.events) == list(from_file.events)
+
+    def test_wrecked_header_is_unrecoverable(self, rtb_path):
+        rtb_path.write_bytes(b"\x00" * 64)
+        with pytest.raises(TraceSalvageError):
+            load_stream(rtb_path, on_error="salvage")
+
+
+class TestRtbStrictDiagnostics:
+    """Satellite: damaged RTB files raise SerializationError (never a bare
+    ValueError/struct.error) and the message says which file and where."""
+
+    def test_truncated_meta_names_file_and_offset(self, rtb_path):
+        rtb_path.write_bytes(rtb_path.read_bytes()[:40])
+        with pytest.raises(SerializationError) as excinfo:
+            load_stream(rtb_path)
+        message = str(excinfo.value)
+        assert str(rtb_path) in message
+        assert "offset" in message
+
+    def test_short_body_names_file_and_bounds(self, rtb_path):
+        data = rtb_path.read_bytes()
+        rtb_path.write_bytes(data[: int(len(data) * 0.8)])
+        with pytest.raises(SerializationError) as excinfo:
+            load_stream(rtb_path)
+        message = str(excinfo.value)
+        assert str(rtb_path) in message
+        assert "bounds" in message or "offset" in message or "count" in message
+
+    def test_mangled_body_never_leaks_bare_errors(self, rtb_path):
+        data = bytearray(rtb_path.read_bytes())
+        body = len(data) // 2
+        data[body : body + 64] = b"\xff" * 64
+        rtb_path.write_bytes(bytes(data))
+        try:
+            load_stream(rtb_path)
+        except SerializationError as error:
+            assert str(rtb_path) in str(error)
+        # A flip that lands in slack space may leave the file readable —
+        # that is fine; the assertion is it never raises anything else.
+
+    def test_zero_byte_file_is_a_serialization_error(self, rtb_path):
+        rtb_path.write_bytes(b"")
+        with pytest.raises(SerializationError):
+            from repro.trace.binary import load_stream_binary
+
+            load_stream_binary(rtb_path)
+
+
+class TestLoadCorpusPolicies:
+    def _corpus(self, tmp_path, propagation_stream):
+        good = tmp_path / "a_good.jsonl"
+        bad = tmp_path / "b_bad.jsonl"
+        dump_stream(propagation_stream, good)
+        bad.write_bytes(b"{broken\n")
+        return tmp_path
+
+    def test_strict_raises_on_first_bad_file(self, tmp_path, propagation_stream):
+        corpus = self._corpus(tmp_path, propagation_stream)
+        with pytest.raises(TraceError):
+            list(load_corpus(corpus))
+
+    def test_skip_drops_and_records(self, tmp_path, propagation_stream):
+        corpus = self._corpus(tmp_path, propagation_stream)
+        health = RunHealth()
+        streams = list(load_corpus(corpus, on_error="skip", health=health))
+        assert [s.stream_id for s in streams] == [propagation_stream.stream_id]
+        assert health.skipped == 1
+        assert health.failures[0].action == "skipped"
+        assert "b_bad" in health.failures[0].source
+
+    def test_salvage_records_salvaged_streams(self, tmp_path, propagation_stream):
+        corpus = self._corpus(tmp_path, propagation_stream)
+        # Make the broken file salvageable: valid header, one bad line.
+        good_lines = (corpus / "a_good.jsonl").read_bytes().split(b"\n")
+        (corpus / "b_bad.jsonl").write_bytes(
+            b"\n".join(good_lines[:1] + [b"{broken"] + good_lines[1:])
+        )
+        health = RunHealth()
+        streams = list(load_corpus(corpus, on_error="salvage", health=health))
+        assert len(streams) == 2
+        assert health.salvaged == 1
+        assert health.skipped == 0

@@ -158,6 +158,150 @@ class TestPipelineOptionValidation:
         assert "--workers must be >= 1" in capsys.readouterr().err
 
 
+class TestResilienceOptionValidation:
+    @pytest.mark.parametrize("command", ["impact", "causality", "study"])
+    def test_unknown_on_error_rejected(self, corpus_dir, command, capsys):
+        argv = [command, str(corpus_dir), "--on-error", "lenient"]
+        if command == "causality":
+            argv += ["--scenario", "WebPageNavigation"]
+        assert main(argv) == 2
+        assert "--on-error must be one of" in capsys.readouterr().err
+
+    def test_negative_max_retries_rejected(self, corpus_dir, capsys):
+        assert main([
+            "study", str(corpus_dir), "--max-retries", "-1",
+        ]) == 2
+        assert "--max-retries must be >= 0" in capsys.readouterr().err
+
+
+class TestResilienceCli:
+    @pytest.fixture()
+    def damaged_corpus(self, corpus_dir, tmp_path):
+        import shutil
+
+        directory = tmp_path / "damaged"
+        shutil.copytree(corpus_dir, directory)
+        victim = sorted(directory.glob("*.jsonl"))[0]
+        victim.write_bytes(victim.read_bytes()[: victim.stat().st_size // 2])
+        return directory
+
+    def test_skip_matches_survivor_study(self, damaged_corpus, capsys):
+        broken = sorted(damaged_corpus.glob("*.jsonl"))[0]
+        broken_name = broken.name
+        broken.rename(broken.with_suffix(".bad"))
+        assert main(["study", str(damaged_corpus)]) == 0
+        survivors_only = capsys.readouterr().out
+        broken.with_suffix(".bad").rename(broken)
+
+        assert main([
+            "study", str(damaged_corpus), "--on-error", "skip",
+        ]) == 0
+        assert capsys.readouterr().out == survivors_only
+
+    def test_health_json_sidecar_written(self, damaged_corpus, tmp_path, capsys):
+        import json
+
+        sidecar = tmp_path / "health.json"
+        assert main([
+            "study", str(damaged_corpus),
+            "--on-error", "skip", "--health-json", str(sidecar),
+        ]) == 0
+        capsys.readouterr()
+        data = json.loads(sidecar.read_text())
+        assert data["analyzed"] == 2
+        assert data["skipped"] == 1
+        assert data["failures"][0]["action"] == "skipped"
+
+    def test_verbose_prints_health_summary(self, damaged_corpus, capsys):
+        assert main([
+            "study", str(damaged_corpus), "--on-error", "salvage", "--verbose",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "run health:" in err
+
+    def test_strict_run_still_fails_loudly(self, damaged_corpus, capsys):
+        assert main(["study", str(damaged_corpus)]) == 2
+
+    def test_doctor_triages_and_exits_by_policy(self, damaged_corpus, capsys):
+        code = main(["corpus", "doctor", str(damaged_corpus)])
+        out = capsys.readouterr().out
+        # Default policy is salvage: the truncated file either recovers
+        # (exit 0, "salvaged") or is reported broken (exit 1).
+        assert ("salvaged" in out) == (code == 0)
+        assert out.count("ok") >= 2
+
+        assert main([
+            "corpus", "doctor", str(damaged_corpus), "--on-error", "strict",
+        ]) == 1
+        assert "BROKEN" in capsys.readouterr().out
+
+    def test_doctor_flags_duplicate_stems(self, corpus_dir, tmp_path, capsys):
+        import shutil
+
+        directory = tmp_path / "dupes"
+        shutil.copytree(corpus_dir, directory)
+        first = sorted(directory.glob("*.jsonl"))[0]
+        assert main([
+            "trace", "convert", str(first), str(first.with_suffix(".rtb")),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["corpus", "doctor", str(directory)]) == 1
+        assert "DUPLICATE" in capsys.readouterr().out
+
+    def test_doctor_writes_health_json(self, damaged_corpus, tmp_path, capsys):
+        import json
+
+        sidecar = tmp_path / "doctor.json"
+        main([
+            "corpus", "doctor", str(damaged_corpus),
+            "--health-json", str(sidecar),
+        ])
+        capsys.readouterr()
+        data = json.loads(sidecar.read_text())
+        assert data["analyzed"] + data["skipped"] == 3
+
+    def test_fuzz_is_deterministic_and_reported(
+        self, corpus_dir, tmp_path, capsys
+    ):
+        import shutil
+
+        first = tmp_path / "fuzz-a"
+        second = tmp_path / "fuzz-b"
+        shutil.copytree(corpus_dir, first)
+        shutil.copytree(corpus_dir, second)
+        assert main(["corpus", "fuzz", str(first), "--seed", "77"]) == 0
+        out = capsys.readouterr().out
+        assert "corrupted" in out
+        assert main(["corpus", "fuzz", str(second), "--seed", "77"]) == 0
+        capsys.readouterr()
+        for name in sorted(p.name for p in first.glob("*.jsonl")):
+            assert (first / name).read_bytes() == (second / name).read_bytes()
+
+    def test_fuzz_rejects_unknown_corruptor(self, corpus_dir, tmp_path, capsys):
+        import shutil
+
+        directory = tmp_path / "fuzz-bad"
+        shutil.copytree(corpus_dir, directory)
+        assert main([
+            "corpus", "fuzz", str(directory), "--seed", "1",
+            "--corruptor", "rot13",
+        ]) == 2
+        assert "--corruptor must be one of" in capsys.readouterr().err
+
+    def test_fuzz_then_skip_study_never_crashes(self, corpus_dir, tmp_path, capsys):
+        import shutil
+
+        directory = tmp_path / "fuzz-study"
+        shutil.copytree(corpus_dir, directory)
+        assert main([
+            "corpus", "fuzz", str(directory), "--seed", "13",
+            "--fraction", "0.5",
+        ]) == 0
+        capsys.readouterr()
+        code = main(["study", str(directory), "--on-error", "skip"])
+        assert code == 0
+
+
 class TestStoreCli:
     def test_store_runs_are_byte_identical_and_reported(
         self, corpus_dir, tmp_path, capsys
@@ -325,3 +469,11 @@ class TestParser:
     def test_trace_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main(["trace"])
+
+    def test_corpus_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["corpus"])
+
+    def test_fuzz_requires_seed(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["corpus", "fuzz", str(tmp_path)])

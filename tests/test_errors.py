@@ -15,6 +15,9 @@ def test_all_errors_derive_from_repro_error():
         errors.WaitGraphError,
         errors.AnalysisError,
         errors.ConfigError,
+        errors.ResilienceError,
+        errors.TraceSalvageError,
+        errors.WorkerCrashError,
     ]
     for cls in subclasses:
         assert issubclass(cls, errors.ReproError)
@@ -24,6 +27,14 @@ def test_specializations():
     assert issubclass(errors.TraceValidationError, errors.TraceError)
     assert issubclass(errors.SerializationError, errors.TraceError)
     assert issubclass(errors.DeadlockError, errors.SimulationError)
+    assert issubclass(errors.TraceSalvageError, errors.ResilienceError)
+    assert issubclass(errors.WorkerCrashError, errors.ResilienceError)
+
+
+def test_salvage_error_is_not_a_trace_error():
+    # Salvage failure is a resilience outcome, not a parse error: code
+    # catching TraceError for strict ingestion must not swallow it.
+    assert not issubclass(errors.TraceSalvageError, errors.TraceError)
 
 
 def test_catchable_as_base():

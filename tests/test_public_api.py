@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.evaluation",
     "repro.report",
+    "repro.resilience",
 ]
 
 
