@@ -1,0 +1,85 @@
+"""Schedule-exploration benchmarks: sweep throughput and oracle health.
+
+Two questions decide how large an exploration grid is worth running:
+
+* **coverage yield** — how many distinct contention shapes does each
+  policy add over the FIFO baseline, per second of sweep time, and how
+  does the fork-pool fan-out scale the sweep?
+* **oracle cost** — what does the full planted-cause validation (corpus
+  generation + thresholds + causality pipeline per pathology) cost, and
+  does every pathology still mine at top rank?
+
+Grid size follows ``REPRO_BENCH_EXPLORE_SEEDS`` (default 2 policy
+seeds).  Wall-clock ratios are printed, not asserted; determinism and
+oracle verdicts are asserted — the sweep must be byte-identical at any
+worker count and every planted cause must be rediscovered.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import print_banner
+from repro.sim.explore import (
+    ExploreConfig,
+    explore_schedules,
+    negative_control,
+    verify_all_pathologies,
+)
+
+EXPLORE_SEEDS = int(os.environ.get("REPRO_BENCH_EXPLORE_SEEDS", "2"))
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _grid() -> ExploreConfig:
+    return ExploreConfig(
+        seeds=tuple(range(EXPLORE_SEEDS)),
+        intensities=(0.3, 0.8),
+        repeats=3,
+    )
+
+
+def test_bench_sweep_scaling_and_coverage():
+    """Policy × seed sweep: scaling across workers, identical reports."""
+    print_banner(
+        f"schedule exploration sweep "
+        f"(4 pathologies x 5 policies x {EXPLORE_SEEDS} seeds)"
+    )
+    config = _grid()
+    baseline_json = None
+    baseline_time = None
+    for workers in WORKER_COUNTS:
+        start = time.perf_counter()
+        report = explore_schedules(config, workers=workers)
+        elapsed = time.perf_counter() - start
+        if baseline_json is None:
+            baseline_json, baseline_time = report.to_json(), elapsed
+        else:
+            assert report.to_json() == baseline_json
+        print(
+            f"workers={workers}: {elapsed:6.2f}s "
+            f"({baseline_time / elapsed:4.2f}x)"
+        )
+    report = explore_schedules(config, workers=WORKER_COUNTS[-1])
+    print(report.render())
+    novel = sum(len(shapes) for shapes in report.novel_shapes().values())
+    print(f"novel (non-FIFO) shapes: {novel}")
+    assert report.total_distinct_shapes > 0
+    assert novel > 0, "exploration added nothing over the FIFO baseline"
+
+
+def test_bench_mining_oracle():
+    """Planted-cause validation: per-pathology cost and verdicts."""
+    print_banner("mining oracle (planted-pathology validation)")
+    start = time.perf_counter()
+    verdicts = verify_all_pathologies(
+        seeds=(0,), intensities=(0.15, 0.85), repeats=4
+    )
+    elapsed = time.perf_counter() - start
+    for verdict in verdicts:
+        print(f"{verdict.summary()}")
+        assert verdict.passed, verdict.summary()
+    clean = negative_control(seeds=(0,), intensities=(0.2, 0.8), repeats=4)
+    print(f"negative control: {'clean' if clean else 'CONTAMINATED'}")
+    assert clean
+    print(f"total oracle time: {elapsed:.2f}s "
+          f"({elapsed / len(verdicts):.2f}s per pathology)")

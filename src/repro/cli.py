@@ -47,7 +47,12 @@ from repro.evaluation.study import group_by_scenario, run_study
 from repro.impact import ImpactAnalysis
 from repro.report.tables import Table, fmt_pct, fmt_ratio
 from repro.sim.corpus import CorpusConfig, generate_corpus
-from repro.sim.workloads.registry import SCENARIO_NAMES, scenario_spec
+from repro.sim.sched import POLICY_NAMES
+from repro.sim.workloads.registry import (
+    PATHOLOGY_SCENARIO_NAMES,
+    SCENARIO_NAMES,
+    scenario_spec,
+)
 from repro.trace import (
     dump_corpus,
     iter_corpus_paths,
@@ -747,6 +752,55 @@ def cmd_corpus_fuzz(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# Schedule exploration
+# ---------------------------------------------------------------------------
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    from repro.sim.explore import (
+        ExploreConfig,
+        explore_schedules,
+        negative_control,
+        smoke_config,
+        verify_all_pathologies,
+    )
+
+    if args.smoke:
+        config = smoke_config()
+    else:
+        config = ExploreConfig(
+            scenarios=tuple(args.scenarios),
+            policies=tuple(args.policies),
+            seeds=tuple(args.seeds),
+            intensities=tuple(args.intensities),
+            repeats=args.repeats,
+        )
+    # Unknown policy or scenario names raise ConfigError here — the CLI
+    # fails loudly (exit 2 via main) instead of falling back to FIFO.
+    config.validate()
+    report = explore_schedules(config, workers=args.workers)
+    print(report.to_json() if args.json else report.render())
+
+    if not args.oracle:
+        return 0
+    oracle_seeds = (0,) if args.smoke else tuple(args.seeds)
+    oracle_intensities = (0.15, 0.85) if args.smoke else (0.15, 0.5, 0.85)
+    oracle_repeats = 3 if args.smoke else 6
+    verdicts = verify_all_pathologies(
+        seeds=oracle_seeds,
+        intensities=oracle_intensities,
+        repeats=oracle_repeats,
+    )
+    for verdict in verdicts:
+        print(f"oracle: {verdict.summary()}")
+    clean = negative_control(repeats=oracle_repeats)
+    print(f"oracle negative control: {'clean' if clean else 'CONTAMINATED'}")
+    if any(not verdict.passed for verdict in verdicts) or not clean:
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # Artifact-store maintenance
 # ---------------------------------------------------------------------------
 
@@ -902,6 +956,48 @@ def build_parser() -> argparse.ArgumentParser:
     case = subparsers.add_parser("case", help="replay a paper case study")
     case.add_argument("name", choices=["figure1", "hardfault"])
     case.set_defaults(handler=cmd_case)
+
+    explore = subparsers.add_parser(
+        "explore",
+        help="sweep scheduler policy × seed grids (see docs/EXPLORE.md)",
+    )
+    explore.add_argument(
+        "--scenarios", nargs="+", metavar="NAME",
+        default=list(PATHOLOGY_SCENARIO_NAMES),
+        help="scenarios to explore (default: the pathology scenarios)",
+    )
+    explore.add_argument(
+        "--policies", nargs="+", metavar="NAME",
+        default=list(POLICY_NAMES),
+        help=f"scheduling policies (known: {', '.join(POLICY_NAMES)})",
+    )
+    explore.add_argument(
+        "--seeds", nargs="+", type=int, default=[0, 1, 2],
+        help="policy seeds forming the grid's second axis",
+    )
+    explore.add_argument(
+        "--intensities", nargs="+", type=float, default=[0.2, 0.5, 0.8],
+        help="workload intensities swept inside every cell",
+    )
+    explore.add_argument("--repeats", type=int, default=4,
+                         help="scenario instances per cell and intensity")
+    explore.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel cell processes (identical report for any count)",
+    )
+    explore.add_argument(
+        "--smoke", action="store_true",
+        help="small fixed CI grid (overrides the grid options)",
+    )
+    explore.add_argument(
+        "--oracle", action="store_true",
+        help="also run the planted-pathology mining oracle; exit 1 on miss",
+    )
+    explore.add_argument(
+        "--json", action="store_true",
+        help="emit the canonical JSON coverage report instead of the table",
+    )
+    explore.set_defaults(handler=cmd_explore)
 
     store = subparsers.add_parser(
         "store", help="artifact-store maintenance (see docs/STORE.md)"

@@ -35,27 +35,45 @@ from repro.sim.engine import (
     ThreadContext,
     WaitFor,
 )
-from repro.sim.locks import Lock, SimEvent
+from repro.sim.locks import Lock, Mailbox, SimEvent
 from repro.sim.machine import Machine, MachineConfig
 from repro.sim.memory import PagedMemory
+from repro.sim.sched import (
+    POLICY_NAMES,
+    ConvoyPolicy,
+    FifoPolicy,
+    PctPolicy,
+    RandomTiebreakPolicy,
+    SchedulerPolicy,
+    ShuffleWakeupPolicy,
+    make_policy,
+)
 from repro.sim.tracer import Tracer
 
 __all__ = [
     "Acquire",
     "CaseStudyResult",
     "Compute",
+    "ConvoyPolicy",
     "CorpusConfig",
     "DEFAULT_SCENARIO_WEIGHTS",
     "Delay",
     "Engine",
+    "FifoPolicy",
     "Fire",
     "HardwareIO",
     "Lock",
     "Machine",
     "MachineConfig",
+    "Mailbox",
+    "POLICY_NAMES",
     "PagedMemory",
+    "PctPolicy",
     "QueuedDevice",
+    "RandomTiebreakPolicy",
     "Release",
+    "SchedulerPolicy",
+    "ShuffleWakeupPolicy",
     "SimEvent",
     "SimThread",
     "Spawn",
@@ -67,6 +85,7 @@ __all__ = [
     "draw_machine_config",
     "generate_corpus",
     "generate_stream",
+    "make_policy",
     "run_case_study",
     "run_hardfault_case",
 ]

@@ -14,15 +14,17 @@ from __future__ import annotations
 
 import multiprocessing
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.sim.machine import Machine, MachineConfig
+from repro.sim.sched import POLICY_NAMES
 from repro.sim.workloads.background import install_standard_background
 from repro.sim.workloads.base import Workload
 from repro.sim.workloads.registry import (
     EXTRA_SCENARIO_NAMES,
+    PATHOLOGY_SCENARIO_NAMES,
     SCENARIO_NAMES,
     workload_class,
 )
@@ -60,11 +62,20 @@ class CorpusConfig:
     scenario_weights: Dict[str, float] = field(
         default_factory=lambda: dict(DEFAULT_SCENARIO_WEIGHTS)
     )
+    #: Scheduling policy every stream's machine runs under (see
+    #: :data:`repro.sim.sched.POLICY_NAMES`); ``scheduler_seed`` seeds
+    #: the policy RNG, defaulting to the per-stream machine seed.
+    scheduler: str = "fifo"
+    scheduler_seed: Optional[int] = None
 
     def validate(self) -> None:
         if self.streams < 1:
             raise ConfigError("corpus needs at least one stream")
-        known = set(SCENARIO_NAMES) | set(EXTRA_SCENARIO_NAMES)
+        known = (
+            set(SCENARIO_NAMES)
+            | set(EXTRA_SCENARIO_NAMES)
+            | set(PATHOLOGY_SCENARIO_NAMES)
+        )
         unknown = set(self.scenarios) - known
         if unknown:
             raise ConfigError(f"unknown scenarios: {sorted(unknown)}")
@@ -73,6 +84,17 @@ class CorpusConfig:
             raise ConfigError(
                 "workloads_per_stream range must fit in the scenario list"
             )
+        if self.scheduler not in POLICY_NAMES:
+            known_policies = ", ".join(POLICY_NAMES)
+            raise ConfigError(
+                f"unknown scheduler policy {self.scheduler!r}; "
+                f"known: {known_policies}"
+            )
+        for name, weight in self.scenario_weights.items():
+            if weight < 0:
+                raise ConfigError(
+                    f"scenario weight for {name!r} must be >= 0, got {weight}"
+                )
 
 
 def draw_machine_config(rng: random.Random) -> MachineConfig:
@@ -107,10 +129,24 @@ def draw_machine_config(rng: random.Random) -> MachineConfig:
 def _pick_scenarios(
     rng: random.Random, config: CorpusConfig
 ) -> List[str]:
-    """Weighted sample (without replacement) of scenarios for one stream."""
+    """Weighted sample (without replacement) of scenarios for one stream.
+
+    Zero-weight scenarios are excluded up front — they are never drawn
+    and must not zero the remaining total mid-sample (``rng.choices``
+    raises on an all-zero weight vector).  A single-scenario pool yields
+    that scenario regardless of the requested count.
+    """
     low, high = config.workloads_per_stream
     count = rng.randint(low, high)
-    pool = list(config.scenarios)
+    pool = [
+        name
+        for name in config.scenarios
+        if config.scenario_weights.get(name, 1.0) > 0
+    ]
+    if not pool:
+        raise ConfigError(
+            "no scenario has positive weight; nothing to sample"
+        )
     weights = [config.scenario_weights.get(name, 1.0) for name in pool]
     chosen: List[str] = []
     for _ in range(count):
@@ -156,6 +192,12 @@ def generate_stream(index: int, config: CorpusConfig) -> TraceStream:
     """Generate the trace stream of one simulated machine."""
     rng = random.Random(f"{config.seed}/{index}")
     machine_config = draw_machine_config(rng)
+    if config.scheduler != "fifo" or config.scheduler_seed is not None:
+        machine_config = replace(
+            machine_config,
+            scheduler=config.scheduler,
+            scheduler_seed=config.scheduler_seed,
+        )
     machine = Machine(f"stream{index:05d}", machine_config)
 
     scenario_names = _pick_scenarios(rng, config)

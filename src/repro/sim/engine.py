@@ -23,6 +23,7 @@ from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
 
 from repro.errors import DeadlockError, SimulationError
 from repro.sim.locks import Lock, Mailbox, SimEvent
+from repro.sim.sched import FifoPolicy, SchedulerPolicy
 from repro.trace.signatures import make_signature
 from repro.trace.stream import ThreadInfo
 
@@ -314,16 +315,26 @@ class Engine:
     rng:
         A seeded :class:`random.Random`; shared by thread programs through
         :attr:`ThreadContext.rng` so whole simulations are reproducible.
+    policy:
+        A :class:`~repro.sim.sched.SchedulerPolicy` taking the engine's
+        scheduling decisions (heap tie-breaks, waiter selection, wake
+        order, handoff delays).  ``None`` uses the deterministic
+        :class:`~repro.sim.sched.FifoPolicy`, which reproduces the
+        pre-policy engine byte for byte.
     """
 
-    def __init__(self, cores: int = 8, tracer=None, rng=None):
+    def __init__(self, cores: int = 8, tracer=None, rng=None, policy=None):
         if cores < 1:
             raise SimulationError("engine needs at least one CPU core")
         self.now = 0
         self.cores = cores
         self.tracer = tracer if tracer is not None else _NullTracer()
         self.rng = rng
-        self._heap: List[Tuple[int, int, Callable[[], None]]] = []
+        self.policy: SchedulerPolicy = (
+            policy if policy is not None else FifoPolicy()
+        )
+        self.policy.attach(self)
+        self._heap: List[Tuple[int, float, int, Callable[[], None]]] = []
         self._heap_seq = 0
         self._free_cores = cores
         self._cpu_queue: Deque[Tuple[SimThread, int]] = deque()
@@ -333,17 +344,41 @@ class Engine:
 
     # -- time & scheduling ---------------------------------------------------
 
-    def schedule(self, delay: int, action: Callable[[], None]) -> None:
+    def schedule(
+        self,
+        delay: int,
+        action: Callable[[], None],
+        tid: Optional[int] = None,
+    ) -> None:
         """Run ``action`` ``delay`` microseconds from now."""
-        self.at(self.now + delay, action)
+        self.at(self.now + delay, action, tid=tid)
 
-    def at(self, timestamp: int, action: Callable[[], None]) -> None:
-        """Run ``action`` at an absolute virtual time."""
+    def at(
+        self,
+        timestamp: int,
+        action: Callable[[], None],
+        tid: Optional[int] = None,
+    ) -> None:
+        """Run ``action`` at an absolute virtual time.
+
+        Entries order by ``(timestamp, policy key, sequence)``.  The
+        tie-break sequence is **engine-global** — one monotone counter
+        across all threads and devices, not per thread — so with the
+        default FIFO policy (whose key is constant) same-timestamp
+        actions run in exact submission order, globally.  A plugged-in
+        policy only reorders entries *within* one timestamp via its
+        ``heap_key``; it can never reorder virtual time itself, which is
+        why any policy still yields schema-valid, causally ordered
+        traces.  ``tid`` names the thread the action advances (``None``
+        for engine-internal actions) and is what priority-based policies
+        key on.
+        """
         if timestamp < self.now:
             raise SimulationError(
                 f"cannot schedule in the past ({timestamp} < {self.now})"
             )
-        heapq.heappush(self._heap, (timestamp, self._heap_seq, action))
+        key = self.policy.heap_key(timestamp, tid)
+        heapq.heappush(self._heap, (timestamp, key, self._heap_seq, action))
         self._heap_seq += 1
 
     def allocate_tid(self) -> int:
@@ -378,7 +413,7 @@ class Engine:
         self.tracer.on_thread_created(info)
         when = self.now if start_at is None else start_at
         thread.state = _RUNNABLE
-        self.at(when, lambda: self._step(thread, None))
+        self.at(when, lambda: self._step(thread, None), tid=thread.tid)
         return thread
 
     def run(self, until: Optional[int] = None) -> None:
@@ -388,7 +423,7 @@ class Engine:
         threads remain (no future event can ever wake them).
         """
         while self._heap:
-            timestamp, _, action = self._heap[0]
+            timestamp, _, _, action = self._heap[0]
             if until is not None and timestamp > until:
                 self.now = until
                 return
@@ -477,7 +512,7 @@ class Engine:
             self._handle_take(thread, request.mailbox)
         elif isinstance(request, Spawn):
             child = self.spawn(request.program, request.info.process, request.info.name)
-            self.at(self.now, lambda: self._step(thread, child))
+            self.at(self.now, lambda: self._step(thread, child), tid=thread.tid)
         else:
             raise SimulationError(
                 f"{thread!r} yielded an unknown request: {request!r}"
@@ -487,7 +522,7 @@ class Engine:
 
     def _handle_compute(self, thread: SimThread, duration: int) -> None:
         if duration <= 0:
-            self.at(self.now, lambda: self._step(thread, None))
+            self.at(self.now, lambda: self._step(thread, None), tid=thread.tid)
             return
         if self._free_cores > 0:
             self._start_compute(thread, duration)
@@ -504,11 +539,15 @@ class Engine:
         def finish() -> None:
             self._free_cores += 1
             if self._cpu_queue:
-                queued_thread, queued_duration = self._cpu_queue.popleft()
+                index = self.policy.pick_waiter(
+                    "cpu", [queued for queued, _ in self._cpu_queue]
+                )
+                queued_thread, queued_duration = self._cpu_queue[index]
+                del self._cpu_queue[index]
                 self._start_compute(queued_thread, queued_duration)
             self._step(thread, None)
 
-        self.schedule(duration, finish)
+        self.schedule(duration, finish, tid=thread.tid)
 
     # -- blocking & waking -------------------------------------------------------
 
@@ -547,14 +586,14 @@ class Engine:
         thread.block_start = None
         thread.block_resource = None
         self._blocked_count -= 1
-        self.at(self.now, lambda: self._step(thread, send_value))
+        self.at(self.now, lambda: self._step(thread, send_value), tid=thread.tid)
 
     # -- locks ---------------------------------------------------------------
 
     def _handle_acquire(self, thread: SimThread, lock: Lock) -> None:
         if lock.holder is None:
             lock.holder = thread
-            self.at(self.now, lambda: self._step(thread, None))
+            self.at(self.now, lambda: self._step(thread, None), tid=thread.tid)
         else:
             lock.waiters.append(thread)
             self._block(thread, f"lock:{lock.name}")
@@ -565,17 +604,39 @@ class Engine:
                 f"{thread!r} released lock {lock.name!r} it does not hold"
             )
         if lock.waiters:
-            next_holder = lock.waiters.popleft()
+            resource = f"lock:{lock.name}"
+            index = self.policy.pick_waiter(resource, lock.waiters)
+            next_holder = lock.waiters[index]
+            del lock.waiters[index]
             lock.holder = next_holder
-            self._wake(
-                next_holder,
-                waker_tid=thread.tid,
-                waker_stack=thread.stack_tuple(),
-                resource=f"lock:{lock.name}",
-            )
+            # The policy may stretch the handoff: the lock already
+            # belongs to the next holder, but its wake — and therefore
+            # the end of its observed wait — lands ``delay`` later,
+            # modelling OS wakeup latency (the convoy amplifier).
+            delay = self.policy.release_delay(lock)
+            if delay > 0:
+                waker_tid = thread.tid
+                waker_stack = thread.stack_tuple()
+                self.at(
+                    self.now + delay,
+                    lambda: self._wake(
+                        next_holder,
+                        waker_tid=waker_tid,
+                        waker_stack=waker_stack,
+                        resource=resource,
+                    ),
+                    tid=next_holder.tid,
+                )
+            else:
+                self._wake(
+                    next_holder,
+                    waker_tid=thread.tid,
+                    waker_stack=thread.stack_tuple(),
+                    resource=resource,
+                )
         else:
             lock.holder = None
-        self.at(self.now, lambda: self._step(thread, None))
+        self.at(self.now, lambda: self._step(thread, None), tid=thread.tid)
 
     # -- hardware --------------------------------------------------------------
 
@@ -597,34 +658,39 @@ class Engine:
                 resource=f"device:{device.name}",
             )
 
-        self.at(service_end, complete)
+        self.at(service_end, complete, tid=thread.tid)
 
     # -- idling ------------------------------------------------------------------
 
     def _handle_delay(self, thread: SimThread, duration: int) -> None:
         thread.state = _IDLE
-        self.schedule(max(duration, 0), lambda: self._step(thread, None))
+        self.schedule(
+            max(duration, 0), lambda: self._step(thread, None), tid=thread.tid
+        )
 
     # -- mailboxes ---------------------------------------------------------------
 
     def _handle_post(self, thread: SimThread, mailbox: Mailbox, item: Any) -> None:
         if mailbox.takers:
-            taker = mailbox.takers.popleft()
+            resource = f"mailbox:{mailbox.name}"
+            index = self.policy.pick_waiter(resource, mailbox.takers)
+            taker = mailbox.takers[index]
+            del mailbox.takers[index]
             self._wake(
                 taker,
                 waker_tid=thread.tid,
                 waker_stack=thread.stack_tuple(),
-                resource=f"mailbox:{mailbox.name}",
+                resource=resource,
                 send_value=item,
             )
         else:
             mailbox.items.append(item)
-        self.at(self.now, lambda: self._step(thread, None))
+        self.at(self.now, lambda: self._step(thread, None), tid=thread.tid)
 
     def _handle_take(self, thread: SimThread, mailbox: Mailbox) -> None:
         if mailbox.items:
             item = mailbox.items.popleft()
-            self.at(self.now, lambda: self._step(thread, item))
+            self.at(self.now, lambda: self._step(thread, item), tid=thread.tid)
         else:
             mailbox.takers.append(thread)
             self._block(thread, f"mailbox:{mailbox.name}")
@@ -633,7 +699,9 @@ class Engine:
 
     def _handle_wait_for(self, thread: SimThread, event: SimEvent) -> None:
         if event.fired:
-            self.at(self.now, lambda: self._step(thread, event.value))
+            self.at(
+                self.now, lambda: self._step(thread, event.value), tid=thread.tid
+            )
         else:
             event.waiters.append(thread)
             self._block(thread, f"event:{event.name}")
@@ -641,12 +709,12 @@ class Engine:
     def _handle_fire(self, thread: SimThread, event: SimEvent, value: Any) -> None:
         event.fire(value)
         waiters, event.waiters = list(event.waiters), []
-        for waiter in waiters:
+        for index in self.policy.wake_order(waiters):
             self._wake(
-                waiter,
+                waiters[index],
                 waker_tid=thread.tid,
                 waker_stack=thread.stack_tuple(),
                 resource=f"event:{event.name}",
                 send_value=value,
             )
-        self.at(self.now, lambda: self._step(thread, None))
+        self.at(self.now, lambda: self._step(thread, None), tid=thread.tid)

@@ -1,0 +1,54 @@
+"""Systematic schedule exploration over the discrete-event simulator.
+
+Sweeps scheduling-policy × seed grids (:mod:`~repro.sim.explore.runner`),
+deduplicates the interleavings each cell reaches by wait-graph shape
+(:mod:`~repro.sim.explore.fingerprint`), and holds the full analysis
+stack against injected, labeled contention pathologies
+(:mod:`~repro.sim.explore.oracle`).
+"""
+
+from repro.sim.explore.fingerprint import (
+    FINGERPRINT_LENGTH,
+    distinct_shapes,
+    shape_fingerprint,
+)
+from repro.sim.explore.oracle import (
+    DEFAULT_ORACLE_POLICIES,
+    OracleVerdict,
+    judge_report,
+    negative_control,
+    verify_all_pathologies,
+    verify_pathology,
+)
+from repro.sim.explore.runner import (
+    CellResult,
+    CoverageReport,
+    ExploreCell,
+    ExploreConfig,
+    explore_schedules,
+    run_cell,
+    run_cell_streams,
+    smoke_config,
+    stable_seed,
+)
+
+__all__ = [
+    "CellResult",
+    "CoverageReport",
+    "DEFAULT_ORACLE_POLICIES",
+    "ExploreCell",
+    "ExploreConfig",
+    "FINGERPRINT_LENGTH",
+    "OracleVerdict",
+    "distinct_shapes",
+    "explore_schedules",
+    "judge_report",
+    "negative_control",
+    "run_cell",
+    "run_cell_streams",
+    "shape_fingerprint",
+    "smoke_config",
+    "stable_seed",
+    "verify_all_pathologies",
+    "verify_pathology",
+]

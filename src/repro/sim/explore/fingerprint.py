@@ -1,0 +1,72 @@
+"""Wait-graph shape fingerprints for interleaving deduplication.
+
+Exploration sweeps run the same workload under many scheduling policies
+and seeds; most cells reproduce contention structure already seen.  The
+*shape fingerprint* canonicalizes a wait graph down to what distinguishes
+one contention pathology from another — the nesting of waits, what
+resource each wait blocked on, and which component frame was waiting —
+while discarding everything timing-dependent (durations, timestamps,
+thread ids, sample counts).  Two interleavings with the same fingerprint
+stalled on the same resources through the same code paths in the same
+causal nesting; coverage is then "how many distinct shapes did the sweep
+find", not "how many runs did it do".
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import FrozenSet, Iterable, List
+
+from repro.trace.events import Event, EventKind
+from repro.waitgraph.graph import WaitGraph
+
+#: Hex digest length of a shape fingerprint (64 bits of SHA-256).
+FINGERPRINT_LENGTH = 16
+
+
+def _wait_label(event: Event) -> str:
+    """The shape-relevant identity of one wait: resource + waiting frame."""
+    resource = event.resource or "?"
+    frame = event.stack[-1] if event.stack else "?"
+    return f"{resource}|{frame}"
+
+
+def _render(graph: WaitGraph, event: Event, on_path: FrozenSet[int]) -> str:
+    if event.kind is EventKind.HW_SERVICE:
+        return f"H[{event.resource or '?'}]"
+    if event.kind is not EventKind.WAIT:
+        return ""  # RUNNING slices carry timing, not contention shape
+    if event.seq in on_path:
+        return "CYCLE"  # defensive: malformed graphs must still terminate
+    nested = on_path | {event.seq}
+    children = sorted(
+        rendering
+        for child in graph.children(event)
+        if (rendering := _render(graph, child, nested))
+    )
+    return f"W[{_wait_label(event)}]({','.join(children)})"
+
+
+def shape_fingerprint(graph: WaitGraph) -> str:
+    """Canonical hash of a wait graph's contention shape.
+
+    Sibling subtrees are rendered in sorted order, so graphs differing
+    only in the arrival order of identical waiters collapse to one
+    fingerprint; durations, timestamps and thread identity are excluded
+    entirely.  A graph with no waits fingerprints the empty shape —
+    "this interleaving had no traced contention" is itself a shape.
+    """
+    rendered = sorted(
+        rendering
+        for root in graph.roots
+        if root.kind is EventKind.WAIT
+        and (rendering := _render(graph, root, frozenset()))
+    )
+    canonical = ";".join(rendered)
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return digest[:FINGERPRINT_LENGTH]
+
+
+def distinct_shapes(graphs: Iterable[WaitGraph]) -> List[str]:
+    """Sorted distinct shape fingerprints of a collection of wait graphs."""
+    return sorted({shape_fingerprint(graph) for graph in graphs})

@@ -1,0 +1,253 @@
+"""Mining oracle: assert the analysis stack rediscovers planted causes.
+
+Every pathology workload (:mod:`repro.sim.workloads.pathology`) labels
+the contention it injects with distinctive ``*.sys`` frames.  The oracle
+closes the loop: it generates a corpus of the pathology across policies,
+seeds and intensities, derives fast/slow thresholds from the observed
+duration distribution, runs the full causality pipeline — wait-graph
+construction, AWG aggregation, impact metrics, contrast-pattern mining —
+and checks three facts against the ground truth:
+
+* **graph**: slow instances' wait graphs actually contain waits on the
+  planted resources (construction didn't lose the pathology);
+* **impact**: the planted waits carry more cost in the slow class than
+  the fast class (the impact metric points at the injection);
+* **mining**: a top-k ranked contrast pattern contains a planted
+  signature (the miner names the cause).
+
+A negative control runs the same check against a scenario with nothing
+planted and requires the opposite answer, guarding against an oracle
+that "finds" everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.causality.analyzer import CausalityAnalysis, CausalityReport
+from repro.causality.thresholds import suggest_thresholds
+from repro.errors import ConfigError
+from repro.sim.explore.runner import ExploreCell, run_cell_streams
+from repro.sim.workloads.registry import (
+    PATHOLOGY_SCENARIO_NAMES,
+    workload_class,
+)
+from repro.trace.events import EventKind
+from repro.waitgraph.builder import build_wait_graph
+
+#: The exploration policy that most directly drives each pathology,
+#: paired with the FIFO baseline so the corpus spans both regimes.
+DEFAULT_ORACLE_POLICIES: Dict[str, Tuple[str, ...]] = {
+    "LockConvoy": ("fifo", "convoy"),
+    "PriorityInversion": ("fifo", "pct"),
+    "DeadlockCycle": ("fifo", "random"),
+    "WakeupStorm": ("fifo", "shuffle"),
+}
+
+
+@dataclass(frozen=True)
+class OracleVerdict:
+    """Outcome of holding the analysis stack against one planted cause."""
+
+    scenario: str
+    planted_signatures: Tuple[str, ...]
+    found: bool  # a top-k pattern contains a planted signature
+    rank: Optional[int]  # 1-based rank of the first such pattern
+    top_k: int
+    graph_ok: bool  # slow wait graphs reach the planted resources
+    impact_ok: bool  # planted wait cost concentrates in the slow class
+    pattern_count: int
+    t_fast: int
+    t_slow: int
+    instances: int
+
+    @property
+    def passed(self) -> bool:
+        """All three oracle facts hold."""
+        return self.found and self.graph_ok and self.impact_ok
+
+    def summary(self) -> str:
+        rank = f"#{self.rank}" if self.rank is not None else "none"
+        return (
+            f"{self.scenario}: mined={rank}/top-{self.top_k} "
+            f"graph={'ok' if self.graph_ok else 'MISS'} "
+            f"impact={'ok' if self.impact_ok else 'MISS'} "
+            f"({self.instances} instances, {self.pattern_count} patterns)"
+        )
+
+
+def _pathology_corpus(
+    scenario: str,
+    policies: Sequence[str],
+    seeds: Sequence[int],
+    intensities: Sequence[float],
+    repeats: int,
+    cores: int,
+):
+    """All streams of the oracle corpus for one pathology."""
+    streams = []
+    for policy in policies:
+        for seed in seeds:
+            cell = ExploreCell(
+                scenario=scenario,
+                policy=policy,
+                seed=seed,
+                intensities=tuple(intensities),
+                repeats=repeats,
+                cores=cores,
+                think_median_us=25_000,
+            )
+            streams.extend(run_cell_streams(cell))
+    return streams
+
+
+def _planted_wait_cost(instances, planted: frozenset) -> int:
+    """Summed planted-signature wait cost across instances' wait graphs."""
+    total = 0
+    for instance in instances:
+        graph = build_wait_graph(instance)
+        for event in graph.events():
+            if event.kind is not EventKind.WAIT:
+                continue
+            if any(signature in event.stack for signature in planted):
+                total += event.cost
+    return total
+
+
+def verify_pathology(
+    scenario: str,
+    policies: Optional[Sequence[str]] = None,
+    seeds: Sequence[int] = (0, 1, 2),
+    intensities: Sequence[float] = (0.15, 0.5, 0.85),
+    repeats: int = 6,
+    cores: int = 8,
+    top_k: int = 5,
+) -> OracleVerdict:
+    """Run the full analysis stack against one planted pathology.
+
+    Thresholds are derived from the observed duration distribution
+    (quantiles), not the scenario spec, so the check holds wherever the
+    absolute durations land — what matters is that the *slow tail* is
+    explained by the planted cause.
+    """
+    cls = workload_class(scenario)
+    planted = getattr(cls, "planted_signatures", frozenset())
+    if not planted:
+        raise ConfigError(
+            f"scenario {scenario!r} plants no signatures; the oracle needs "
+            f"one of: {', '.join(PATHOLOGY_SCENARIO_NAMES)}"
+        )
+    if policies is None:
+        policies = DEFAULT_ORACLE_POLICIES.get(scenario, ("fifo", "random"))
+
+    streams = _pathology_corpus(
+        scenario, policies, seeds, intensities, repeats, cores
+    )
+    instances = [
+        instance
+        for stream in streams
+        for instance in stream.instances
+        if instance.scenario == scenario
+    ]
+    suggestion = suggest_thresholds(
+        (instance.duration for instance in instances), scenario=scenario
+    )
+    report = CausalityAnalysis(["*.sys"]).analyze(
+        instances, suggestion.t_fast, suggestion.t_slow, scenario=scenario
+    )
+    return judge_report(report, planted, top_k=top_k)
+
+
+def judge_report(
+    report: CausalityReport, planted: frozenset, top_k: int = 5
+) -> OracleVerdict:
+    """Score a finished causality report against planted ground truth."""
+    rank = None
+    for position, pattern in enumerate(report.top(top_k), start=1):
+        if pattern.sst.all_signatures & planted:
+            rank = position
+            break
+
+    slow = list(report.classes.slow)
+    fast = list(report.classes.fast)
+    slow_planted = _planted_wait_cost(slow, planted)
+    fast_planted = _planted_wait_cost(fast, planted)
+    graph_ok = slow_planted > 0
+    # Impact: the slow class must carry strictly more planted wait cost
+    # per instance than the fast class (the injection explains slowness).
+    slow_per = slow_planted / len(slow) if slow else 0.0
+    fast_per = fast_planted / len(fast) if fast else 0.0
+    impact_ok = slow_per > fast_per
+
+    return OracleVerdict(
+        scenario=report.scenario,
+        planted_signatures=tuple(sorted(planted)),
+        found=rank is not None,
+        rank=rank,
+        top_k=top_k,
+        graph_ok=graph_ok,
+        impact_ok=impact_ok,
+        pattern_count=report.pattern_count,
+        t_fast=report.t_fast,
+        t_slow=report.t_slow,
+        instances=len(slow) + len(fast) + len(report.classes.between),
+    )
+
+
+def verify_all_pathologies(
+    seeds: Sequence[int] = (0, 1, 2),
+    intensities: Sequence[float] = (0.15, 0.5, 0.85),
+    repeats: int = 6,
+    top_k: int = 5,
+) -> List[OracleVerdict]:
+    """Oracle verdicts for every registered pathology scenario."""
+    return [
+        verify_pathology(
+            scenario,
+            seeds=seeds,
+            intensities=intensities,
+            repeats=repeats,
+            top_k=top_k,
+        )
+        for scenario in PATHOLOGY_SCENARIO_NAMES
+    ]
+
+
+def negative_control(
+    scenario: str = "FileCopy",
+    seeds: Sequence[int] = (0, 1),
+    intensities: Sequence[float] = (0.2, 0.8),
+    repeats: int = 6,
+    top_k: int = 5,
+) -> bool:
+    """True when an unplanted scenario reports *no* planted signature.
+
+    Mines a corpus of a standard (non-pathology) scenario and checks
+    that no pathology's planted signature appears in any mined pattern —
+    the oracle must not find causes that were never injected.
+    """
+    all_planted = frozenset(
+        signature
+        for name in PATHOLOGY_SCENARIO_NAMES
+        for signature in workload_class(name).planted_signatures
+    )
+    streams = _pathology_corpus(
+        scenario, ("fifo", "random"), seeds, intensities, repeats, cores=8
+    )
+    instances = [
+        instance
+        for stream in streams
+        for instance in stream.instances
+        if instance.scenario == scenario
+    ]
+    suggestion = suggest_thresholds(
+        (instance.duration for instance in instances), scenario=scenario
+    )
+    report = CausalityAnalysis(["*.sys"]).analyze(
+        instances, suggestion.t_fast, suggestion.t_slow, scenario=scenario
+    )
+    return not any(
+        pattern.sst.all_signatures & all_planted
+        for pattern in report.patterns
+    )

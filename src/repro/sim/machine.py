@@ -35,6 +35,7 @@ from repro.sim.drivers import (
 )
 from repro.sim.engine import Engine, Program, SimThread
 from repro.sim.memory import PagedMemory
+from repro.sim.sched import POLICY_NAMES, make_policy
 from repro.sim.services import WorkerService
 from repro.sim.tracer import Tracer
 from repro.trace.stream import TraceStream
@@ -72,11 +73,21 @@ class MachineConfig:
     # Memory behaviour.
     hard_fault_rate: float = 0.03
     page_read_size: float = 6.0
+    # Scheduling.  ``scheduler`` names a policy from
+    # :data:`repro.sim.sched.POLICY_NAMES`; ``scheduler_seed`` seeds its
+    # private RNG (defaults to ``seed`` when left ``None``).
+    scheduler: str = "fifo"
+    scheduler_seed: Optional[int] = None
 
     def validate(self) -> None:
         """Raise :class:`ConfigError` on out-of-range values."""
         if self.cores < 1:
             raise ConfigError("cores must be >= 1")
+        if self.scheduler not in POLICY_NAMES:
+            known = ", ".join(POLICY_NAMES)
+            raise ConfigError(
+                f"unknown scheduler policy {self.scheduler!r}; known: {known}"
+            )
         if self.disk_capacity < 1 or self.network_capacity < 1:
             raise ConfigError("device capacities must be >= 1")
         if self.mdu_lock_count < 1 or self.file_table_lock_count < 1:
@@ -106,8 +117,17 @@ class Machine:
         self.stream_id = stream_id
         self.rng = random.Random(self.config.seed)
         self.tracer = Tracer(stream_id, self.config.sample_interval_us)
+        scheduler_seed = (
+            self.config.scheduler_seed
+            if self.config.scheduler_seed is not None
+            else self.config.seed
+        )
+        self.policy = make_policy(self.config.scheduler, seed=scheduler_seed)
         self.engine = Engine(
-            cores=self.config.cores, tracer=self.tracer, rng=self.rng
+            cores=self.config.cores,
+            tracer=self.tracer,
+            rng=self.rng,
+            policy=self.policy,
         )
 
         # Hardware.

@@ -1,0 +1,309 @@
+"""Pluggable scheduling policies for the discrete-event engine.
+
+The engine (:mod:`repro.sim.engine`) takes every scheduling decision —
+which same-timestamp heap action runs first, which lock waiter is woken
+on release, in what order a fired event's waiters resume, whether a lock
+handoff is delayed — through a :class:`SchedulerPolicy`.  The default
+:class:`FifoPolicy` reproduces the engine's historical behaviour exactly
+(deterministic FIFO everywhere, zero added delay), so existing seeds
+generate byte-identical traces.
+
+The seeded alternatives deliberately sample *other* legal interleavings
+of the same workload, which is how schedule exploration
+(:mod:`repro.sim.explore`) drives rare contention pathologies — lock
+convoys, priority inversions, near-deadlock serialization, wakeup
+storms — that a single FIFO interleaving per seed under-represents:
+
+* :class:`RandomTiebreakPolicy` randomizes the order of same-timestamp
+  events (the schedule's only degrees of freedom in a deterministic
+  discrete-event world);
+* :class:`PctPolicy` assigns every thread a random priority and
+  re-draws ``change_points`` of them mid-run, after the PCT randomized
+  scheduler of Burckhardt et al.;
+* :class:`ConvoyPolicy` injects small delays between a contended lock's
+  release and the next holder's wakeup — the classic convoy amplifier;
+* :class:`ShuffleWakeupPolicy` picks lock/mailbox waiters at random and
+  shuffles the wake order of fired events (non-FIFO OS wait queues).
+
+Every policy is seeded and pure-deterministic: the same ``(policy name,
+seed)`` replays the same schedule decision for decision, so exploration
+sweeps are reproducible and any interesting interleaving can be
+regenerated from its grid coordinates alone.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "ConvoyPolicy",
+    "FifoPolicy",
+    "POLICY_FACTORIES",
+    "POLICY_NAMES",
+    "PctPolicy",
+    "RandomTiebreakPolicy",
+    "SchedulerPolicy",
+    "ShuffleWakeupPolicy",
+    "make_policy",
+]
+
+
+class SchedulerPolicy:
+    """Scheduling decision points the engine delegates.
+
+    Subclasses override any subset; every default reproduces the
+    engine's historical FIFO behaviour.  ``attach`` is called once by
+    :class:`~repro.sim.engine.Engine.__init__`; policies must not be
+    shared between engines (they may keep per-run state).
+    """
+
+    #: Registry name; also what ``repr`` and coverage reports show.
+    name = "fifo"
+
+    def attach(self, engine) -> None:
+        """Bind this policy to the engine it will schedule for."""
+        self.engine = engine
+
+    def heap_key(self, timestamp: int, tid: Optional[int]) -> float:
+        """Secondary sort key for heap entries at equal timestamps.
+
+        Entries order by ``(timestamp, heap_key, seq)``; returning a
+        constant leaves the engine-global FIFO sequence in charge.
+        ``tid`` is the thread the scheduled action advances, or ``None``
+        for actions without a single owning thread.
+        """
+        return 0.0
+
+    def pick_waiter(self, resource: str, waiters: Sequence) -> int:
+        """Index of the waiter to hand a lock/mailbox item to.
+
+        ``resource`` is the provenance string (``"lock:..."`` or
+        ``"mailbox:..."``); ``waiters`` is the non-empty FIFO queue of
+        blocked :class:`~repro.sim.engine.SimThread` objects.
+        """
+        return 0
+
+    def wake_order(self, waiters: Sequence) -> List[int]:
+        """Order (indices) in which a fired event's waiters wake."""
+        return list(range(len(waiters)))
+
+    def release_delay(self, lock) -> int:
+        """Extra microseconds between a lock release and the handoff wake.
+
+        Models wakeup/scheduling latency; non-zero values extend the
+        next holder's observed wait and let convoys build behind it.
+        """
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.__class__.__name__}({self.name!r})"
+
+
+class FifoPolicy(SchedulerPolicy):
+    """The engine's historical deterministic behaviour, made explicit.
+
+    Heap ties break by engine-global insertion sequence, lock and
+    mailbox waiters are served FIFO, fired events wake waiters in
+    registration order, and lock handoffs are immediate.  An engine
+    constructed without a policy uses this one, so traces from existing
+    seeds are byte-identical to pre-policy builds.
+    """
+
+    name = "fifo"
+
+
+class _SeededPolicy(SchedulerPolicy):
+    """Shared base for policies driven by a private seeded generator.
+
+    The generator is deliberately separate from the machine/workload
+    RNG: scheduling decisions perturb *when* programs run, never the
+    random durations the programs themselves draw.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        # String seeding is hash-randomization-proof (seeded via SHA-512
+        # of the bytes), so forked sweep workers and fresh processes
+        # derive the identical decision stream from the same grid cell.
+        self.rng = random.Random(f"sched/{self.name}/{seed}")
+
+
+class RandomTiebreakPolicy(_SeededPolicy):
+    """Uniformly random ordering among same-timestamp heap actions.
+
+    Every heap push draws a fresh key, so two actions scheduled for the
+    same microsecond run in seeded-random order instead of insertion
+    order.  This is the broadest, least opinionated exploration policy:
+    it perturbs every simultaneous-event race in the run.
+    """
+
+    name = "random"
+
+    def heap_key(self, timestamp: int, tid: Optional[int]) -> float:
+        return self.rng.random()
+
+
+class PctPolicy(_SeededPolicy):
+    """PCT-style random thread priorities with ``change_points`` demotions.
+
+    Each thread receives a random priority on first sight; heap ties
+    then resolve lowest-key-first, so high-priority threads win every
+    same-timestamp race (including freed CPU cores and lock handoffs,
+    whose wakes are heap actions).  At ``change_points`` pre-drawn
+    scheduling decisions the currently winning thread is demoted below
+    everyone, mimicking the priority change points that give PCT its
+    probabilistic bug-depth guarantee.
+    """
+
+    name = "pct"
+
+    #: Decision horizon the change points are drawn from.  Runs longer
+    #: than this still perturb (priorities keep applying); shorter runs
+    #: simply hit fewer change points.
+    DECISION_SPAN = 4_000
+
+    def __init__(self, seed: int = 0, change_points: int = 3):
+        super().__init__(seed)
+        if change_points < 0:
+            raise ConfigError(
+                f"pct change_points must be >= 0, got {change_points}"
+            )
+        self.change_points = change_points
+        self._priorities: Dict[int, float] = {}
+        self._decisions = 0
+        self._demotions = 0
+        self._change_at = frozenset(
+            self.rng.randrange(1, self.DECISION_SPAN)
+            for _ in range(change_points)
+        )
+
+    def _priority(self, tid: int) -> float:
+        priority = self._priorities.get(tid)
+        if priority is None:
+            priority = self.rng.random()
+            self._priorities[tid] = priority
+        return priority
+
+    def heap_key(self, timestamp: int, tid: Optional[int]) -> float:
+        if tid is None:
+            return 0.5  # neutral: un-owned actions sit mid-pack
+        self._decisions += 1
+        if self._decisions in self._change_at:
+            # Demote the thread winning this decision below every
+            # existing priority (which all lie in [0, 1)).
+            self._demotions += 1
+            self._priorities[tid] = 1.0 + self._demotions
+        return self._priority(tid)
+
+    def pick_waiter(self, resource: str, waiters: Sequence) -> int:
+        best = 0
+        best_priority = self._priority(waiters[0].tid)
+        for index in range(1, len(waiters)):
+            priority = self._priority(waiters[index].tid)
+            if priority < best_priority:
+                best, best_priority = index, priority
+        return best
+
+    def wake_order(self, waiters: Sequence) -> List[int]:
+        return sorted(
+            range(len(waiters)),
+            key=lambda index: self._priority(waiters[index].tid),
+        )
+
+
+class ConvoyPolicy(_SeededPolicy):
+    """Delay-injection on contended lock releases (convoy driver).
+
+    With probability ``delay_probability``, a lock released while other
+    threads queue behind it hands off only after a random delay in
+    ``[delay_min_us, delay_max_us]`` — the OS-level wakeup latency that
+    turns a briefly-held hot lock into a convoy: while the next holder
+    is still waking, new arrivals pile onto the queue, and the lock's
+    service rate collapses to one handoff per wakeup latency.
+    """
+
+    name = "convoy"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        delay_probability: float = 0.4,
+        delay_min_us: int = 100,
+        delay_max_us: int = 1_500,
+    ):
+        super().__init__(seed)
+        if not 0.0 <= delay_probability <= 1.0:
+            raise ConfigError(
+                f"delay_probability must be in [0, 1], got {delay_probability}"
+            )
+        if not 0 <= delay_min_us <= delay_max_us:
+            raise ConfigError(
+                "delay bounds need 0 <= delay_min_us <= delay_max_us, got "
+                f"[{delay_min_us}, {delay_max_us}]"
+            )
+        self.delay_probability = delay_probability
+        self.delay_min_us = delay_min_us
+        self.delay_max_us = delay_max_us
+
+    def release_delay(self, lock) -> int:
+        if not lock.waiters:
+            return 0
+        if self.rng.random() >= self.delay_probability:
+            return 0
+        return self.rng.randint(self.delay_min_us, self.delay_max_us)
+
+
+class ShuffleWakeupPolicy(_SeededPolicy):
+    """Random waiter selection and shuffled broadcast wake order.
+
+    Models non-FIFO OS wait queues: a released lock or posted mailbox
+    item goes to a seeded-random waiter (unfair — a thread can starve
+    at the back of the queue for many handoffs), and a fired event's
+    waiters stampede in shuffled order.  Drives wakeup-storm and
+    starvation shapes FIFO service can never exhibit.
+    """
+
+    name = "shuffle"
+
+    def pick_waiter(self, resource: str, waiters: Sequence) -> int:
+        return self.rng.randrange(len(waiters))
+
+    def wake_order(self, waiters: Sequence) -> List[int]:
+        order = list(range(len(waiters)))
+        self.rng.shuffle(order)
+        return order
+
+
+#: Name -> constructor for every registered policy.  Constructors take
+#: ``seed`` plus policy-specific keyword parameters.
+POLICY_FACTORIES: Dict[str, Callable[..., SchedulerPolicy]] = {
+    "fifo": lambda seed=0, **params: FifoPolicy(),
+    "random": RandomTiebreakPolicy,
+    "pct": PctPolicy,
+    "convoy": ConvoyPolicy,
+    "shuffle": ShuffleWakeupPolicy,
+}
+
+#: Registered policy names, stable order (fifo first, then exploration).
+POLICY_NAMES: Tuple[str, ...] = tuple(POLICY_FACTORIES)
+
+
+def make_policy(name: str, seed: int = 0, **params) -> SchedulerPolicy:
+    """Construct a registered scheduling policy by name.
+
+    Raises :class:`~repro.errors.ConfigError` — never silently falls
+    back to FIFO — when ``name`` is unknown, so a typoed policy in a
+    sweep grid or on the CLI fails loudly instead of quietly exploring
+    nothing.
+    """
+    try:
+        factory = POLICY_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(POLICY_NAMES)
+        raise ConfigError(
+            f"unknown scheduler policy {name!r}; known: {known}"
+        ) from None
+    return factory(seed=seed, **params)

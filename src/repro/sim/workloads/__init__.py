@@ -19,7 +19,15 @@ from repro.sim.workloads.browser import (
     install_browser_workers,
 )
 from repro.sim.workloads.menu import MenuDisplay
+from repro.sim.workloads.pathology import (
+    PATHOLOGY_WORKLOAD_CLASSES,
+    DeadlockCycle,
+    LockConvoy,
+    PriorityInversion,
+    WakeupStorm,
+)
 from repro.sim.workloads.registry import (
+    PATHOLOGY_SCENARIO_NAMES,
     SCENARIO_NAMES,
     SCENARIO_SPECS,
     WORKLOAD_CLASSES,
@@ -37,12 +45,18 @@ __all__ = [
     "BrowserTabClose",
     "BrowserTabCreate",
     "BrowserTabSwitch",
+    "DeadlockCycle",
+    "LockConvoy",
     "MenuDisplay",
+    "PATHOLOGY_SCENARIO_NAMES",
+    "PATHOLOGY_WORKLOAD_CLASSES",
+    "PriorityInversion",
     "SCENARIO_NAMES",
     "SCENARIO_SPECS",
     "ScenarioSpec",
     "WORKLOAD_CLASSES",
     "WORKLOADS_BY_NAME",
+    "WakeupStorm",
     "WebPageNavigation",
     "Workload",
     "install_acpi_activity",

@@ -1,0 +1,343 @@
+"""Injected contention pathologies with labeled causes.
+
+Each workload here manufactures one classic multi-core contention
+pathology — a lock convoy, a priority inversion, a near-deadlock
+lock-order cycle, a wakeup storm — and *labels* it: every wait the
+pathology produces carries a distinctive device-driver frame
+(``convoy.sys!...``, ``inversion.sys!...``, ...) that the component
+filter (pattern ``*.sys``) will pick as the wait's signature.  The
+frames are published as ``planted_signatures`` (and the contended
+resources as ``planted_resources``), turning each scenario into ground
+truth the oracle harness (:mod:`repro.sim.explore.oracle`) can hold the
+whole analysis stack against: wait-graph construction, impact metrics
+and contrast-pattern mining must all rediscover the planted cause.
+
+Severity scales with the workload ``intensity`` knob (more antagonist
+threads, shorter pauses), so a corpus spanning intensities contains both
+fast and slow instances of each scenario — the contrast classes mining
+needs.  Scheduling-exploration policies (:mod:`repro.sim.sched`) then
+widen the spread further: delay-injection amplifies the convoy, shuffled
+wakeups drive storms and starvation.
+
+All antagonist threads run bounded loops tied to ``repeats``, so an
+unbounded :meth:`~repro.sim.engine.Engine.run` still drains.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Type
+
+from repro.sim.distributions import exponential_us, uniform_us
+from repro.sim.engine import ThreadContext
+from repro.sim.locks import Lock, Mailbox, SimEvent
+from repro.sim.machine import Machine
+from repro.sim.workloads.base import ScenarioSpec, Workload
+from repro.units import MILLISECONDS
+
+
+class LockConvoy(Workload):
+    """A hot lock pounded by many short holders: the classic convoy.
+
+    Antagonist threads acquire ``ConvoyHot`` in a tight loop with short
+    hold times; the scenario batch needs the same lock four times.  Each
+    handoff wakes exactly one waiter, so once the queue forms, the
+    lock's service rate is one hold per wakeup — and any extra handoff
+    latency (see :class:`~repro.sim.sched.ConvoyPolicy`) stalls the
+    entire queue, not just the next holder.
+    """
+
+    spec = ScenarioSpec(
+        name="LockConvoy",
+        t_fast=20 * MILLISECONDS,
+        t_slow=45 * MILLISECONDS,
+        description="batch of hot-path operations behind a convoy-prone lock",
+    )
+
+    #: Frames the pathology plants on its waits (component ``*.sys``).
+    planted_signatures = frozenset({"convoy.sys!AcquireHotPathLock"})
+    #: Wait-graph resources the pathology contends on.
+    planted_resources = frozenset({"lock:ConvoyHot"})
+
+    def install(self, machine: Machine) -> None:
+        workload = self
+        lock = Lock("ConvoyHot")
+        antagonists = 2 + round(6 * self.intensity)
+
+        def antagonist_program(ctx: ThreadContext) -> Generator:
+            rng = machine.rng
+            yield from ctx.delay(workload.start_offset_us)
+            with ctx.frame("ConvoySvc!HotLoop"):
+                for _ in range(workload.repeats * 10):
+                    with ctx.frame("convoy.sys!AcquireHotPathLock"):
+                        yield from ctx.acquire(lock)
+                        yield from ctx.compute(uniform_us(rng, 300, 900))
+                        yield from ctx.release(lock)
+                    pause = round(2_500 - 2_000 * workload.intensity)
+                    yield from ctx.delay(
+                        exponential_us(rng, max(pause, 100))
+                    )
+
+        def body(ctx: ThreadContext, iteration: int) -> Generator:
+            rng = machine.rng
+            with ctx.frame("App!HotPathBatch"):
+                for _ in range(4):
+                    with ctx.frame("convoy.sys!AcquireHotPathLock"):
+                        yield from ctx.acquire(lock)
+                        yield from ctx.compute(uniform_us(rng, 600, 1_600))
+                        yield from ctx.release(lock)
+                    yield from ctx.compute(uniform_us(rng, 800, 2_000))
+
+        def program(ctx: ThreadContext) -> Generator:
+            yield from workload._iterate(ctx, machine, body)
+
+        for index in range(antagonists):
+            machine.spawn(antagonist_program, "ConvoySvc", f"Hot{index}")
+        machine.spawn(program, "App", "ConvoyMain")
+
+
+class PriorityInversion(Workload):
+    """A long-holding background thread starves the scenario thread.
+
+    A housekeeping thread takes ``InversionConfig`` and then does a long
+    CPU-bound pass — preemptible work that CPU-saturating "medium
+    priority" decode threads stretch further (the hold grows with core
+    contention, exactly the Mars-Pathfinder shape).  The scenario thread
+    needs the same lock for a sub-millisecond read, so its latency is
+    dominated by the inflated hold time of a thread doing unrelated
+    background work.
+    """
+
+    spec = ScenarioSpec(
+        name="PriorityInversion",
+        t_fast=12 * MILLISECONDS,
+        t_slow=30 * MILLISECONDS,
+        description="config read blocked behind a long-holding background pass",
+    )
+
+    planted_signatures = frozenset({"inversion.sys!AcquireConfigLock"})
+    planted_resources = frozenset({"lock:InversionConfig"})
+
+    def install(self, machine: Machine) -> None:
+        workload = self
+        lock = Lock("InversionConfig")
+        spinners = 2 + round(5 * self.intensity)
+
+        hold_slices = 2 + round(4 * self.intensity)
+        holder_pause = max(round(12_000 - 11_000 * self.intensity), 200)
+
+        def holder_program(ctx: ThreadContext) -> Generator:
+            rng = machine.rng
+            yield from ctx.delay(workload.start_offset_us)
+            with ctx.frame("HousekeepSvc!BackgroundPass"):
+                for _ in range(workload.repeats * 4):
+                    with ctx.frame("inversion.sys!AcquireConfigLock"):
+                        yield from ctx.acquire(lock)
+                        # Long preemptible hold: split into slices so CPU
+                        # saturation stretches the wall-clock hold time.
+                        for _ in range(hold_slices):
+                            yield from ctx.compute(
+                                uniform_us(rng, 1_500, 4_000)
+                            )
+                        yield from ctx.release(lock)
+                    yield from ctx.delay(exponential_us(rng, holder_pause))
+
+        def spinner_program(ctx: ThreadContext) -> Generator:
+            rng = machine.rng
+            yield from ctx.delay(workload.start_offset_us)
+            with ctx.frame("MediaSvc!DecodeLoop"):
+                for _ in range(workload.repeats * 12):
+                    yield from ctx.compute(uniform_us(rng, 1_000, 3_000))
+                    pause = round(1_200 - 1_000 * workload.intensity)
+                    yield from ctx.delay(
+                        exponential_us(rng, max(pause, 50))
+                    )
+
+        def body(ctx: ThreadContext, iteration: int) -> Generator:
+            rng = machine.rng
+            with ctx.frame("App!ReadSharedConfig"):
+                with ctx.frame("inversion.sys!AcquireConfigLock"):
+                    yield from ctx.acquire(lock)
+                    yield from ctx.compute(uniform_us(rng, 400, 1_000))
+                    yield from ctx.release(lock)
+                yield from ctx.compute(uniform_us(rng, 2_000, 5_000))
+
+        def program(ctx: ThreadContext) -> Generator:
+            yield from workload._iterate(ctx, machine, body)
+
+        machine.spawn(holder_program, "HousekeepSvc", "Background")
+        for index in range(spinners):
+            machine.spawn(spinner_program, "MediaSvc", f"Decode{index}")
+        machine.spawn(program, "App", "InversionMain")
+
+
+class DeadlockCycle(Workload):
+    """Opposite lock-order paths that *almost* deadlock.
+
+    The scenario thread takes ``CycleAlpha`` then ``CycleBeta``; index
+    antagonists take them in reverse.  The reverse path uses
+    trylock-with-backoff — it only commits to ``CycleAlpha`` when the
+    lock is observably free, and otherwise releases ``CycleBeta`` and
+    retries after a pause — so a true deadlock never forms, but the
+    cycle serializes both paths and piles long waits onto both locks.
+    (A real deadlock would leave *no* mining signal: a thread that never
+    wakes never emits its WAIT event.)
+    """
+
+    spec = ScenarioSpec(
+        name="DeadlockCycle",
+        t_fast=10 * MILLISECONDS,
+        t_slow=25 * MILLISECONDS,
+        description="ordered two-lock update racing a reverse-order scanner",
+    )
+
+    planted_signatures = frozenset({"cycle.sys!AcquireOrderedLocks"})
+    planted_resources = frozenset({"lock:CycleAlpha", "lock:CycleBeta"})
+
+    def install(self, machine: Machine) -> None:
+        workload = self
+        alpha = Lock("CycleAlpha")
+        beta = Lock("CycleBeta")
+        antagonists = 1 + round(3 * self.intensity)
+
+        def antagonist_program(ctx: ThreadContext) -> Generator:
+            rng = machine.rng
+            yield from ctx.delay(workload.start_offset_us)
+            with ctx.frame("IndexSvc!ReverseScan"):
+                for _ in range(workload.repeats * 6):
+                    with ctx.frame("cycle.sys!AcquireOrderedLocks"):
+                        yield from ctx.acquire(beta)
+                        yield from ctx.compute(uniform_us(rng, 600, 1_600))
+                        acquired = False
+                        for _ in range(6):
+                            # Trylock: the holder check and the acquire run
+                            # atomically (no yield in between), so blocking
+                            # on alpha while holding beta is impossible.
+                            if alpha.holder is None:
+                                yield from ctx.acquire(alpha)
+                                acquired = True
+                                break
+                            yield from ctx.release(beta)
+                            yield from ctx.delay(uniform_us(rng, 500, 2_000))
+                            yield from ctx.acquire(beta)
+                        if acquired:
+                            yield from ctx.compute(uniform_us(rng, 300, 900))
+                            yield from ctx.release(alpha)
+                        yield from ctx.release(beta)
+                    pause = round(3_000 - 2_400 * workload.intensity)
+                    yield from ctx.delay(
+                        exponential_us(rng, max(pause, 100))
+                    )
+
+        def body(ctx: ThreadContext, iteration: int) -> Generator:
+            rng = machine.rng
+            with ctx.frame("App!OrderedUpdate"):
+                with ctx.frame("cycle.sys!AcquireOrderedLocks"):
+                    yield from ctx.acquire(alpha)
+                    yield from ctx.compute(uniform_us(rng, 500, 1_200))
+                    yield from ctx.acquire(beta)
+                    yield from ctx.compute(uniform_us(rng, 400, 1_000))
+                    yield from ctx.release(beta)
+                    yield from ctx.release(alpha)
+                yield from ctx.compute(uniform_us(rng, 1_500, 3_500))
+
+        def program(ctx: ThreadContext) -> Generator:
+            yield from workload._iterate(ctx, machine, body)
+
+        for index in range(antagonists):
+            machine.spawn(antagonist_program, "IndexSvc", f"Scan{index}")
+        machine.spawn(program, "App", "CycleMain")
+
+
+class WakeupStorm(Workload):
+    """One broadcast wakes a herd that stampedes cores and a shared lock.
+
+    Each round hands every waiter a fresh one-shot event, fires it once,
+    and collects completions.  All waiters wake at the same microsecond,
+    fight for CPU cores, then serialize on the ``StormLedger`` lock —
+    the thundering-herd shape.  The round's latency is the time until
+    the *last* straggler publishes, so shuffled wake order
+    (:class:`~repro.sim.sched.ShuffleWakeupPolicy`) directly perturbs
+    the tail.
+    """
+
+    spec = ScenarioSpec(
+        name="WakeupStorm",
+        t_fast=8 * MILLISECONDS,
+        t_slow=18 * MILLISECONDS,
+        description="broadcast wakeup round-trip across a herd of waiters",
+    )
+
+    planted_signatures = frozenset(
+        {
+            "storm.sys!CollectCompletions",
+            "storm.sys!PublishCompletion",
+            "storm.sys!WaitForBroadcast",
+        }
+    )
+    planted_resources = frozenset({"lock:StormLedger"})
+
+    def install(self, machine: Machine) -> None:
+        workload = self
+        feed = Mailbox("StormFeed")
+        ledger = Lock("StormLedger")
+        waiters = 4 + round(8 * self.intensity)
+        # Per-waiter work grows with intensity: slow rounds have a herd
+        # that is both larger and heavier, so the straggler tail — which
+        # is what the initiator's single collection wait measures —
+        # stretches super-linearly with intensity.
+        work_high = round(1_000 + 3_000 * self.intensity)
+        ledger_high = round(300 + 900 * self.intensity)
+
+        def waiter_program(ctx: ThreadContext) -> Generator:
+            rng = machine.rng
+            with ctx.frame("StormSvc!WaitLoop"):
+                for _ in range(workload.repeats):
+                    job = yield from ctx.take(feed)
+                    broadcast, completion, remaining = job
+                    with ctx.frame("storm.sys!WaitForBroadcast"):
+                        yield from ctx.wait_for(broadcast)
+                    yield from ctx.compute(
+                        uniform_us(rng, work_high // 2, work_high)
+                    )
+                    with ctx.frame("storm.sys!PublishCompletion"):
+                        yield from ctx.acquire(ledger)
+                        yield from ctx.compute(
+                            uniform_us(rng, ledger_high // 2, ledger_high)
+                        )
+                        yield from ctx.release(ledger)
+                    # The last straggler completes the round.  The count
+                    # update and check run atomically (no yield between).
+                    remaining[0] -= 1
+                    if remaining[0] == 0:
+                        yield from ctx.fire(completion)
+
+        def body(ctx: ThreadContext, iteration: int) -> Generator:
+            rng = machine.rng
+            with ctx.frame("App!BroadcastRound"):
+                broadcast = SimEvent(f"Storm{iteration}")
+                completion = SimEvent(f"StormDone{iteration}")
+                remaining = [waiters]
+                for _ in range(waiters):
+                    yield from ctx.post(
+                        feed, (broadcast, completion, remaining)
+                    )
+                yield from ctx.compute(uniform_us(rng, 300, 900))
+                yield from ctx.fire(broadcast)
+                with ctx.frame("storm.sys!CollectCompletions"):
+                    yield from ctx.wait_for(completion)
+
+        def program(ctx: ThreadContext) -> Generator:
+            yield from workload._iterate(ctx, machine, body)
+
+        for index in range(waiters):
+            machine.spawn(waiter_program, "StormSvc", f"Waiter{index}")
+        machine.spawn(program, "App", "StormMain")
+
+
+#: The injected-pathology scenarios, in registration order.
+PATHOLOGY_WORKLOAD_CLASSES: List[Type[Workload]] = [
+    LockConvoy,
+    PriorityInversion,
+    DeadlockCycle,
+    WakeupStorm,
+]

@@ -19,6 +19,7 @@ from repro.sim.workloads.browser import (
 )
 from repro.sim.workloads.extra import EXTRA_WORKLOAD_CLASSES
 from repro.sim.workloads.menu import MenuDisplay
+from repro.sim.workloads.pathology import PATHOLOGY_WORKLOAD_CLASSES
 from repro.sim.workloads.responsiveness import AppNonResponsive
 from repro.sim.workloads.security import AppAccessControl
 
@@ -40,14 +41,28 @@ EXTRA_SCENARIO_NAMES: List[str] = [
     cls.spec.name for cls in EXTRA_WORKLOAD_CLASSES
 ]
 
+#: Injected contention pathologies with labeled causes, used by the
+#: schedule-exploration oracle harness (:mod:`repro.sim.explore`).
+PATHOLOGY_SCENARIO_NAMES: List[str] = [
+    cls.spec.name for cls in PATHOLOGY_WORKLOAD_CLASSES
+]
+
 WORKLOADS_BY_NAME: Dict[str, Type[Workload]] = {
     cls.spec.name: cls
-    for cls in [*WORKLOAD_CLASSES, *EXTRA_WORKLOAD_CLASSES]
+    for cls in [
+        *WORKLOAD_CLASSES,
+        *EXTRA_WORKLOAD_CLASSES,
+        *PATHOLOGY_WORKLOAD_CLASSES,
+    ]
 }
 
 SCENARIO_SPECS: Dict[str, ScenarioSpec] = {
     cls.spec.name: cls.spec
-    for cls in [*WORKLOAD_CLASSES, *EXTRA_WORKLOAD_CLASSES]
+    for cls in [
+        *WORKLOAD_CLASSES,
+        *EXTRA_WORKLOAD_CLASSES,
+        *PATHOLOGY_WORKLOAD_CLASSES,
+    ]
 }
 
 SCENARIO_NAMES: List[str] = [cls.spec.name for cls in WORKLOAD_CLASSES]

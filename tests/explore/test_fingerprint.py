@@ -1,0 +1,152 @@
+"""Tests for wait-graph shape fingerprints."""
+
+from repro.sim.explore.fingerprint import (
+    FINGERPRINT_LENGTH,
+    distinct_shapes,
+    shape_fingerprint,
+)
+from repro.sim.explore.runner import ExploreCell, run_cell_streams
+from repro.trace.events import Event, EventKind
+from repro.waitgraph.builder import build_wait_graph
+from repro.waitgraph.graph import WaitGraph
+
+
+def wait(seq, resource, frame, timestamp=0, cost=100, tid=1):
+    return Event(
+        kind=EventKind.WAIT,
+        stack=("App!Main", frame),
+        timestamp=timestamp,
+        cost=cost,
+        tid=tid,
+        seq=seq,
+        resource=resource,
+    )
+
+
+def running(seq, timestamp=0, cost=100, tid=1):
+    return Event(
+        kind=EventKind.RUNNING,
+        stack=("App!Main",),
+        timestamp=timestamp,
+        cost=cost,
+        tid=tid,
+        seq=seq,
+    )
+
+
+def hw(seq, resource, timestamp=0, cost=100, tid=9):
+    return Event(
+        kind=EventKind.HW_SERVICE,
+        stack=(),
+        timestamp=timestamp,
+        cost=cost,
+        tid=tid,
+        seq=seq,
+        resource=resource,
+    )
+
+
+def graph(roots, children=None):
+    children = children or {}
+    return WaitGraph(None, roots, children, {})
+
+
+class TestCanonicalization:
+    def test_fingerprint_is_fixed_length_hex(self):
+        fingerprint = shape_fingerprint(
+            graph([wait(0, "lock:L", "a.sys!F")])
+        )
+        assert len(fingerprint) == FINGERPRINT_LENGTH
+        int(fingerprint, 16)  # raises if not hex
+
+    def test_empty_graph_has_a_shape_too(self):
+        assert shape_fingerprint(graph([])) == shape_fingerprint(
+            graph([running(0)])
+        )
+
+    def test_durations_and_timestamps_do_not_matter(self):
+        fast = graph([wait(0, "lock:L", "a.sys!F", timestamp=5, cost=10)])
+        slow = graph([wait(3, "lock:L", "a.sys!F", timestamp=900, cost=10**6)])
+        assert shape_fingerprint(fast) == shape_fingerprint(slow)
+
+    def test_thread_identity_does_not_matter(self):
+        first = graph([wait(0, "lock:L", "a.sys!F", tid=1)])
+        second = graph([wait(0, "lock:L", "a.sys!F", tid=42)])
+        assert shape_fingerprint(first) == shape_fingerprint(second)
+
+    def test_sibling_order_does_not_matter(self):
+        parent = wait(0, "lock:L", "a.sys!F")
+        alpha = wait(1, "lock:A", "b.sys!G")
+        beta = wait(2, "lock:B", "c.sys!H")
+        forward = graph([parent], {0: [alpha, beta]})
+        backward = graph([parent], {0: [beta, alpha]})
+        assert shape_fingerprint(forward) == shape_fingerprint(backward)
+
+    def test_resource_and_frame_both_matter(self):
+        base = shape_fingerprint(graph([wait(0, "lock:L", "a.sys!F")]))
+        other_resource = shape_fingerprint(
+            graph([wait(0, "lock:M", "a.sys!F")])
+        )
+        other_frame = shape_fingerprint(graph([wait(0, "lock:L", "a.sys!G")]))
+        assert base != other_resource
+        assert base != other_frame
+
+    def test_nesting_matters(self):
+        outer = wait(0, "lock:L", "a.sys!F")
+        inner = wait(1, "lock:M", "b.sys!G")
+        nested = graph([outer], {0: [inner]})
+        flat = graph([outer, inner])
+        assert shape_fingerprint(nested) != shape_fingerprint(flat)
+
+    def test_hardware_children_render_by_resource(self):
+        parent = wait(0, "lock:L", "a.sys!F")
+        disk = graph([parent], {0: [hw(1, "device:Disk")]})
+        network = graph([parent], {0: [hw(1, "device:Network")]})
+        assert shape_fingerprint(disk) != shape_fingerprint(network)
+
+    def test_running_children_are_ignored(self):
+        parent = wait(0, "lock:L", "a.sys!F")
+        bare = graph([parent])
+        with_running = graph([parent], {0: [running(1)]})
+        assert shape_fingerprint(bare) == shape_fingerprint(with_running)
+
+    def test_cyclic_graph_terminates(self):
+        # Malformed input (a wait reachable from itself) must not recurse
+        # forever; the fingerprint marks the back-edge and finishes.
+        first = wait(0, "lock:L", "a.sys!F")
+        second = wait(1, "lock:M", "b.sys!G")
+        cyclic = graph([first], {0: [second], 1: [first]})
+        assert len(shape_fingerprint(cyclic)) == FINGERPRINT_LENGTH
+
+    def test_distinct_shapes_deduplicates(self):
+        graphs = [
+            graph([wait(0, "lock:L", "a.sys!F")]),
+            graph([wait(5, "lock:L", "a.sys!F", cost=999)]),
+            graph([wait(0, "lock:M", "a.sys!F")]),
+        ]
+        assert len(distinct_shapes(graphs)) == 2
+
+
+class TestOnRealTraces:
+    def test_fingerprints_are_deterministic_on_simulated_instances(self):
+        cell = ExploreCell(
+            scenario="LockConvoy",
+            policy="fifo",
+            seed=0,
+            intensities=(0.5,),
+            repeats=3,
+            cores=8,
+            think_median_us=20_000,
+        )
+
+        def fingerprints():
+            return [
+                shape_fingerprint(build_wait_graph(instance))
+                for stream in run_cell_streams(cell)
+                for instance in stream.instances
+                if instance.scenario == "LockConvoy"
+            ]
+
+        first = fingerprints()
+        assert first == fingerprints()
+        assert all(len(f) == FINGERPRINT_LENGTH for f in first)

@@ -1,0 +1,50 @@
+"""Oracle regression tests: mining must rediscover each planted cause.
+
+These are the end-to-end checks of the analysis stack — wait-graph
+construction, impact metrics and contrast-pattern mining all have to
+surface the labeled pathology.  Parameters are scaled down from the CI
+oracle run but kept large enough that the fast/slow contrast is real.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.explore.oracle import (
+    DEFAULT_ORACLE_POLICIES,
+    negative_control,
+    verify_pathology,
+)
+from repro.sim.workloads.registry import PATHOLOGY_SCENARIO_NAMES
+
+ORACLE_PARAMS = dict(
+    seeds=(0,),
+    intensities=(0.15, 0.85),
+    repeats=4,
+    top_k=5,
+)
+
+
+@pytest.mark.parametrize("scenario", PATHOLOGY_SCENARIO_NAMES)
+def test_mining_rediscovers_planted_cause(scenario):
+    verdict = verify_pathology(scenario, **ORACLE_PARAMS)
+    assert verdict.passed, verdict.summary()
+    assert verdict.rank is not None and verdict.rank <= 5
+    assert verdict.graph_ok  # wait graphs reach the planted resource
+    assert verdict.impact_ok  # planted cost concentrates in slow class
+
+
+def test_negative_control_finds_nothing_planted():
+    assert negative_control(
+        scenario="FileCopy", seeds=(0,), intensities=(0.2, 0.8), repeats=4
+    )
+
+
+def test_oracle_rejects_unplanted_scenario():
+    with pytest.raises(ConfigError, match="plants no signatures"):
+        verify_pathology("FileCopy")
+
+
+def test_every_pathology_has_default_policies():
+    assert set(DEFAULT_ORACLE_POLICIES) == set(PATHOLOGY_SCENARIO_NAMES)
+    for policies in DEFAULT_ORACLE_POLICIES.values():
+        assert "fifo" in policies  # baseline always in the corpus

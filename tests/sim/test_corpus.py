@@ -8,6 +8,7 @@ from repro.errors import ConfigError
 from repro.sim.corpus import (
     CorpusConfig,
     DEFAULT_SCENARIO_WEIGHTS,
+    _pick_scenarios,
     draw_machine_config,
     generate_corpus,
     generate_stream,
@@ -33,6 +34,102 @@ class TestCorpusConfig:
 
     def test_weights_cover_all_scenarios(self):
         assert set(DEFAULT_SCENARIO_WEIGHTS) == set(CorpusConfig().scenarios)
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ConfigError, match="unknown scheduler policy"):
+            CorpusConfig(scheduler="nosuch").validate()
+
+    def test_pathology_scenarios_accepted(self):
+        CorpusConfig(
+            scenarios=("LockConvoy", "WakeupStorm"),
+            workloads_per_stream=(1, 2),
+        ).validate()
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigError, match="must be >= 0"):
+            CorpusConfig(
+                scenario_weights={"MenuDisplay": -1.0}
+            ).validate()
+
+
+class TestPickScenarios:
+    def test_zero_weight_scenario_is_never_drawn(self):
+        config = CorpusConfig(
+            scenarios=("MenuDisplay", "AppAccessControl", "BrowserTabClose"),
+            workloads_per_stream=(2, 3),
+            scenario_weights={
+                "MenuDisplay": 1.0,
+                "AppAccessControl": 0.0,
+                "BrowserTabClose": 1.0,
+            },
+        )
+        rng = random.Random(17)
+        for _ in range(30):
+            chosen = _pick_scenarios(rng, config)
+            assert "AppAccessControl" not in chosen
+
+    def test_all_zero_weights_raise_instead_of_looping(self):
+        config = CorpusConfig(
+            scenarios=("MenuDisplay",),
+            workloads_per_stream=(1, 1),
+            scenario_weights={"MenuDisplay": 0.0},
+        )
+        with pytest.raises(ConfigError, match="positive weight"):
+            _pick_scenarios(random.Random(1), config)
+
+    def test_single_scenario_pool_yields_it_once(self):
+        config = CorpusConfig(
+            scenarios=("MenuDisplay",),
+            workloads_per_stream=(1, 1),
+        )
+        # Sampling is without replacement: the pool exhausts after one
+        # draw even when the requested count is larger.
+        assert _pick_scenarios(random.Random(1), config) == ["MenuDisplay"]
+
+    def test_sample_is_without_replacement(self):
+        config = CorpusConfig(workloads_per_stream=(6, 8))
+        rng = random.Random(23)
+        for _ in range(20):
+            chosen = _pick_scenarios(rng, config)
+            assert len(chosen) == len(set(chosen))
+
+
+class TestSchedulerPlumbing:
+    def test_non_fifo_scheduler_changes_the_stream(self):
+        base = CorpusConfig(streams=1, seed=7)
+        shuffled = CorpusConfig(
+            streams=1, seed=7, scheduler="shuffle", scheduler_seed=3
+        )
+        assert (
+            generate_stream(0, base).events
+            != generate_stream(0, shuffled).events
+        )
+
+    def test_scheduler_seed_is_deterministic(self):
+        config = CorpusConfig(
+            streams=1, seed=7, scheduler="random", scheduler_seed=5
+        )
+        assert (
+            generate_stream(0, config).events
+            == generate_stream(0, config).events
+        )
+
+    def test_policy_corpus_byte_identical_across_worker_counts(self):
+        from repro.trace.serialization import dumps_stream
+
+        config = CorpusConfig(
+            streams=2, seed=44, scheduler="shuffle", scheduler_seed=9
+        )
+        baseline = [
+            dumps_stream(stream)
+            for stream in generate_corpus(config, workers=1)
+        ]
+        for workers in (2, 4):
+            swept = [
+                dumps_stream(stream)
+                for stream in generate_corpus(config, workers=workers)
+            ]
+            assert swept == baseline
 
 
 class TestMachineConfigDraw:

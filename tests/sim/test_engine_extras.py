@@ -1,10 +1,11 @@
-"""Additional engine edge cases: holding(), shutdown, nested frames."""
+"""Additional engine edge cases: holding(), shutdown, nested frames,
+bounded-run quiescence vs deadlock detection."""
 
 import pytest
 
-from repro.errors import SimulationError
+from repro.errors import DeadlockError, SimulationError
 from repro.sim.engine import Engine
-from repro.sim.locks import Lock
+from repro.sim.locks import Lock, Mailbox
 from repro.sim.tracer import Tracer
 from repro.trace.events import EventKind
 
@@ -72,6 +73,82 @@ class TestShutdown:
         engine.run()
         engine.shutdown()
         engine.shutdown()
+
+
+class TestRunUntil:
+    def test_unbounded_run_raises_on_lock_deadlock(self):
+        engine, _ = traced_engine()
+        lock = Lock("L")
+
+        def holder(ctx):
+            yield from ctx.acquire(lock)
+            yield from ctx.compute(1_000)
+            # Never releases: B can never wake.
+
+        def blocked(ctx):
+            yield from ctx.delay(100)
+            yield from ctx.acquire(lock)
+
+        engine.spawn(holder, "P", "A")
+        engine.spawn(blocked, "P", "B")
+        with pytest.raises(DeadlockError, match="lock:L"):
+            engine.run()
+
+    def test_unbounded_run_treats_parked_mailbox_takers_as_quiescent(self):
+        # A service thread waiting on an empty mailbox is an idle daemon,
+        # not a deadlock: the unbounded run must drain cleanly.
+        engine, _ = traced_engine()
+        mailbox = Mailbox("Requests")
+
+        def server(ctx):
+            while True:
+                item = yield from ctx.take(mailbox)
+                yield from ctx.compute(item)
+
+        def client(ctx):
+            yield from ctx.post(mailbox, 500)
+            yield from ctx.compute(200)
+
+        engine.spawn(server, "Svc", "Worker")
+        engine.spawn(client, "App", "Main")
+        engine.run()  # must not raise
+
+    def test_bounded_run_never_diagnoses_deadlock(self):
+        # With ``until`` the engine cannot distinguish "will never wake"
+        # from "would wake later": blocked threads are daemons.
+        engine, _ = traced_engine()
+        lock = Lock("L")
+
+        def holder(ctx):
+            yield from ctx.acquire(lock)
+            yield from ctx.compute(1_000)
+
+        def blocked(ctx):
+            yield from ctx.delay(100)
+            yield from ctx.acquire(lock)
+
+        engine.spawn(holder, "P", "A")
+        engine.spawn(blocked, "P", "B")
+        engine.run(until=50_000)  # must not raise
+        assert engine.now == 50_000
+
+    def test_bounded_run_stops_the_clock_at_until(self):
+        engine, _ = traced_engine()
+        fired = []
+
+        def program(ctx):
+            yield from ctx.delay(10_000)
+            fired.append(ctx.now)
+            yield from ctx.delay(10_000)
+            fired.append(ctx.now)
+
+        engine.spawn(program, "P", "A")
+        engine.run(until=15_000)
+        assert fired == [10_000]
+        assert engine.now == 15_000
+        # Resuming past the horizon delivers the held-back event.
+        engine.run()
+        assert fired == [10_000, 20_000]
 
 
 class TestFrames:

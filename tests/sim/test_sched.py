@@ -1,0 +1,224 @@
+"""Tests for pluggable scheduler policies (repro.sim.sched)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.sim.corpus import CorpusConfig, generate_stream
+from repro.sim.engine import Engine
+from repro.sim.locks import Lock
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.sched import (
+    POLICY_NAMES,
+    ConvoyPolicy,
+    FifoPolicy,
+    PctPolicy,
+    RandomTiebreakPolicy,
+    SchedulerPolicy,
+    ShuffleWakeupPolicy,
+    make_policy,
+)
+from repro.sim.tracer import Tracer
+from repro.trace.events import EventKind
+from repro.trace.serialization import dumps_stream
+
+
+def run_machine(scheduler="fifo", scheduler_seed=None, seed=99):
+    config = MachineConfig(
+        seed=seed, cores=4, scheduler=scheduler, scheduler_seed=scheduler_seed
+    )
+    machine = Machine("sched-test", config)
+    lock = Lock("Shared")
+
+    def program(ctx):
+        with ctx.frame("app.sys!Worker"):
+            for _ in range(4):
+                yield from ctx.acquire(lock)
+                yield from ctx.compute(1_000)
+                yield from ctx.release(lock)
+                yield from ctx.compute(500)
+
+    for index in range(4):
+        machine.spawn(program, "P", f"T{index}", start_at=index * 100)
+    return machine.run_and_trace()
+
+
+class TestRegistry:
+    def test_all_registered_policies_construct(self):
+        for name in POLICY_NAMES:
+            policy = make_policy(name, seed=3)
+            assert isinstance(policy, SchedulerPolicy)
+            assert policy.name == name
+
+    def test_unknown_policy_raises_config_error(self):
+        with pytest.raises(ConfigError, match="unknown scheduler policy"):
+            make_policy("nosuch")
+
+    def test_policy_params_validated(self):
+        with pytest.raises(ConfigError, match="change_points"):
+            PctPolicy(change_points=-1)
+        with pytest.raises(ConfigError, match="delay_probability"):
+            ConvoyPolicy(delay_probability=1.5)
+        with pytest.raises(ConfigError, match="delay bounds"):
+            ConvoyPolicy(delay_min_us=500, delay_max_us=100)
+
+    def test_machine_config_rejects_unknown_scheduler(self):
+        with pytest.raises(ConfigError, match="unknown scheduler policy"):
+            MachineConfig(scheduler="nosuch").validate()
+
+
+class TestFifoEquivalence:
+    def test_default_engine_uses_fifo(self):
+        engine = Engine()
+        assert isinstance(engine.policy, FifoPolicy)
+
+    def test_explicit_fifo_is_byte_identical_to_default(self):
+        baseline = dumps_stream(run_machine())
+        explicit = dumps_stream(run_machine(scheduler="fifo"))
+        assert explicit == baseline
+
+    def test_corpus_stream_unchanged_by_fifo_plumbing(self):
+        config = CorpusConfig(streams=1, seed=11)
+        first = dumps_stream(generate_stream(0, config))
+        second = dumps_stream(generate_stream(0, config))
+        assert first == second
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("policy", [p for p in POLICY_NAMES])
+    def test_same_seed_same_trace(self, policy):
+        first = dumps_stream(run_machine(scheduler=policy, scheduler_seed=5))
+        second = dumps_stream(run_machine(scheduler=policy, scheduler_seed=5))
+        assert first == second
+
+    @pytest.mark.parametrize("policy", ["random", "pct", "shuffle"])
+    def test_different_seed_different_schedule(self, policy):
+        # Different policy seeds must be able to reach different
+        # interleavings (this is the entire point of exploration).
+        streams = {
+            dumps_stream(run_machine(scheduler=policy, scheduler_seed=seed))
+            for seed in range(4)
+        }
+        assert len(streams) > 1
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        policy=st.sampled_from(POLICY_NAMES),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_any_policy_seed_pair_is_reproducible(self, policy, seed):
+        first = dumps_stream(
+            run_machine(scheduler=policy, scheduler_seed=seed)
+        )
+        second = dumps_stream(
+            run_machine(scheduler=policy, scheduler_seed=seed)
+        )
+        assert first == second
+
+
+class TestTieBreakStability:
+    def test_heap_tiebreak_sequence_is_engine_global(self):
+        # Two same-timestamp actions keep insertion order under FIFO:
+        # the engine-global monotone sequence breaks the tie, and a
+        # policy returning a constant key cannot reorder across it.
+        engine = Engine(cores=2, tracer=Tracer("t"))
+        order = []
+        engine.at(10, lambda: order.append("first"))
+        engine.at(10, lambda: order.append("second"))
+        engine.at(5, lambda: order.append("early"))
+        engine.run()
+        assert order == ["early", "first", "second"]
+
+    def test_policy_only_reorders_within_one_timestamp(self):
+        # A randomizing policy may reorder same-timestamp actions, but
+        # never across different timestamps.
+        engine = Engine(
+            cores=2, tracer=Tracer("t"),
+            policy=RandomTiebreakPolicy(seed=7),
+        )
+        order = []
+        engine.at(5, lambda: order.append("early"))
+        engine.at(10, lambda: order.append("a"))
+        engine.at(10, lambda: order.append("b"))
+        engine.at(20, lambda: order.append("late"))
+        engine.run()
+        assert order[0] == "early"
+        assert order[-1] == "late"
+        assert sorted(order[1:3]) == ["a", "b"]
+
+
+class TestPolicyMechanics:
+    def test_fifo_pick_waiter_is_head_of_queue(self):
+        policy = FifoPolicy()
+        assert policy.pick_waiter("lock:L", ["a", "b", "c"]) == 0
+        assert policy.wake_order(["a", "b"]) == [0, 1]
+        assert policy.release_delay(Lock("L")) == 0
+
+    def test_pct_demotes_at_change_points(self):
+        policy = PctPolicy(seed=1, change_points=50)
+        tids = [1, 2, 3]
+        for _ in range(400):
+            for tid in tids:
+                policy.heap_key(0, tid)
+        demoted = [
+            tid for tid, pri in policy._priorities.items() if pri > 1.0
+        ]
+        assert demoted  # at least one change point fired
+
+    def test_pct_unowned_actions_get_neutral_key(self):
+        policy = PctPolicy(seed=1)
+        assert policy.heap_key(0, None) == 0.5
+
+    def test_convoy_delay_only_when_waiters_queue(self):
+        policy = ConvoyPolicy(seed=2, delay_probability=1.0)
+        lock = Lock("L")
+        assert policy.release_delay(lock) == 0  # no waiters: no convoy
+        lock.waiters.append(object())
+        delay = policy.release_delay(lock)
+        assert policy.delay_min_us <= delay <= policy.delay_max_us
+
+    def test_shuffle_wake_order_is_permutation(self):
+        policy = ShuffleWakeupPolicy(seed=3)
+        order = policy.wake_order(list("abcdef"))
+        assert sorted(order) == list(range(6))
+
+    def test_seeded_policy_rng_is_hash_randomization_proof(self):
+        # String-seeded Random must not depend on PYTHONHASHSEED.
+        assert random.Random("sched/pct/1").random() == random.Random(
+            "sched/pct/1"
+        ).random()
+
+
+class TestPolicyEffects:
+    def test_convoy_policy_extends_waits(self):
+        fifo = run_machine(scheduler="fifo")
+        convoy_cfg = MachineConfig(
+            seed=99, cores=4, scheduler="convoy", scheduler_seed=1
+        )
+        # Re-run the same workload under convoy delays: total wait time
+        # must grow (every injected handoff delay extends a wait).
+        machine = Machine("sched-test", convoy_cfg)
+        lock = Lock("Shared")
+
+        def program(ctx):
+            with ctx.frame("app.sys!Worker"):
+                for _ in range(4):
+                    yield from ctx.acquire(lock)
+                    yield from ctx.compute(1_000)
+                    yield from ctx.release(lock)
+                    yield from ctx.compute(500)
+
+        for index in range(4):
+            machine.spawn(program, "P", f"T{index}", start_at=index * 100)
+        convoy = machine.run_and_trace()
+
+        def total_wait(stream):
+            return sum(
+                event.cost
+                for event in stream.events_of_kind(EventKind.WAIT)
+            )
+
+        assert total_wait(convoy) > total_wait(fifo)

@@ -49,14 +49,19 @@ def _entry_paths(store):
 
 
 def _corrupt(path, mode, rng):
+    # An earlier corruption in the same example may have emptied the
+    # file; size-dependent modes degrade to "empty" instead of asking
+    # randrange for an empty range.
     size = os.path.getsize(path)
     if mode == "truncate":
         with open(path, "r+b") as handle:
-            handle.truncate(rng.randrange(size))
+            handle.truncate(rng.randrange(size) if size else 0)
     elif mode == "garbage":
         with open(path, "wb") as handle:
             handle.write(bytes(rng.randrange(256) for _ in range(64)))
     elif mode == "bitflip":
+        if size == 0:
+            return
         offset = rng.randrange(size)
         with open(path, "r+b") as handle:
             handle.seek(offset)

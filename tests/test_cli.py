@@ -453,6 +453,51 @@ class TestVerboseTiming:
         assert "store: 3/3 hits (100.0%)" in err
 
 
+class TestExplore:
+    TINY_GRID = [
+        "explore",
+        "--scenarios", "LockConvoy",
+        "--policies", "fifo", "shuffle",
+        "--seeds", "0",
+        "--intensities", "0.4",
+        "--repeats", "2",
+    ]
+
+    def test_tiny_grid_renders_coverage_table(self, capsys):
+        assert main(self.TINY_GRID) == 0
+        out = capsys.readouterr().out
+        assert "Schedule exploration coverage" in out
+        assert "LockConvoy" in out
+        assert "total distinct contention shapes" in out
+
+    def test_json_report_is_byte_identical_across_workers(self, capsys):
+        import json
+
+        reports = []
+        for workers in ("1", "2"):
+            assert main(
+                self.TINY_GRID + ["--json", "--workers", workers]
+            ) == 0
+            reports.append(capsys.readouterr().out)
+        assert reports[0] == reports[1]
+        payload = json.loads(reports[0])
+        assert payload["cells"]
+
+    def test_unknown_policy_is_config_error_not_fallback(self, capsys):
+        # Satellite requirement: a typoed policy must exit 2 loudly,
+        # never silently fall back to FIFO.
+        argv = [arg for arg in self.TINY_GRID]
+        argv[argv.index("shuffle")] = "fifoo"
+        assert main(argv) == 2
+        assert "unknown scheduler policy 'fifoo'" in capsys.readouterr().err
+
+    def test_unknown_scenario_is_config_error(self, capsys):
+        argv = [arg for arg in self.TINY_GRID]
+        argv[argv.index("LockConvoy")] = "NoSuchScenario"
+        assert main(argv) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

@@ -8,6 +8,8 @@ PACKAGES = [
     "repro",
     "repro.trace",
     "repro.sim",
+    "repro.sim.explore",
+    "repro.sim.sched",
     "repro.sim.workloads",
     "repro.waitgraph",
     "repro.impact",
